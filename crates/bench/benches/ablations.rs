@@ -1,0 +1,85 @@
+//! Design-choice ablations called out in DESIGN.md §4.
+//!
+//! * **Stepping fidelity** (`ablation/stepping`): the adaptive-step
+//!   integrator for continuously-varying policies (AgedRR) trades accuracy
+//!   for events — sweep `max_step` and report both cost and the l2 drift
+//!   from the finest step.
+//! * **LAPS β sweep** (`ablation/laps`): LAPS(1) = RR; how does the l2
+//!   objective move as β shrinks toward favoring the latest arrivals?
+//! * **McNaughton realization** (`ablation/mcnaughton`): cost of turning a
+//!   fractional RR profile into per-machine timetables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use tf_bench::bench_trace;
+use tf_policies::{Laps, RoundRobin};
+use tf_simcore::mcnaughton::wrap_around;
+use tf_simcore::{simulate, MachineConfig, SimOptions};
+
+fn bench_stepping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/stepping");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+    let trace = bench_trace(80, 29);
+    let cfg = MachineConfig::new(2);
+    for &step in &[0.5, 0.1, 0.02] {
+        g.bench_with_input(BenchmarkId::from_parameter(step), &step, |b, &step| {
+            b.iter(|| {
+                let mut p = tf_policies::AgedRoundRobin::new();
+                let opts = SimOptions {
+                    max_step: Some(step),
+                    ..Default::default()
+                };
+                black_box(simulate(&trace, &mut p, cfg, opts).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_laps_beta(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/laps");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    let trace = bench_trace(200, 31);
+    let cfg = MachineConfig::new(2);
+    for &beta in &[0.25, 0.5, 1.0] {
+        g.bench_with_input(BenchmarkId::from_parameter(beta), &beta, |b, &beta| {
+            b.iter(|| {
+                let mut p = Laps::new(beta);
+                let s = simulate(&trace, &mut p, cfg, SimOptions::default()).unwrap();
+                black_box(s.flow_norm(2.0))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_mcnaughton(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/mcnaughton");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    let trace = bench_trace(500, 37);
+    let cfg = MachineConfig::new(4);
+    let sched = simulate(
+        &trace,
+        &mut RoundRobin::new(),
+        cfg,
+        SimOptions::with_profile(),
+    )
+    .unwrap();
+    let profile = sched.profile.unwrap();
+    g.bench_function("realize_full_profile", |b| {
+        b.iter(|| {
+            for seg in &profile.segments {
+                black_box(wrap_around(seg, cfg.m, cfg.speed).unwrap());
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_stepping, bench_laps_beta, bench_mcnaughton);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Simulator throughput: wall time across policies, machine counts, and
+//! instance sizes — the "can you actually use this at scale" numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use tf_bench::bench_trace;
+use tf_policies::Policy;
+use tf_simcore::quantum::{simulate_quantum_rr, QuantumOptions};
+use tf_simcore::{simulate, MachineConfig, SimOptions};
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/policy");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    for &n in &[100usize, 1000] {
+        let trace = bench_trace(n, 7);
+        for p in [
+            Policy::Rr,
+            Policy::Srpt,
+            Policy::Setf,
+            Policy::Fcfs,
+            Policy::Laps(0.5),
+        ] {
+            g.bench_with_input(BenchmarkId::new(p.to_string(), n), &trace, |b, t| {
+                b.iter(|| {
+                    let mut alloc = p.make();
+                    black_box(
+                        simulate(
+                            t,
+                            alloc.as_mut(),
+                            MachineConfig::new(4),
+                            SimOptions::default(),
+                        )
+                        .unwrap(),
+                    )
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_continuous_policy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/continuous");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+    let trace = bench_trace(100, 9);
+    g.bench_function("AgedRR_adaptive_steps", |b| {
+        b.iter(|| {
+            let mut alloc = Policy::AgedRr.make();
+            black_box(
+                simulate(
+                    &trace,
+                    alloc.as_mut(),
+                    MachineConfig::new(2),
+                    SimOptions::default(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_profile_recording(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/profile");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    let trace = bench_trace(1000, 11);
+    for (name, opts) in [
+        ("off", SimOptions::default()),
+        ("on", SimOptions::with_profile()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut alloc = Policy::Rr.make();
+                black_box(simulate(&trace, alloc.as_mut(), MachineConfig::new(4), opts).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_quantum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/quantum");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    let trace = bench_trace(1000, 13);
+    for &q in &[1.0, 0.1, 0.01] {
+        g.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
+            b.iter(|| {
+                black_box(
+                    simulate_quantum_rr(&trace, MachineConfig::new(4), QuantumOptions::new(q))
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_policies,
+    bench_continuous_policy,
+    bench_profile_recording,
+    bench_quantum
+);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! One Criterion target per experiment: regenerates every table of the
+//! evaluation (DESIGN.md §4) and measures how long each takes.
+//!
+//! The benched payload is the *same code path* the `experiments` CLI runs,
+//! at `Effort::Quick` so `cargo bench` completes in minutes; run the CLI
+//! for full-scale tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use tf_harness::experiments::{all_ids, run_experiment};
+use tf_harness::Effort;
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+    for id in all_ids() {
+        g.bench_function(format!("bench_{id}_table"), |b| {
+            b.iter(|| {
+                let tables = run_experiment(black_box(id), Effort::Quick).expect("known id");
+                assert!(!tables.is_empty());
+                black_box(tables)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

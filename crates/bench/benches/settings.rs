@@ -1,0 +1,68 @@
+//! Throughput of the alternative-setting substrates: immediate dispatch,
+//! speed-up curves, and broadcast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use tf_bench::bench_trace;
+use tf_broadcast::{simulate_broadcast, BroadcastInstance, Lwf, PerPageRR, PerRequestRR};
+use tf_dispatch::{simulate_dispatch, DispatchRule};
+use tf_policies::Policy;
+use tf_speedup::families::seq_swarm_overlapped;
+use tf_speedup::{simulate_speedup, Equi, GreedyPar};
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("settings/dispatch");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    let trace = bench_trace(1000, 41);
+    for rule in [
+        DispatchRule::Cyclic,
+        DispatchRule::LeastWork,
+        DispatchRule::Random { seed: 7 },
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(rule.label()),
+            &rule,
+            |b, &rule| {
+                b.iter(|| black_box(simulate_dispatch(&trace, rule, Policy::Rr, 4, 1.0).unwrap()))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_speedup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("settings/speedup");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+    let t = seq_swarm_overlapped(8, 1.0, 16.0, 600, 4);
+    g.bench_function("equi_seq_swarm", |b| {
+        b.iter(|| black_box(simulate_speedup(&t, &mut Equi, 1.0, 1.0)))
+    });
+    g.bench_function("greedypar_seq_swarm", |b| {
+        b.iter(|| black_box(simulate_speedup(&t, &mut GreedyPar, 1.0, 1.0)))
+    });
+    g.finish();
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("settings/broadcast");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    let i = BroadcastInstance::hot_cold(50, 16, 2.0, 50);
+    g.bench_function("per_page_rr", |b| {
+        b.iter(|| black_box(simulate_broadcast(&i, &mut PerPageRR, 1.0)))
+    });
+    g.bench_function("per_request_rr", |b| {
+        b.iter(|| black_box(simulate_broadcast(&i, &mut PerRequestRR, 1.0)))
+    });
+    g.bench_function("lwf", |b| {
+        b.iter(|| black_box(simulate_broadcast(&i, &mut Lwf, 1.0)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatch, bench_speedup, bench_broadcast);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # tf-broadcast — the broadcast scheduling setting
+//!
+//! The paper's Section 1.2 names two environments where RR's ℓ2 behavior
+//! breaks: arbitrary speed-up curves (see `tf-speedup`) and **broadcast
+//! scheduling**, "the closely related broadcast scheduling setting, \[where\]
+//! jobs asking for the same data can be processed simultaneously. … RR is
+//! O(1)-speed O(1)-competitive for the ℓ1-norm in both settings \[12\],
+//! \[but\] not O(1)-competitive even with any O(1)-speed for the ℓ2-norm
+//! \[15\]."
+//!
+//! Model (standard pull-based, fractional): a single server of speed `s`
+//! holds `P` pages, page `p` of length `ℓ_p`. Requests `(page, time)`
+//! arrive online; the server splits its bandwidth across pages,
+//! `Σ_p x_p(t) ≤ s`; a request completes once its page has received `ℓ_p`
+//! units of transmission *since the request arrived*. One transmission
+//! stream simultaneously serves every outstanding request for the page —
+//! broadcast's defining non-conservation of work.
+//!
+//! Policies ([`policy`]):
+//! * [`PerPageRR`] — equal bandwidth per *distinct requested page* (the
+//!   direct RR analogue on pages);
+//! * [`PerRequestRR`] — bandwidth proportional to each page's outstanding
+//!   request count (RR on requests, the `BEQUI` flavor);
+//! * [`Lwf`] — Longest Wait First, the classical broadcast heuristic:
+//!   full bandwidth to the page with the largest total accumulated wait;
+//! * [`Mrf`] — Most Requests First.
+//!
+//! Experiment E16 measures the broadcast gain (work transmitted vs work
+//! requested), the ℓ1/ℓ2 policy comparison, and the dilution contrast
+//! between the two RR flavors.
+
+pub mod engine;
+pub mod policy;
+pub mod workload;
+
+pub use engine::{simulate_broadcast, BroadcastSchedule};
+pub use policy::{BroadcastPolicy, Lwf, Mrf, PageView, PerPageRR, PerRequestRR};
+pub use workload::{BroadcastInstance, Request};

@@ -1,0 +1,216 @@
+//! Bandwidth-allocation policies over pages with outstanding requests.
+
+/// Aggregated view of one page with outstanding requests, handed to
+/// policies at allocation time.
+#[derive(Debug, Clone, Copy)]
+pub struct PageView {
+    /// Page index.
+    pub page: u32,
+    /// Page length `ℓ_p`.
+    pub len: f64,
+    /// Number of outstanding requests.
+    pub outstanding: usize,
+    /// Sum of waiting times of the outstanding requests at `now`
+    /// (`Σ_r (now − t_r)`).
+    pub total_wait: f64,
+    /// Earliest outstanding arrival.
+    pub earliest_arrival: f64,
+}
+
+/// A broadcast bandwidth policy: split server speed `s` across the active
+/// pages. `rates` arrives zeroed; feasibility is `rates[i] ≥ 0`,
+/// `Σ rates[i] ≤ s`.
+pub trait BroadcastPolicy {
+    /// Stable display name.
+    fn name(&self) -> &'static str;
+
+    /// Fill `rates[i]` for `pages[i]` at time `now`.
+    fn allocate(&mut self, now: f64, pages: &[PageView], speed: f64, rates: &mut [f64]);
+
+    /// Like [`tf_simcore`-style review hints]: duration after which the
+    /// allocation may change absent arrivals/completions (e.g. LWF
+    /// priority crossings). `None` = stable until the next event.
+    fn review_in(&self, _now: f64, _pages: &[PageView], _speed: f64) -> Option<f64> {
+        None
+    }
+}
+
+/// RR over *pages*: every page with at least one outstanding request gets
+/// an equal bandwidth share — the direct analogue of the paper's RR with
+/// "jobs" = distinct requested pages.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PerPageRR;
+
+impl BroadcastPolicy for PerPageRR {
+    fn name(&self) -> &'static str {
+        "RR/page"
+    }
+
+    fn allocate(&mut self, _now: f64, pages: &[PageView], speed: f64, rates: &mut [f64]) {
+        if pages.is_empty() {
+            return;
+        }
+        rates.fill(speed / pages.len() as f64);
+    }
+}
+
+/// RR over *requests*: bandwidth proportional to each page's outstanding
+/// request count (every request gets an equal "virtual share", shares for
+/// the same page pool together). The `BEQUI` flavor.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PerRequestRR;
+
+impl BroadcastPolicy for PerRequestRR {
+    fn name(&self) -> &'static str {
+        "RR/request"
+    }
+
+    fn allocate(&mut self, _now: f64, pages: &[PageView], speed: f64, rates: &mut [f64]) {
+        let total: usize = pages.iter().map(|p| p.outstanding).sum();
+        if total == 0 {
+            return;
+        }
+        for (r, p) in rates.iter_mut().zip(pages) {
+            *r = speed * p.outstanding as f64 / total as f64;
+        }
+    }
+}
+
+/// Longest Wait First: full bandwidth to the page whose outstanding
+/// requests have the largest total accumulated waiting time — the
+/// classical broadcast policy. Total waits grow at slope `outstanding`,
+/// so the argmax can flip between events; [`BroadcastPolicy::review_in`]
+/// reports the earliest crossing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Lwf;
+
+impl Lwf {
+    fn leader(pages: &[PageView]) -> Option<usize> {
+        pages
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                a.1.total_wait
+                    .partial_cmp(&b.1.total_wait)
+                    .unwrap()
+                    .then_with(|| b.1.page.cmp(&a.1.page)) // lower page wins ties
+            })
+            .map(|(i, _)| i)
+    }
+}
+
+impl BroadcastPolicy for Lwf {
+    fn name(&self) -> &'static str {
+        "LWF"
+    }
+
+    fn allocate(&mut self, _now: f64, pages: &[PageView], speed: f64, rates: &mut [f64]) {
+        if let Some(i) = Self::leader(pages) {
+            rates[i] = speed;
+        }
+    }
+
+    fn review_in(&self, _now: f64, pages: &[PageView], _speed: f64) -> Option<f64> {
+        let leader = Self::leader(pages)?;
+        let lw = &pages[leader];
+        // Another page j catches up when
+        // total_wait_j + slope_j·dt = total_wait_l + slope_l·dt.
+        let mut best: Option<f64> = None;
+        for (i, p) in pages.iter().enumerate() {
+            if i == leader {
+                continue;
+            }
+            let slope_gain = p.outstanding as f64 - lw.outstanding as f64;
+            if slope_gain > 1e-12 {
+                let dt = (lw.total_wait - p.total_wait) / slope_gain;
+                if dt > 1e-12 {
+                    best = Some(best.map_or(dt, |b: f64| b.min(dt)));
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Most Requests First: full bandwidth to the page with the most
+/// outstanding requests (throughput-greedy baseline).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Mrf;
+
+impl BroadcastPolicy for Mrf {
+    fn name(&self) -> &'static str {
+        "MRF"
+    }
+
+    fn allocate(&mut self, _now: f64, pages: &[PageView], speed: f64, rates: &mut [f64]) {
+        if let Some((i, _)) = pages.iter().enumerate().max_by(|a, b| {
+            a.1.outstanding
+                .cmp(&b.1.outstanding)
+                .then_with(|| b.1.page.cmp(&a.1.page))
+        }) {
+            rates[i] = speed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pages(specs: &[(usize, f64)]) -> Vec<PageView> {
+        specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(outstanding, total_wait))| PageView {
+                page: i as u32,
+                len: 1.0,
+                outstanding,
+                total_wait,
+                earliest_arrival: 0.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn per_page_rr_splits_equally() {
+        let p = pages(&[(1, 0.0), (9, 0.0)]);
+        let mut r = vec![0.0; 2];
+        PerPageRR.allocate(0.0, &p, 2.0, &mut r);
+        assert_eq!(r, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn per_request_rr_weights_by_count() {
+        let p = pages(&[(1, 0.0), (3, 0.0)]);
+        let mut r = vec![0.0; 2];
+        PerRequestRR.allocate(0.0, &p, 1.0, &mut r);
+        assert!((r[0] - 0.25).abs() < 1e-12);
+        assert!((r[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lwf_serves_longest_wait_and_predicts_crossing() {
+        let p = pages(&[(1, 5.0), (3, 2.0)]);
+        let mut r = vec![0.0; 2];
+        Lwf.allocate(0.0, &p, 1.0, &mut r);
+        assert_eq!(r, vec![1.0, 0.0]);
+        // Page 1 gains wait at slope 3 vs 1 → catches up after
+        // (5−2)/(3−1) = 1.5.
+        let rev = Lwf.review_in(0.0, &p, 1.0).unwrap();
+        assert!((rev - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lwf_no_review_when_leader_grows_fastest() {
+        let p = pages(&[(5, 9.0), (1, 2.0)]);
+        assert!(Lwf.review_in(0.0, &p, 1.0).is_none());
+    }
+
+    #[test]
+    fn mrf_serves_most_requested() {
+        let p = pages(&[(2, 9.0), (7, 0.0)]);
+        let mut r = vec![0.0; 2];
+        Mrf.allocate(0.0, &p, 1.5, &mut r);
+        assert_eq!(r, vec![0.0, 1.5]);
+    }
+}

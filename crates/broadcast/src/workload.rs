@@ -1,0 +1,179 @@
+//! Broadcast instances: pages and request streams.
+
+use serde::{Deserialize, Serialize};
+
+/// A request for one page at one time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Requested page index (into the instance's page-length table).
+    pub page: u32,
+    /// Arrival time.
+    pub arrival: f64,
+}
+
+/// A validated broadcast instance: page lengths plus arrival-sorted
+/// requests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BroadcastInstance {
+    page_len: Vec<f64>,
+    requests: Vec<Request>,
+}
+
+impl BroadcastInstance {
+    /// Build an instance.
+    ///
+    /// # Panics
+    /// If a page length is non-positive/non-finite, a request names a
+    /// missing page, or an arrival is negative/non-finite.
+    pub fn new(page_len: Vec<f64>, mut requests: Vec<Request>) -> Self {
+        for (p, &l) in page_len.iter().enumerate() {
+            assert!(l.is_finite() && l > 0.0, "page {p}: bad length {l}");
+        }
+        for r in &requests {
+            assert!(
+                (r.page as usize) < page_len.len(),
+                "request names missing page {}",
+                r.page
+            );
+            assert!(
+                r.arrival.is_finite() && r.arrival >= 0.0,
+                "bad arrival {}",
+                r.arrival
+            );
+        }
+        requests.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).unwrap());
+        BroadcastInstance { page_len, requests }
+    }
+
+    /// Page lengths.
+    pub fn page_len(&self) -> &[f64] {
+        &self.page_len
+    }
+
+    /// Length of page `p`.
+    pub fn len_of(&self, page: u32) -> f64 {
+        self.page_len[page as usize]
+    }
+
+    /// Requests, arrival-sorted.
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Number of requests.
+    pub fn n_requests(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Total *requested* work `Σ_r ℓ_{page(r)}` — the work a unicast
+    /// server would do. The broadcast server may do far less; the ratio is
+    /// the broadcast gain.
+    pub fn requested_work(&self) -> f64 {
+        self.requests.iter().map(|r| self.len_of(r.page)).sum()
+    }
+
+    /// **Hot/cold workload**: a hot page receives batches of `batch`
+    /// simultaneous requests every `period`; `cold` cold pages each get a
+    /// lone request, packed at interval `0.6·period` so cold service
+    /// overlaps hot transmissions and the pages genuinely contend
+    /// (combined offered bandwidth ≈ 1/period + 1/(0.6·period) > 1/period
+    /// — transiently above capacity at period ≤ 2.6, so queues form and
+    /// policies differ). All pages unit length.
+    pub fn hot_cold(batches: usize, batch: usize, period: f64, cold: usize) -> Self {
+        let mut page_len = vec![1.0]; // page 0 = hot
+        let mut requests = Vec::new();
+        for b in 0..batches {
+            for _ in 0..batch {
+                requests.push(Request {
+                    page: 0,
+                    arrival: b as f64 * period,
+                });
+            }
+        }
+        for c in 0..cold {
+            page_len.push(1.0);
+            requests.push(Request {
+                page: (c + 1) as u32,
+                arrival: 0.3 * period + c as f64 * 0.6 * period,
+            });
+        }
+        BroadcastInstance::new(page_len, requests)
+    }
+
+    /// **Dilution family** (experiment E16): one *victim* request for a
+    /// long page (length `victim_len`, page 0) at `t = 0`, plus `rounds`
+    /// batches of `swarm` simultaneous requests for a fresh unit page per
+    /// batch, every time unit. Each batch costs any schedule 1 unit of
+    /// bandwidth no matter how many requests it contains — so a per-page
+    /// scheduler treats the swarm as one peer while a per-request
+    /// scheduler lets it crowd out the victim by a factor `≈ swarm`.
+    pub fn dilution(victim_len: f64, swarm: usize, rounds: usize) -> Self {
+        let mut page_len = vec![victim_len];
+        let mut requests = vec![Request {
+            page: 0,
+            arrival: 0.0,
+        }];
+        for round in 0..rounds {
+            page_len.push(1.0);
+            for _ in 0..swarm {
+                requests.push(Request {
+                    page: (round + 1) as u32,
+                    arrival: round as f64,
+                });
+            }
+        }
+        BroadcastInstance::new(page_len, requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_requests_and_counts_work() {
+        let i = BroadcastInstance::new(
+            vec![2.0, 1.0],
+            vec![
+                Request {
+                    page: 1,
+                    arrival: 3.0,
+                },
+                Request {
+                    page: 0,
+                    arrival: 1.0,
+                },
+            ],
+        );
+        assert_eq!(i.requests()[0].page, 0);
+        assert_eq!(i.requested_work(), 3.0);
+        assert_eq!(i.len_of(0), 2.0);
+    }
+
+    #[test]
+    fn hot_cold_shape() {
+        let i = BroadcastInstance::hot_cold(3, 4, 2.0, 2);
+        assert_eq!(i.n_requests(), 3 * 4 + 2);
+        assert_eq!(i.page_len().len(), 3);
+    }
+
+    #[test]
+    fn dilution_shape() {
+        let i = BroadcastInstance::dilution(8.0, 5, 3);
+        assert_eq!(i.n_requests(), 1 + 5 * 3);
+        assert_eq!(i.page_len().len(), 4);
+        assert_eq!(i.len_of(0), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing page")]
+    fn rejects_unknown_page() {
+        BroadcastInstance::new(
+            vec![1.0],
+            vec![Request {
+                page: 3,
+                arrival: 0.0,
+            }],
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the broadcast engine.
+
+use proptest::prelude::*;
+use tf_broadcast::{
+    simulate_broadcast, BroadcastInstance, BroadcastPolicy, Lwf, Mrf, PerPageRR, PerRequestRR,
+    Request,
+};
+
+fn arb_instance() -> impl Strategy<Value = BroadcastInstance> {
+    (1usize..5).prop_flat_map(|n_pages| {
+        let pages = prop::collection::vec(0.2f64..4.0, n_pages..=n_pages);
+        let reqs = prop::collection::vec(
+            ((0..n_pages as u32), 0.0f64..20.0)
+                .prop_map(|(page, arrival)| Request { page, arrival }),
+            1..30,
+        );
+        (pages, reqs).prop_map(|(p, r)| BroadcastInstance::new(p, r))
+    })
+}
+
+fn policies() -> Vec<Box<dyn BroadcastPolicy>> {
+    vec![
+        Box::new(PerPageRR),
+        Box::new(PerRequestRR),
+        Box::new(Lwf),
+        Box::new(Mrf),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every request completes with flow at least ℓ_p / speed, and the
+    /// server never transmits more than the unicast (requested) work.
+    #[test]
+    fn completion_flow_and_gain_invariants(i in arb_instance(), s in 0.5f64..3.0) {
+        for mut p in policies() {
+            let sched = simulate_broadcast(&i, p.as_mut(), s);
+            for (ri, r) in i.requests().iter().enumerate() {
+                prop_assert!(sched.completion[ri].is_finite(), "{}: incomplete", p.name());
+                prop_assert!(
+                    sched.flow[ri] >= i.len_of(r.page) / s - 1e-9,
+                    "{}: flow below physical minimum", p.name()
+                );
+            }
+            prop_assert!(
+                sched.transmitted <= i.requested_work() + 1e-6,
+                "{}: transmitted {} > requested {}",
+                p.name(), sched.transmitted, i.requested_work()
+            );
+        }
+    }
+
+    /// Batched duplicates are free: doubling every request (same pages,
+    /// same times) changes no completion time under per-page RR and LWF,
+    /// and transmits no extra bandwidth.
+    #[test]
+    fn duplicates_are_free_for_page_aggregating_policies(i in arb_instance()) {
+        let doubled = BroadcastInstance::new(
+            i.page_len().to_vec(),
+            i.requests().iter().flat_map(|&r| [r, r]).collect(),
+        );
+        let a = simulate_broadcast(&i, &mut PerPageRR, 1.0);
+        let b = simulate_broadcast(&doubled, &mut PerPageRR, 1.0);
+        prop_assert!((a.transmitted - b.transmitted).abs() < 1e-6);
+        // The doubled instance's completions are a two-fold copy.
+        let mut orig = a.completion.clone();
+        let mut dup: Vec<f64> = b.completion.iter().step_by(2).copied().collect();
+        orig.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        dup.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        for (x, y) in orig.iter().zip(&dup) {
+            prop_assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    /// More speed never hurts the RR flavors (oblivious shares).
+    #[test]
+    fn rr_flavors_speed_monotone(i in arb_instance()) {
+        for which in 0..2 {
+            let mut p1: Box<dyn BroadcastPolicy> =
+                if which == 0 { Box::new(PerPageRR) } else { Box::new(PerRequestRR) };
+            let mut p2: Box<dyn BroadcastPolicy> =
+                if which == 0 { Box::new(PerPageRR) } else { Box::new(PerRequestRR) };
+            let slow = simulate_broadcast(&i, p1.as_mut(), 1.0);
+            let fast = simulate_broadcast(&i, p2.as_mut(), 2.0);
+            for ri in 0..i.n_requests() {
+                prop_assert!(fast.completion[ri] <= slow.completion[ri] + 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! End-to-end Theorem 1 certificates.
+
+use crate::checks::{check_duals, CheckReport};
+use crate::duals::{build_duals, DualAssignment};
+use crate::{eta, gamma};
+use serde::{Deserialize, Serialize};
+use tf_policies::RoundRobin;
+use tf_simcore::{simulate, MachineConfig, Schedule, SimError, SimOptions, Trace};
+
+/// A per-instance certificate of the paper's Theorem 1 pipeline.
+///
+/// If [`Certificate::certified`] is true, then by weak duality this
+/// instance satisfies
+///
+/// ```text
+///   RRᵏ(η-speed)  ≤  (2γ / ((3/2)ε)) · OPTᵏ(1-speed)
+/// ```
+///
+/// i.e. the ℓk-norm competitive ratio of RR at speed `η = 2k(1+10ε)` is at
+/// most `implied_ratio_bound = (4γ/(3ε))^{1/k} = O(k/ε)` — exactly the
+/// theorem's statement, *proved for this instance by the numbers in this
+/// struct*.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Certificate {
+    /// Exponent k of the ℓk norm.
+    pub k: u32,
+    /// The ε parameter (also δ).
+    pub eps: f64,
+    /// Machines.
+    pub m: usize,
+    /// RR's speed in this run (η for the canonical certificate).
+    pub speed: f64,
+    /// γ = k(k/ε)^{k−1}.
+    pub gamma: f64,
+    /// RR's k-th power sum Σ F_j^k at that speed.
+    pub rr_power_sum: f64,
+    /// Σ_j α_j.
+    pub alpha_sum: f64,
+    /// m·∫β.
+    pub beta_mass: f64,
+    /// Dual objective Σα − m∫β.
+    pub dual_objective: f64,
+    /// All the lemma/feasibility checks.
+    pub report: CheckReport,
+    /// The ratio bound implied when certified: `(4γ/(3ε))^{1/k}`.
+    pub implied_ratio_bound: f64,
+    /// Number of jobs in the instance.
+    pub n: usize,
+}
+
+impl Certificate {
+    /// True iff every check passed and the instance is certified.
+    pub fn certified(&self) -> bool {
+        self.report.certified()
+    }
+}
+
+/// Run the full Theorem 1 pipeline at the paper's prescribed speed
+/// `η = 2k(1+10ε)`: simulate RR, build duals, check everything.
+pub fn verify_theorem1(trace: &Trace, m: usize, k: u32, eps: f64) -> Result<Certificate, SimError> {
+    verify_theorem1_at_speed(trace, m, k, eps, eta(k, eps))
+}
+
+/// Same pipeline at an arbitrary speed — used to probe how much
+/// augmentation the dual construction *actually* needs on a given
+/// instance (experiment E10's speed ablation).
+pub fn verify_theorem1_at_speed(
+    trace: &Trace,
+    m: usize,
+    k: u32,
+    eps: f64,
+    speed: f64,
+) -> Result<Certificate, SimError> {
+    let cfg = MachineConfig::with_speed(m, speed);
+    let sched = simulate(
+        trace,
+        &mut RoundRobin::new(),
+        cfg,
+        SimOptions::with_profile(),
+    )?;
+    Ok(certify_schedule(trace, &sched, k, eps))
+}
+
+/// Build duals and check them for an existing RR schedule (must carry a
+/// profile).
+pub fn certify_schedule(trace: &Trace, sched: &Schedule, k: u32, eps: f64) -> Certificate {
+    let duals: DualAssignment = build_duals(trace, sched, k, eps);
+    let report = check_duals(trace, sched, &duals, 16);
+    let alpha_sum: f64 = duals.alpha.iter().sum();
+    let beta_mass = duals.m as f64 * duals.beta.integral();
+    let g = gamma(k, eps);
+    Certificate {
+        k,
+        eps,
+        m: duals.m,
+        speed: sched.cfg.speed,
+        gamma: g,
+        rr_power_sum: duals.rr_power_sum,
+        alpha_sum,
+        beta_mass,
+        dual_objective: alpha_sum - beta_mass,
+        report,
+        implied_ratio_bound: (4.0 * g / (3.0 * eps)).powf(1.0 / f64::from(k)),
+        n: trace.len(),
+    }
+}
+
+/// Binary-search the smallest speed at which the Theorem 1 dual
+/// construction certifies this instance (for the given `k`, `eps`).
+///
+/// Returns the smallest certified speed found in `[lo, hi]` within
+/// `tol`, or `None` if even `hi` fails. This measures, per instance, how
+/// conservative the paper's prescribed `η = 2k(1+10ε)` is — the proof
+/// needs the full η only for worst-case Lemma 4 configurations.
+pub fn min_certified_speed(
+    trace: &Trace,
+    m: usize,
+    k: u32,
+    eps: f64,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+) -> Option<f64> {
+    let certified_at = |s: f64| {
+        verify_theorem1_at_speed(trace, m, k, eps, s)
+            .map(|c| c.certified())
+            .unwrap_or(false)
+    };
+    if !certified_at(hi) {
+        return None;
+    }
+    let (mut lo, mut hi) = (lo, hi);
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if certified_at(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn certificate_on_small_instance() {
+        let t = Trace::from_pairs([(0.0, 1.0), (0.0, 2.0), (1.0, 1.0), (3.0, 2.0)]).unwrap();
+        let c = verify_theorem1(&t, 1, 2, 0.05).unwrap();
+        assert!(c.certified(), "{c:?}");
+        assert!((c.speed - eta(2, 0.05)).abs() < 1e-12);
+        assert!(c.dual_objective >= 1.5 * c.eps * c.rr_power_sum - 1e-9);
+        // O(k/ε): for k=2, ε=0.05 the bound is (4·2·40/0.15)^(1/2)… compute
+        // from the formula directly instead:
+        let expect = (4.0 * gamma(2, 0.05) / (3.0 * 0.05)).sqrt();
+        assert!((c.implied_ratio_bound - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn certificates_across_k_m() {
+        let t = Trace::from_pairs([
+            (0.0, 2.0),
+            (0.0, 1.0),
+            (0.5, 1.0),
+            (1.0, 3.0),
+            (2.0, 1.0),
+            (2.0, 1.0),
+        ])
+        .unwrap();
+        for k in [1u32, 2, 3] {
+            for m in [1usize, 2, 4] {
+                let c = verify_theorem1(&t, m, k, 0.05).unwrap();
+                assert!(c.certified(), "k={k} m={m}: {:?}", c.report);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_instance_certifies_vacuously() {
+        let t = Trace::from_pairs(std::iter::empty()).unwrap();
+        let c = verify_theorem1(&t, 1, 2, 0.1).unwrap();
+        assert!(c.certified());
+        assert_eq!(c.rr_power_sum, 0.0);
+    }
+
+    #[test]
+    fn min_certified_speed_brackets_eta() {
+        let pairs: Vec<(f64, f64)> = (0..16).map(|i| (0.5 * i as f64, 1.0)).collect();
+        let t = Trace::from_pairs(pairs).unwrap();
+        let (k, eps) = (2u32, 0.05);
+        let prescribed = eta(k, eps);
+        let s = min_certified_speed(&t, 1, k, eps, 0.5, prescribed, 0.05).unwrap();
+        // The prescribed speed certifies, and on this mildly congested
+        // instance the construction has large slack: it certifies far
+        // below η (γ = k(k/ε)^{k−1} buys feasibility headroom). The search
+        // reports a boundary inside [lo, η].
+        assert!(s <= prescribed + 1e-9);
+        assert!(s >= 0.5);
+        assert!(
+            s < prescribed / 2.0,
+            "expected large per-instance slack, got {s} vs eta {prescribed}"
+        );
+        let at = verify_theorem1_at_speed(&t, 1, k, eps, s).unwrap();
+        assert!(at.certified());
+    }
+
+    #[test]
+    fn min_certified_speed_none_when_hi_insufficient() {
+        let pairs: Vec<(f64, f64)> = (0..16).map(|i| (0.5 * i as f64, 1.0)).collect();
+        let t = Trace::from_pairs(pairs).unwrap();
+        assert!(min_certified_speed(&t, 1, 2, 0.05, 0.1, 0.5, 0.05).is_none());
+    }
+
+    #[test]
+    fn low_speed_probe_fails_on_congested_instance() {
+        let pairs: Vec<(f64, f64)> = (0..24).map(|i| (0.5 * i as f64, 1.0)).collect();
+        let t = Trace::from_pairs(pairs).unwrap();
+        let hi = verify_theorem1(&t, 1, 2, 0.05).unwrap();
+        assert!(hi.certified(), "{:?}", hi.report);
+        let lo = verify_theorem1_at_speed(&t, 1, 2, 0.05, 1.0).unwrap();
+        assert!(!lo.certified());
+    }
+}

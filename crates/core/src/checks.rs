@@ -1,0 +1,434 @@
+//! Machine-checking the inequalities of Section 3 on concrete instances.
+
+use crate::duals::DualAssignment;
+use crate::gamma;
+use serde::{Deserialize, Serialize};
+use tf_simcore::{Schedule, Trace};
+
+/// Relative tolerance for inequality checks (absorbs f64 rounding in the
+/// closed-form integrals).
+pub const CHECK_TOL: f64 = 1e-7;
+
+/// One verified inequality: `lhs (cmp) rhs` with measured slack.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LemmaCheck {
+    /// Left-hand side as evaluated.
+    pub lhs: f64,
+    /// Right-hand side as evaluated.
+    pub rhs: f64,
+    /// Whether the inequality holds (up to [`CHECK_TOL`]).
+    pub ok: bool,
+    /// Relative slack `(rhs − lhs)/scale` signed so that positive = margin,
+    /// negative = violation, where `scale = max(|lhs|, |rhs|, 1)`.
+    pub slack: f64,
+}
+
+impl LemmaCheck {
+    fn geq(lhs: f64, rhs: f64) -> Self {
+        // Checking lhs ≥ rhs.
+        let scale = lhs.abs().max(rhs.abs()).max(1.0);
+        let slack = (lhs - rhs) / scale;
+        LemmaCheck {
+            lhs,
+            rhs,
+            ok: slack >= -CHECK_TOL,
+            slack,
+        }
+    }
+
+    fn leq(lhs: f64, rhs: f64) -> Self {
+        // Checking lhs ≤ rhs.
+        let scale = lhs.abs().max(rhs.abs()).max(1.0);
+        let slack = (rhs - lhs) / scale;
+        LemmaCheck {
+            lhs,
+            rhs,
+            ok: slack >= -CHECK_TOL,
+            slack,
+        }
+    }
+}
+
+/// Aggregate result of sampled point checks (feasibility, Lemmas 3–4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PointChecks {
+    /// Number of `(job, time)` points evaluated.
+    pub checked: usize,
+    /// Points where the inequality failed beyond tolerance.
+    pub violations: usize,
+    /// Most negative relative slack observed (positive = all margins).
+    pub worst_slack: f64,
+}
+
+impl PointChecks {
+    fn new() -> Self {
+        PointChecks {
+            checked: 0,
+            violations: 0,
+            worst_slack: f64::INFINITY,
+        }
+    }
+
+    fn record(&mut self, c: LemmaCheck) {
+        self.checked += 1;
+        if !c.ok {
+            self.violations += 1;
+        }
+        self.worst_slack = self.worst_slack.min(c.slack);
+    }
+
+    /// True iff no violations were recorded (vacuously true when nothing
+    /// was checked).
+    pub fn ok(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+/// The full verification report for one dual assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckReport {
+    /// Lemma 1: `Σ_j α_j ≥ (1/2 − ε)·RRᵏ`.
+    pub lemma1: LemmaCheck,
+    /// Lemma 2: `m·∫β ≤ (1/2 − 2ε)·RRᵏ`.
+    pub lemma2: LemmaCheck,
+    /// Dual objective gap: `Σα − m∫β ≥ (3/2)·ε·RRᵏ`.
+    pub gap: LemmaCheck,
+    /// Dual feasibility `α_j ≤ γ(t−r_j)^k + γp_j^k + p_j·β(t)` at every
+    /// critical `t` for every job (exhaustive over β breakpoints).
+    pub feasibility: PointChecks,
+    /// Lemma 3 on sampled `(j, t)` points:
+    /// `∫_{T_o} Σ_{j'⪯j, j'∉B(t)} x_{j'}/n ≤ γ(t−r_j)^k`.
+    pub lemma3: PointChecks,
+    /// Lemma 4 on sampled `(j, t)` points:
+    /// `∫_{T_o} Σ_{j'⪯j, j'∈B(t)} x_{j'}/n ≤ p_j·β(t)`.
+    pub lemma4: PointChecks,
+    /// Most negative `α_j` (0 if all non-negative) — see crate docs.
+    pub min_alpha: f64,
+}
+
+impl CheckReport {
+    /// All structural checks passed: the dual assignment certifies the
+    /// competitiveness bound on this instance.
+    pub fn certified(&self) -> bool {
+        self.lemma1.ok && self.lemma2.ok && self.gap.ok && self.feasibility.ok()
+    }
+}
+
+#[inline]
+fn ipow(x: f64, k: u32) -> f64 {
+    x.powi(k as i32)
+}
+
+/// The *pairing inequality* inside Lemma 1's proof, checked per overloaded
+/// segment: with ranks `π_j = |A(t, ⪯r_j)|` and `x_j = ∫_seg k(t−r_j)^{k−1}`,
+///
+/// ```text
+///   Σ_j x_j · (n_t + 1 − π_j) / n_t  ≥  (1/2) Σ_j x_j
+/// ```
+///
+/// This is the step the paper proves by pairing ranks `π_i + π_j = n + 1`
+/// and using that earlier-arriving jobs have larger `x` and smaller `π`
+/// (so the crossed products dominate). Verifying it per segment pinpoints
+/// *where* Lemma 1's factor 1/2 comes from on a concrete instance.
+///
+/// Returns aggregate results over all overloaded segments.
+pub fn lemma1_pairing_check(trace: &Trace, sched: &Schedule, k: u32) -> PointChecks {
+    let mut out = PointChecks::new();
+    let Some(profile) = sched.profile.as_ref() else {
+        return out;
+    };
+    let m = sched.cfg.m;
+    for seg in &profile.segments {
+        let n = seg.rates.len();
+        if n < m || n == 0 {
+            continue; // Lemma 1's pairing only covers overloaded times
+        }
+        // Profile rates are sorted by id = arrival order, so the rank of
+        // the i-th entry is i+1.
+        let nf = n as f64;
+        let mut lhs = 0.0;
+        let mut sum = 0.0;
+        for (i, &(id, _)) in seg.rates.iter().enumerate() {
+            let r = trace.job(id).arrival;
+            let x = ipow(seg.t1 - r, k) - ipow(seg.t0 - r, k);
+            let rank = (i + 1) as f64;
+            lhs += x * (nf + 1.0 - rank) / nf;
+            sum += x;
+        }
+        out.record(LemmaCheck::geq(lhs, 0.5 * sum));
+    }
+    out
+}
+
+/// Run every check of Section 3 against a built dual assignment.
+///
+/// `sample_jobs` bounds how many jobs get the expensive Lemma 3/4
+/// decomposition (the feasibility check itself is exhaustive).
+pub fn check_duals(
+    trace: &Trace,
+    sched: &Schedule,
+    duals: &DualAssignment,
+    sample_jobs: usize,
+) -> CheckReport {
+    let eps = duals.eps;
+    let k = duals.k;
+    let m = duals.m as f64;
+    let rrk = duals.rr_power_sum;
+    let g = gamma(k, eps);
+
+    let alpha_sum: f64 = duals.alpha.iter().sum();
+    let beta_mass = m * duals.beta.integral();
+
+    let lemma1 = LemmaCheck::geq(alpha_sum, (0.5 - eps) * rrk);
+    let lemma2 = LemmaCheck::leq(beta_mass, (0.5 - 2.0 * eps) * rrk);
+    let gap = LemmaCheck::geq(alpha_sum - beta_mass, 1.5 * eps * rrk);
+
+    // ---- dual feasibility, exhaustive over critical times ----------------
+    // For fixed j the RHS γ(t−r_j)^k + γp^k + p_j β(t) is increasing in t
+    // within each β piece, so its minimum over t ≥ r_j is attained at r_j
+    // or at a β breakpoint.
+    let mut feasibility = PointChecks::new();
+    let breaks = duals.beta.breakpoints();
+    for j in trace.jobs() {
+        let a = duals.alpha[j.id as usize];
+        let p = j.size;
+        let pk = ipow(p, k);
+        let mut check_at = |t: f64| {
+            let rhs = g * ipow(t - j.arrival, k) + g * pk + p * duals.beta.at(t);
+            feasibility.record(LemmaCheck::leq(a, rhs));
+        };
+        check_at(j.arrival);
+        let start = breaks.partition_point(|&b| b <= j.arrival);
+        for &b in &breaks[start..] {
+            check_at(b);
+        }
+    }
+
+    // ---- Lemmas 3 and 4 on sampled points ---------------------------------
+    let mut lemma3 = PointChecks::new();
+    let mut lemma4 = PointChecks::new();
+    if let Some(profile) = sched.profile.as_ref() {
+        let n = trace.len();
+        let stride = (n / sample_jobs.max(1)).max(1);
+        let horizon = profile.end();
+        // B(t) membership intervals per job: [r_j', C_j' + ε·F_j'].
+        let b_interval: Vec<(f64, f64)> = trace
+            .jobs()
+            .iter()
+            .map(|j| {
+                let id = j.id as usize;
+                (j.arrival, sched.completion[id] + eps * sched.flow[id])
+            })
+            .collect();
+
+        for j in trace.jobs().iter().step_by(stride) {
+            let jid = j.id as usize;
+            let cj = sched.completion[jid];
+            // Sample times: r_j, mid-life, completion, and beyond.
+            let ts = [
+                j.arrival,
+                0.5 * (j.arrival + cj),
+                cj,
+                cj + eps * sched.flow[jid],
+                0.5 * (cj + horizon),
+            ];
+            for &t in &ts {
+                if t < j.arrival {
+                    continue;
+                }
+                // Half-open to match β's right-continuity: at the instant
+                // a job's window closes it no longer contributes to β(t),
+                // so it must not be counted in B(t) either.
+                let in_b = |jp: u32| {
+                    let (s, e) = b_interval[jp as usize];
+                    t >= s && t < e
+                };
+                // Split the overloaded part of α_j by B(t) membership.
+                let mut part_out = 0.0; // (4): j' ∉ B(t)
+                let mut part_in = 0.0; // (5): j' ∈ B(t)
+                for seg in &profile.segments {
+                    if seg.t1 <= j.arrival || seg.t0 >= cj || seg.rates.len() < duals.m {
+                        continue;
+                    }
+                    let (t0, t1) = (seg.t0.max(j.arrival), seg.t1.min(cj));
+                    if t1 <= t0 {
+                        continue;
+                    }
+                    let inv_n = 1.0 / seg.rates.len() as f64;
+                    for &(jp, _) in &seg.rates {
+                        if jp > j.id {
+                            break; // sorted by id = arrival order
+                        }
+                        let r = trace.job(jp).arrival;
+                        let delta = (ipow(t1 - r, k) - ipow(t0 - r, k)) * inv_n;
+                        if in_b(jp) {
+                            part_in += delta;
+                        } else {
+                            part_out += delta;
+                        }
+                    }
+                }
+                lemma3.record(LemmaCheck::leq(part_out, g * ipow(t - j.arrival, k)));
+                lemma4.record(LemmaCheck::leq(part_in, j.size * duals.beta.at(t)));
+            }
+        }
+    }
+
+    let min_alpha = duals.alpha.iter().fold(0.0f64, |a, &x| a.min(x));
+
+    CheckReport {
+        lemma1,
+        lemma2,
+        gap,
+        feasibility,
+        lemma3,
+        lemma4,
+        min_alpha,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::duals::build_duals;
+    use crate::eta;
+    use tf_policies::RoundRobin;
+    use tf_simcore::{simulate, MachineConfig, SimOptions};
+
+    fn run(pairs: &[(f64, f64)], m: usize, k: u32, eps: f64) -> (Trace, Schedule, DualAssignment) {
+        let t = Trace::from_pairs(pairs.iter().copied()).unwrap();
+        let s = simulate(
+            &t,
+            &mut RoundRobin::new(),
+            MachineConfig::with_speed(m, eta(k, eps)),
+            SimOptions::with_profile(),
+        )
+        .unwrap();
+        let d = build_duals(&t, &s, k, eps);
+        (t, s, d)
+    }
+
+    #[test]
+    fn lemma_check_slack_signs() {
+        let ok = LemmaCheck::geq(2.0, 1.0);
+        assert!(ok.ok && ok.slack > 0.0);
+        let bad = LemmaCheck::geq(1.0, 2.0);
+        assert!(!bad.ok && bad.slack < 0.0);
+        let ok = LemmaCheck::leq(1.0, 2.0);
+        assert!(ok.ok && ok.slack > 0.0);
+    }
+
+    #[test]
+    fn simple_instance_certifies() {
+        let (t, s, d) = run(&[(0.0, 1.0), (0.0, 2.0), (1.0, 1.0)], 1, 2, 0.05);
+        let r = check_duals(&t, &s, &d, 8);
+        assert!(r.lemma1.ok, "{:?}", r.lemma1);
+        assert!(r.lemma2.ok, "{:?}", r.lemma2);
+        assert!(r.gap.ok, "{:?}", r.gap);
+        assert!(r.feasibility.ok(), "{:?}", r.feasibility);
+        assert!(r.lemma3.ok(), "{:?}", r.lemma3);
+        assert!(r.lemma4.ok(), "{:?}", r.lemma4);
+        assert!(r.certified());
+    }
+
+    #[test]
+    fn multiple_machines_certify() {
+        let (t, s, d) = run(
+            &[(0.0, 1.0), (0.0, 1.0), (0.0, 2.0), (0.5, 1.0), (2.0, 3.0)],
+            2,
+            2,
+            0.05,
+        );
+        let r = check_duals(&t, &s, &d, 8);
+        assert!(r.certified(), "{r:?}");
+    }
+
+    #[test]
+    fn k1_and_k3_certify() {
+        for k in [1u32, 3] {
+            let (t, s, d) = run(&[(0.0, 2.0), (1.0, 1.0), (1.0, 1.0)], 1, k, 0.05);
+            let r = check_duals(&t, &s, &d, 8);
+            assert!(r.certified(), "k={k}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn too_little_speed_breaks_the_gap() {
+        // At speed 1 (far below η = 2k(1+10ε)) on a congested instance the
+        // dual construction must lose some guarantee: the *certificate*
+        // (conjunction of all checks) should fail even though individual
+        // pieces may hold.
+        let pairs: Vec<(f64, f64)> = (0..20).map(|i| (0.25 * i as f64, 1.0)).collect();
+        let t = Trace::from_pairs(pairs).unwrap();
+        let s = simulate(
+            &t,
+            &mut RoundRobin::new(),
+            MachineConfig::with_speed(1, 1.0),
+            SimOptions::with_profile(),
+        )
+        .unwrap();
+        let d = build_duals(&t, &s, 2, 0.05);
+        let r = check_duals(&t, &s, &d, 8);
+        // Lemmas 1/2 are speed-independent identities of the construction;
+        // feasibility is where insufficient speed shows up.
+        assert!(r.lemma1.ok && r.lemma2.ok);
+        assert!(!r.feasibility.ok(), "feasibility unexpectedly held: {r:?}");
+    }
+
+    #[test]
+    fn pairing_inequality_holds_everywhere() {
+        for pairs in [
+            vec![(0.0, 1.0), (0.0, 2.0), (0.5, 1.0), (1.0, 3.0)],
+            (0..12)
+                .map(|i| (0.3 * i as f64, 1.0 + (i % 3) as f64))
+                .collect::<Vec<_>>(),
+        ] {
+            let t = Trace::from_pairs(pairs).unwrap();
+            for k in [1u32, 2, 3] {
+                let s = simulate(
+                    &t,
+                    &mut RoundRobin::new(),
+                    MachineConfig::with_speed(1, 2.0),
+                    SimOptions::with_profile(),
+                )
+                .unwrap();
+                let res = lemma1_pairing_check(&t, &s, k);
+                assert!(res.checked > 0);
+                assert!(res.ok(), "k={k}: {res:?}");
+                // The pairing bound is tight-ish but the margin is real:
+                assert!(res.worst_slack >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn pairing_check_without_profile_is_vacuous() {
+        let t = Trace::from_pairs([(0.0, 1.0)]).unwrap();
+        let s = simulate(
+            &t,
+            &mut RoundRobin::new(),
+            MachineConfig::new(1),
+            SimOptions::default(),
+        )
+        .unwrap();
+        let res = lemma1_pairing_check(&t, &s, 2);
+        assert_eq!(res.checked, 0);
+        assert!(res.ok());
+    }
+
+    #[test]
+    fn min_alpha_reported() {
+        // Many simultaneous jobs: the earliest-arriving job's α goes
+        // negative (tiny share of the overloaded integral minus ε·F^k).
+        let pairs: Vec<(f64, f64)> = (0..30).map(|_| (0.0, 1.0)).collect();
+        let (t, s, d) = run(&pairs, 1, 2, 0.1);
+        let r = check_duals(&t, &s, &d, 4);
+        assert!(
+            r.min_alpha < 0.0,
+            "expected a negative alpha, got {}",
+            r.min_alpha
+        );
+        // The aggregate Lemma 1 must still hold.
+        assert!(r.lemma1.ok);
+    }
+}

@@ -1,0 +1,298 @@
+//! Construction of the paper's dual variables from an RR execution profile
+//! (Section 3.2).
+//!
+//! With `x_j(t') = k(t'−r_j)^{k−1}` (the derivative of the age power), the
+//! paper sets, for δ = ε:
+//!
+//! ```text
+//! α_j = ∫_{t'∈[r_j,C_j]∩T_o} ( Σ_{j'∈A(t',⪯r_j)} x_{j'}(t') ) / n_{t'} dt'
+//!     + ∫_{t'∈[r_j,C_j]∩T_u} x_j(t') dt'
+//!     − ε·F_j^k
+//!
+//! β(t) = (1/2 − 3ε)/m · Σ_{j'} 1[t ∈ [r_{j'}, C_{j'} + δ·F_{j'}]] · F_{j'}^{k−1}
+//! ```
+//!
+//! where `T_o = {t : n_t ≥ m}` are the overloaded times, `A(t, ⪯r_j)` the
+//! alive jobs arrived no later than `j`, and `F_j` RR's flow times.
+//!
+//! The engine's profile gives maximal segments with constant alive sets,
+//! so each integral is an exact closed-form sum:
+//! `∫_{t0}^{t1} x_j dt' = (t1−r_j)^k − (t0−r_j)^k`.
+
+use tf_simcore::{Profile, Schedule, Trace};
+
+/// The constructed dual solution for one RR run.
+#[derive(Debug, Clone)]
+pub struct DualAssignment {
+    /// `α_j`, indexed by job id. May be negative (see crate docs).
+    pub alpha: Vec<f64>,
+    /// The piecewise-constant `β(·)`.
+    pub beta: BetaFn,
+    /// Exponent `k`.
+    pub k: u32,
+    /// The ε used (also δ).
+    pub eps: f64,
+    /// Machine count `m`.
+    pub m: usize,
+    /// RR's k-th power sum `Σ_j F_j^k` (the quantity all lemmas compare
+    /// against).
+    pub rr_power_sum: f64,
+}
+
+/// A piecewise-constant, right-continuous step function built from
+/// weighted intervals — the dual price `β(t)`.
+#[derive(Debug, Clone)]
+pub struct BetaFn {
+    /// Breakpoints in increasing order.
+    breaks: Vec<f64>,
+    /// `values[i]` = β on `[breaks[i], breaks[i+1])`; β = 0 before the
+    /// first breakpoint and after the last.
+    values: Vec<f64>,
+    /// Exact integral `∫ β dt` accumulated in closed form.
+    integral: f64,
+}
+
+impl BetaFn {
+    /// Build from weighted intervals `(start, end, weight)`.
+    pub fn from_intervals(intervals: &[(f64, f64, f64)]) -> Self {
+        let mut events: Vec<(f64, f64)> = Vec::with_capacity(2 * intervals.len());
+        let mut integral = 0.0;
+        for &(s, e, w) in intervals {
+            if e > s && w != 0.0 {
+                events.push((s, w));
+                events.push((e, -w));
+                integral += w * (e - s);
+            }
+        }
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut breaks = Vec::new();
+        let mut values = Vec::new();
+        let mut cur = 0.0;
+        let mut i = 0;
+        while i < events.len() {
+            let t = events[i].0;
+            while i < events.len() && events[i].0 == t {
+                cur += events[i].1;
+                i += 1;
+            }
+            breaks.push(t);
+            values.push(cur);
+        }
+        // Numerical hygiene: force the trailing value to exactly zero.
+        if let Some(last) = values.last_mut() {
+            if last.abs() < 1e-9 {
+                *last = 0.0;
+            }
+        }
+        BetaFn {
+            breaks,
+            values,
+            integral,
+        }
+    }
+
+    /// Evaluate `β(t)` (right-continuous).
+    pub fn at(&self, t: f64) -> f64 {
+        let i = self.breaks.partition_point(|&b| b <= t);
+        if i == 0 {
+            0.0
+        } else {
+            self.values[i - 1]
+        }
+    }
+
+    /// Exact `∫ β dt`.
+    pub fn integral(&self) -> f64 {
+        self.integral
+    }
+
+    /// All breakpoints (candidate minimizers for feasibility checks).
+    pub fn breakpoints(&self) -> &[f64] {
+        &self.breaks
+    }
+}
+
+/// Integer power, exact for the small exponents the paper uses.
+#[inline]
+fn ipow(x: f64, k: u32) -> f64 {
+    x.powi(k as i32)
+}
+
+/// Build the dual assignment for a Round Robin schedule.
+///
+/// `sched` must carry a recorded profile of an RR run on `trace`; `k ≥ 1`
+/// and `0 < eps ≤ 1/10` mirror the paper's ranges (other values are
+/// accepted — the certificate simply reports what holds).
+///
+/// # Panics
+/// If the schedule has no profile or job counts mismatch.
+pub fn build_duals(trace: &Trace, sched: &Schedule, k: u32, eps: f64) -> DualAssignment {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(eps > 0.0, "eps must be positive");
+    let profile: &Profile = sched
+        .profile
+        .as_ref()
+        .expect("dual construction needs a recorded profile (SimOptions::with_profile)");
+    let n = trace.len();
+    assert_eq!(sched.flow.len(), n);
+    let m = sched.cfg.m;
+
+    let rr_power_sum: f64 = sched.flow.iter().map(|&f| ipow(f, k)).sum();
+
+    // --- α ---------------------------------------------------------------
+    let mut alpha = vec![0.0f64; n];
+    let kf = f64::from(k);
+    let _ = kf;
+    for seg in &profile.segments {
+        let nt = seg.rates.len();
+        if nt == 0 {
+            continue;
+        }
+        let overloaded = nt >= m;
+        if overloaded {
+            // Prefix sums of Δ_{j'} over the alive set in arrival order
+            // (profile rates are sorted by job id = arrival order).
+            let inv_n = 1.0 / nt as f64;
+            let mut prefix = 0.0;
+            for &(id, _) in &seg.rates {
+                let r = trace.job(id).arrival;
+                let delta = ipow(seg.t1 - r, k) - ipow(seg.t0 - r, k);
+                prefix += delta;
+                alpha[id as usize] += prefix * inv_n;
+            }
+        } else {
+            for &(id, _) in &seg.rates {
+                let r = trace.job(id).arrival;
+                alpha[id as usize] += ipow(seg.t1 - r, k) - ipow(seg.t0 - r, k);
+            }
+        }
+    }
+    for (a, &f) in alpha.iter_mut().zip(&sched.flow) {
+        *a -= eps * ipow(f, k);
+    }
+
+    // --- β ----------------------------------------------------------------
+    let w_coeff = (0.5 - 3.0 * eps) / m as f64;
+    let delta = eps;
+    let intervals: Vec<(f64, f64, f64)> = trace
+        .jobs()
+        .iter()
+        .map(|j| {
+            let f = sched.flow[j.id as usize];
+            let c = sched.completion[j.id as usize];
+            (j.arrival, c + delta * f, w_coeff * ipow(f, k - 1))
+        })
+        .collect();
+    let beta = BetaFn::from_intervals(&intervals);
+
+    DualAssignment {
+        alpha,
+        beta,
+        k,
+        eps,
+        m,
+        rr_power_sum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tf_policies::RoundRobin;
+    use tf_simcore::{simulate, MachineConfig, SimOptions};
+
+    fn rr_schedule(pairs: &[(f64, f64)], m: usize, speed: f64) -> (Trace, Schedule) {
+        let t = Trace::from_pairs(pairs.iter().copied()).unwrap();
+        let s = simulate(
+            &t,
+            &mut RoundRobin::new(),
+            MachineConfig::with_speed(m, speed),
+            SimOptions::with_profile(),
+        )
+        .unwrap();
+        (t, s)
+    }
+
+    #[test]
+    fn beta_fn_step_semantics() {
+        let b = BetaFn::from_intervals(&[(0.0, 2.0, 1.0), (1.0, 3.0, 0.5)]);
+        assert_eq!(b.at(-1.0), 0.0);
+        assert_eq!(b.at(0.0), 1.0);
+        assert_eq!(b.at(0.999), 1.0);
+        assert_eq!(b.at(1.0), 1.5);
+        assert_eq!(b.at(2.0), 0.5);
+        assert_eq!(b.at(3.0), 0.0);
+        assert!((b.integral() - (2.0 + 1.0)).abs() < 1e-12);
+        assert_eq!(b.breakpoints().len(), 4);
+    }
+
+    #[test]
+    fn beta_fn_empty() {
+        let b = BetaFn::from_intervals(&[]);
+        assert_eq!(b.at(0.0), 0.0);
+        assert_eq!(b.integral(), 0.0);
+    }
+
+    #[test]
+    fn single_job_alpha_closed_form() {
+        // One job (0, 2) on 1 machine at speed 4 (k=1, ε=0.1, η would be
+        // 2.2 but any speed works for construction): C = 0.5, F = 0.5.
+        // n_t = 1 ≥ m = 1 → overloaded; α'_0 = ∫_0^0.5 1 dt / 1 = 0.5
+        // (k=1: x = 1). α_0 = 0.5 − 0.1·0.5 = 0.45.
+        let (t, s) = rr_schedule(&[(0.0, 2.0)], 1, 4.0);
+        let d = build_duals(&t, &s, 1, 0.1);
+        assert!((d.alpha[0] - 0.45).abs() < 1e-9, "{}", d.alpha[0]);
+        assert!((d.rr_power_sum - 0.5).abs() < 1e-9);
+        // β: weight (0.5−0.3)/1 · F^0 = 0.2 on [0, 0.5 + 0.05].
+        assert!((d.beta.at(0.1) - 0.2).abs() < 1e-12);
+        assert!((d.beta.integral() - 0.2 * 0.55).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_jobs_k2_alpha_values() {
+        // Jobs (0,1), (0,1) on 1 machine speed 2: both complete at t=1
+        // (share rate 1 each). k=2, ε=0.05.
+        // Overloaded throughout (n=2 ≥ m=1). x_j(t) = 2t.
+        // Δ over [0,1] for each job: 1² − 0² = 1.
+        // Arrival order (ties by id): job0 then job1.
+        // α'_0 = prefix(job0)/2 = 1/2; α'_1 = (1+1)/2 = 1.
+        // F = 1 → subtract ε·1: α_0 = 0.45, α_1 = 0.95.
+        let (t, s) = rr_schedule(&[(0.0, 1.0), (0.0, 1.0)], 1, 2.0);
+        let d = build_duals(&t, &s, 2, 0.05);
+        assert!((d.alpha[0] - 0.45).abs() < 1e-9, "{}", d.alpha[0]);
+        assert!((d.alpha[1] - 0.95).abs() < 1e-9, "{}", d.alpha[1]);
+        // Lemma 1 sanity at this scale: Σα = 1.4 ≥ (1/2−ε)·RR² = 0.45·2.
+        assert!(d.alpha.iter().sum::<f64>() >= (0.5 - 0.05) * d.rr_power_sum);
+    }
+
+    #[test]
+    fn underloaded_segments_use_own_term_only() {
+        // Two jobs on 4 machines: n_t = 2 < 4 → underloaded, each gets a
+        // dedicated machine. α'_j = F_j^k each (k=1: ∫1 = F).
+        let (t, s) = rr_schedule(&[(0.0, 2.0), (0.0, 2.0)], 4, 1.0);
+        let d = build_duals(&t, &s, 1, 0.1);
+        // F = 2 for both; α = 2 − 0.1·2 = 1.8.
+        assert!((d.alpha[0] - 1.8).abs() < 1e-9);
+        assert!((d.alpha[1] - 1.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beta_mass_closed_form() {
+        // m·∫β = (1/2−3ε)(1+ε)·Σ F_j^k  (Lemma 2's equality).
+        let (t, s) = rr_schedule(&[(0.0, 1.0), (0.5, 2.0), (1.0, 1.0)], 2, 3.0);
+        let eps = 0.08;
+        for k in [1u32, 2, 3] {
+            let d = build_duals(&t, &s, k, eps);
+            let expect: f64 = s
+                .flow
+                .iter()
+                .map(|&f| (0.5 - 3.0 * eps) * (1.0 + eps) * f.powi(k as i32))
+                .sum();
+            let got = d.m as f64 * d.beta.integral();
+            assert!(
+                (got - expect).abs() < 1e-9 * expect.max(1.0),
+                "k={k}: {got} vs {expect}"
+            );
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! The crate's strongest executable claim: on arbitrary instances, the
+//! paper's dual construction certifies Theorem 1, and weak duality holds
+//! against independent feasible schedules.
+
+use proptest::prelude::*;
+use tf_core::{primal_cost, verify_theorem1, verify_theorem1_at_speed};
+use tf_policies::{Sjf, Srpt};
+use tf_simcore::{simulate, MachineConfig, SimOptions, Trace};
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec((0.0f64..20.0, 0.1f64..6.0), 1..20)
+        .prop_map(|pairs| Trace::from_pairs(pairs).expect("valid jobs"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Theorem 1's pipeline certifies every random instance at the
+    /// prescribed speed η = 2k(1+10ε), for k ∈ {1,2,3}, m ∈ {1,2,4}.
+    #[test]
+    fn theorem1_certifies_random_instances(t in arb_trace(), m_idx in 0usize..3, k in 1u32..4) {
+        let m = [1usize, 2, 4][m_idx];
+        let c = verify_theorem1(&t, m, k, 0.05).unwrap();
+        prop_assert!(c.certified(),
+            "k={k} m={m}: lemma1={:?} lemma2={:?} gap={:?} feas={:?} l3={:?} l4={:?}",
+            c.report.lemma1, c.report.lemma2, c.report.gap,
+            c.report.feasibility, c.report.lemma3, c.report.lemma4);
+    }
+
+    /// Weak duality: the dual objective never exceeds the γ-scaled primal
+    /// cost of independent feasible speed-1 schedules (SRPT and SJF).
+    #[test]
+    fn weak_duality_against_feasible_primals(t in arb_trace(), m_idx in 0usize..2, k in 1u32..4) {
+        let m = [1usize, 2][m_idx];
+        let eps = 0.05;
+        let c = verify_theorem1(&t, m, k, eps).unwrap();
+        // Only meaningful when the duals are feasible.
+        prop_assert!(c.certified());
+        let cfg = MachineConfig::new(m);
+        for (name, sched) in [
+            ("SRPT", simulate(&t, &mut Srpt::new(), cfg, SimOptions::with_profile()).unwrap()),
+            ("SJF", simulate(&t, &mut Sjf::new(), cfg, SimOptions::with_profile()).unwrap()),
+        ] {
+            let cost = primal_cost(&t, sched.profile.as_ref().unwrap(), k, eps);
+            prop_assert!(c.dual_objective <= cost * (1.0 + 1e-7) + 1e-9,
+                "{name} k={k} m={m}: dual {} > primal {cost}", c.dual_objective);
+        }
+    }
+
+    /// The implied end-to-end inequality of Theorem 1 holds numerically:
+    /// RRᵏ at speed η is at most (2γ/(1.5ε))·(the primal cost of SRPT/γ),
+    /// hence at most (4γ/(3ε))·SRPTᵏ — a fully measured chain.
+    #[test]
+    fn implied_ratio_holds_against_srpt(t in arb_trace(), k in 1u32..4) {
+        let eps = 0.05;
+        let m = 1usize;
+        let c = verify_theorem1(&t, m, k, eps).unwrap();
+        prop_assert!(c.certified());
+        let s = simulate(&t, &mut Srpt::new(), MachineConfig::new(m), SimOptions::default()).unwrap();
+        let opt_upper = s.flow_power_sum(f64::from(k)); // ≥ OPT^k
+        let bound = 4.0 * c.gamma / (3.0 * eps) * opt_upper;
+        prop_assert!(c.rr_power_sum <= bound * (1.0 + 1e-7) + 1e-9,
+            "RR^k {} > (4γ/3ε)·SRPT^k {bound}", c.rr_power_sum);
+    }
+
+    /// More speed never hurts the certificate: if the pipeline certifies at
+    /// some speed s ≥ η it also certifies at 2s (sanity of the probe API).
+    #[test]
+    fn certificates_are_speed_monotone_above_eta(t in arb_trace(), k in 1u32..3) {
+        let eps = 0.05;
+        let eta = tf_core::eta(k, eps);
+        let at = verify_theorem1_at_speed(&t, 1, k, eps, eta).unwrap();
+        let above = verify_theorem1_at_speed(&t, 1, k, eps, 2.0 * eta).unwrap();
+        prop_assert!(at.certified());
+        prop_assert!(above.certified());
+        // Faster RR has a smaller objective.
+        prop_assert!(above.rr_power_sum <= at.rr_power_sum * (1.0 + 1e-9));
+    }
+}

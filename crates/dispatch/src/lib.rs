@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! # tf-dispatch — immediate dispatch, no migration
+//!
+//! The paper's model lets jobs migrate freely (fractional machine shares).
+//! Its related work studies the harsher *non-migratory* regime: Awerbuch–
+//! Azar–Leonardi–Regev \[3\] minimize flow time without migration, and
+//! Avrahami–Azar \[2\] with **immediate dispatch** — each job is
+//! irrevocably routed to one machine the moment it arrives, and machines
+//! never exchange work. Real cluster front-ends work this way, so this
+//! crate measures what RR's guarantees cost when migration is turned off
+//! (experiment E14).
+//!
+//! Model: a [`DispatchRule`] routes each arrival online (it may observe
+//! per-machine *backlog*, which is policy-independent on work-conserving
+//! machines, but not the future); each machine then runs a single-machine
+//! [`tf_policies::Policy`] on its own queue at speed `s`.
+
+mod rules;
+mod sim;
+
+pub use rules::DispatchRule;
+pub use sim::{simulate_dispatch, DispatchOutcome};

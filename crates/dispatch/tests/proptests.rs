@@ -1,0 +1,75 @@
+//! Property tests for immediate dispatch.
+
+use proptest::prelude::*;
+use tf_dispatch::{simulate_dispatch, DispatchRule};
+use tf_policies::Policy;
+use tf_simcore::{simulate, MachineConfig, SimOptions, Trace};
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec((0.0f64..30.0, 0.1f64..8.0), 1..30)
+        .prop_map(|pairs| Trace::from_pairs(pairs).expect("valid jobs"))
+}
+
+fn arb_rule() -> impl Strategy<Value = DispatchRule> {
+    prop_oneof![
+        Just(DispatchRule::Cyclic),
+        Just(DispatchRule::LeastWork),
+        (0u64..1000).prop_map(|seed| DispatchRule::Random { seed }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every job completes exactly once, on a single machine, with flow at
+    /// least its dedicated-machine minimum.
+    #[test]
+    fn dispatch_is_complete_and_feasible(t in arb_trace(), rule in arb_rule(),
+                                         m in 1usize..5, s in 0.5f64..3.0) {
+        let out = simulate_dispatch(&t, rule, Policy::Rr, m, s).unwrap();
+        prop_assert_eq!(out.assignment.len(), t.len());
+        for j in t.jobs() {
+            let c = out.schedule.completion[j.id as usize];
+            prop_assert!(c.is_finite());
+            prop_assert!(c >= j.arrival + j.size / s - 1e-9);
+            prop_assert!(out.assignment[j.id as usize] < m);
+        }
+        // Per-machine job counts sum to n.
+        let total: usize = out.per_machine.iter().map(|s| s.len()).sum();
+        prop_assert_eq!(total, t.len());
+    }
+
+    /// On one machine, dispatch with any rule is identical to the plain
+    /// single-machine simulation.
+    #[test]
+    fn one_machine_dispatch_is_plain(t in arb_trace(), rule in arb_rule()) {
+        let out = simulate_dispatch(&t, rule, Policy::Srpt, 1, 1.0).unwrap();
+        let mut srpt = Policy::Srpt.make();
+        let plain = simulate(&t, srpt.as_mut(), MachineConfig::new(1), SimOptions::default()).unwrap();
+        for j in 0..t.len() {
+            prop_assert!((out.schedule.completion[j] - plain.completion[j]).abs() < 1e-9);
+        }
+    }
+
+    /// Least-work routing never leaves one machine idle while another has
+    /// two or more queued jobs *at dispatch time*: the chosen machine
+    /// always has the minimum backlog.
+    #[test]
+    fn least_work_is_greedy_minimal(t in arb_trace(), m in 2usize..4) {
+        let out = simulate_dispatch(&t, DispatchRule::LeastWork, Policy::Fcfs, m, 1.0).unwrap();
+        // Recompute backlogs independently and verify each choice.
+        let mut backlog = vec![0.0f64; m];
+        let mut last = 0.0;
+        for j in t.jobs() {
+            let dt = j.arrival - last;
+            for b in backlog.iter_mut() {
+                *b = (*b - dt).max(0.0);
+            }
+            last = j.arrival;
+            let chosen = out.assignment[j.id as usize];
+            let min = backlog.iter().cloned().fold(f64::INFINITY, f64::min);
+            prop_assert!(backlog[chosen] <= min + 1e-9);
+            backlog[chosen] += j.size;
+        }
+    }
+}

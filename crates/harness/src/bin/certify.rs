@@ -1,0 +1,86 @@
+//! Produce a Theorem 1 dual-fitting certificate for a trace file.
+//!
+//! ```text
+//! certify <trace.json> [--m M] [--k K] [--eps E] [--speed S] [--pretty]
+//! ```
+//!
+//! Reads a JSON trace (as written by `tf_workload::traceio::save_trace`),
+//! runs RR at the prescribed speed `2k(1+10ε)` (or `--speed`), builds the
+//! Section 3.2 dual variables, checks every inequality, and prints the
+//! certificate as JSON on stdout. Exit code 0 iff certified.
+
+use tf_core::{verify_theorem1_at_speed, Certificate};
+use tf_workload::traceio::load_trace;
+
+fn usage() -> ! {
+    eprintln!("usage: certify <trace.json> [--m M] [--k K] [--eps E] [--speed S] [--pretty]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut path = None;
+    let mut m = 1usize;
+    let mut k = 2u32;
+    let mut eps = 0.05f64;
+    let mut speed: Option<f64> = None;
+    let mut pretty = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--m" => {
+                m = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--k" => {
+                k = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--eps" => {
+                eps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--speed" => {
+                speed = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--pretty" => pretty = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => path = Some(other.to_string()),
+        }
+    }
+    let Some(path) = path else { usage() };
+    let trace = match load_trace(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("failed to read trace {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let speed = speed.unwrap_or_else(|| tf_core::eta(k, eps));
+    let cert: Certificate = match verify_theorem1_at_speed(&trace, m, k, eps, speed) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    let json = if pretty {
+        serde_json::to_string_pretty(&cert)
+    } else {
+        serde_json::to_string(&cert)
+    }
+    .expect("certificate serializes");
+    println!("{json}");
+    std::process::exit(if cert.certified() { 0 } else { 1 });
+}

@@ -1,0 +1,87 @@
+//! CLI entry point: run experiments and print/persist their tables.
+//!
+//! ```text
+//! experiments [e1 e2 ... | all] [--quick] [--format text|md|csv] [--out DIR]
+//! ```
+
+use std::io::Write;
+use std::path::PathBuf;
+use tf_harness::experiments::{all_ids, run_experiment};
+use tf_harness::{Effort, Table};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Markdown,
+    Csv,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments [e1 e2 ... | all] [--quick] [--format text|md|csv] [--out DIR]\n\
+         Runs the E1-E13 experiment suite (see DESIGN.md) and prints the tables."
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut ids: Vec<String> = Vec::new();
+    let mut effort = Effort::Full;
+    let mut format = Format::Text;
+    let mut out_dir: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => effort = Effort::Quick,
+            "--format" => {
+                format = match args.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("md") | Some("markdown") => Format::Markdown,
+                    Some("csv") => Format::Csv,
+                    _ => usage(),
+                }
+            }
+            "--out" => out_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = all_ids().into_iter().map(String::from).collect();
+    }
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+
+    for id in &ids {
+        let Some(tables) = run_experiment(id, effort) else {
+            eprintln!("unknown experiment: {id} (known: {})", all_ids().join(", "));
+            std::process::exit(2);
+        };
+        for (i, t) in tables.iter().enumerate() {
+            let rendered = render(t, format);
+            println!("{rendered}");
+            if let Some(dir) = &out_dir {
+                let ext = match format {
+                    Format::Text => "txt",
+                    Format::Markdown => "md",
+                    Format::Csv => "csv",
+                };
+                let path = dir.join(format!("{id}_{i}.{ext}"));
+                let mut f = std::fs::File::create(&path).expect("create table file");
+                f.write_all(rendered.as_bytes()).expect("write table file");
+            }
+        }
+    }
+}
+
+fn render(t: &Table, f: Format) -> String {
+    match f {
+        Format::Text => t.to_text(),
+        Format::Markdown => t.to_markdown(),
+        Format::Csv => t.to_csv(),
+    }
+}

@@ -1,0 +1,57 @@
+//! Grid-sweep CLI: evaluate policies across a JSON-declared grid.
+//!
+//! ```text
+//! sweep <config.json> [--format text|md|csv]
+//! ```
+//!
+//! Example config:
+//! ```json
+//! {
+//!   "instances": [{"Poisson": {"n": 60, "rho": 0.9,
+//!                   "sizes": {"Exponential": {"mean": 4.0}}, "seed": 7}}],
+//!   "policies": ["rr", "srpt", "laps:0.25"],
+//!   "speeds": [1.0, 2.2, 4.4],
+//!   "ks": [1, 2],
+//!   "ms": [1, 4]
+//! }
+//! ```
+
+use tf_harness::sweep::{run_sweep, SweepConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: sweep <config.json> [--format text|md|csv]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut path = None;
+    let mut format = "text".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--format" => format = args.next().unwrap_or_else(|| usage()),
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => path = Some(other.to_string()),
+        }
+    }
+    let Some(path) = path else { usage() };
+    let json = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let cfg: SweepConfig = serde_json::from_str(&json).unwrap_or_else(|e| {
+        eprintln!("bad config: {e}");
+        std::process::exit(2);
+    });
+    let table = run_sweep(&cfg).unwrap_or_else(|e| {
+        eprintln!("sweep failed: {e}");
+        std::process::exit(2);
+    });
+    match format.as_str() {
+        "text" => println!("{}", table.to_text()),
+        "md" | "markdown" => println!("{}", table.to_markdown()),
+        "csv" => println!("{}", table.to_csv()),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,160 @@
+//! The shared instance corpus used across experiments.
+//!
+//! All traces are *integral* (integer arrivals and sizes) so the LP lower
+//! bound is exact on exactly the instance being scheduled.
+
+use tf_simcore::Trace;
+use tf_workload::adversarial;
+use tf_workload::{ArrivalProcess, SizeDist, WorkloadSpec};
+
+/// One named instance.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Short label for table rows.
+    pub name: String,
+    /// The trace itself.
+    pub trace: Trace,
+}
+
+impl Instance {
+    fn new(name: impl Into<String>, trace: Trace) -> Self {
+        Instance {
+            name: name.into(),
+            trace,
+        }
+    }
+}
+
+/// A Poisson workload with the given size distribution, rounded to an
+/// integral trace, targeting utilization `rho` of `m` unit machines.
+pub fn integral_poisson(n: usize, rho: f64, m: usize, sizes: SizeDist, seed: u64) -> Trace {
+    let rate = rho * m as f64 / sizes.mean();
+    let spec = WorkloadSpec {
+        n,
+        arrivals: ArrivalProcess::Poisson { rate },
+        sizes,
+        seed,
+    };
+    spec.generate().to_integral()
+}
+
+/// An integral Poisson workload with job weights drawn (seeded) from the
+/// given weight classes — the instances for the weighted experiments
+/// (E17).
+pub fn weighted_integral_poisson(
+    n: usize,
+    rho: f64,
+    m: usize,
+    sizes: SizeDist,
+    weight_classes: &[f64],
+    seed: u64,
+) -> Trace {
+    use tf_simcore::TraceBuilder;
+    let base = integral_poisson(n, rho, m, sizes, seed);
+    // splitmix64 per job index → stable class choice.
+    let mut b = TraceBuilder::new();
+    for (i, j) in base.jobs().iter().enumerate() {
+        let mut z = seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z ^= z >> 31;
+        let w = weight_classes[(z % weight_classes.len() as u64) as usize];
+        b.push_weighted(j.arrival, j.size, w);
+    }
+    b.build().expect("valid weighted trace")
+}
+
+/// The standard randomized corpus: Poisson arrivals × four size
+/// distributions at utilization `rho` for `m` machines.
+pub fn random_corpus(n: usize, rho: f64, m: usize, seed: u64) -> Vec<Instance> {
+    vec![
+        Instance::new(
+            "poisson-exp",
+            integral_poisson(n, rho, m, SizeDist::Exponential { mean: 4.0 }, seed),
+        ),
+        Instance::new(
+            "poisson-pareto",
+            integral_poisson(
+                n,
+                rho,
+                m,
+                SizeDist::Pareto {
+                    alpha: 1.8,
+                    min: 2.0,
+                },
+                seed + 1,
+            ),
+        ),
+        Instance::new(
+            "poisson-unif",
+            integral_poisson(n, rho, m, SizeDist::Uniform { lo: 1.0, hi: 7.0 }, seed + 2),
+        ),
+        Instance::new(
+            "poisson-bimodal",
+            integral_poisson(
+                n,
+                rho,
+                m,
+                SizeDist::Bimodal {
+                    small: 1.0,
+                    large: 20.0,
+                    p_large: 0.08,
+                },
+                seed + 3,
+            ),
+        ),
+    ]
+}
+
+/// The adversarial corpus: the named hard instances from `tf-workload`.
+pub fn adversarial_corpus(scale: u32) -> Vec<Instance> {
+    vec![
+        Instance::new("equal-batch", adversarial::equal_batch(1 << scale, 1.0)),
+        Instance::new("cascade", adversarial::geometric_cascade(scale, 0.9)),
+        Instance::new(
+            "critical-stream",
+            adversarial::critical_stream(8 << scale, 1.0),
+        ),
+        Instance::new(
+            "starvation",
+            adversarial::srpt_starvation(16.0, 1.0, 8 << scale, 1.0),
+        ),
+        Instance::new(
+            "interleaved",
+            adversarial::interleaved_classes(1 << scale.min(4), 4.0, 4),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_traces_are_integral() {
+        for inst in random_corpus(40, 0.8, 2, 7) {
+            assert!(inst.trace.is_integral(1e-9), "{}", inst.name);
+            assert_eq!(inst.trace.len(), 40);
+        }
+        for inst in adversarial_corpus(3) {
+            assert!(inst.trace.is_integral(1e-9), "{}", inst.name);
+            assert!(!inst.trace.is_empty(), "{}", inst.name);
+        }
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = random_corpus(20, 0.9, 1, 42);
+        let b = random_corpus(20, 0.9, 1, 42);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.trace, y.trace);
+        }
+    }
+
+    #[test]
+    fn utilization_roughly_targets_rho() {
+        let t = integral_poisson(4000, 0.8, 2, SizeDist::Exponential { mean: 4.0 }, 1);
+        let rho = t.utilization(2, 1.0);
+        // to_integral ceils sizes (+~12% for mean 4) and floors arrivals.
+        assert!((0.7..1.1).contains(&rho), "{rho}");
+    }
+}

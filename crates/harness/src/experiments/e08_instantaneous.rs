@@ -1,0 +1,92 @@
+//! **E8 — RR is instantaneously fair.**
+//!
+//! Claim (paper, Section 1): "Round Robin (RR) is an algorithm that
+//! achieves fairness by giving an equal share of the machine(s) to all
+//! jobs at all times. This fairness also coincides with maximizing the
+//! minimum fairness."
+//!
+//! Measurement: duration-weighted Jain index of the per-job rate vector
+//! over the whole execution, the worst instantaneous Jain index, and total
+//! starvation time (some job at rate 0 while others run), for every
+//! policy on a heavy-tailed Poisson workload. Expected shape: RR at
+//! exactly 1.0 / 1.0 / 0; priority policies clearly below.
+
+use super::Effort;
+use crate::corpus::integral_poisson;
+use crate::table::{fnum, Table};
+use tf_metrics::instantaneous_fairness;
+use tf_policies::Policy;
+use tf_simcore::{simulate, MachineConfig, SimOptions};
+use tf_workload::SizeDist;
+
+/// Run E8.
+pub fn e8(effort: Effort) -> Vec<Table> {
+    let trace = integral_poisson(
+        effort.n(),
+        0.9,
+        2,
+        SizeDist::Pareto {
+            alpha: 1.8,
+            min: 2.0,
+        },
+        800,
+    );
+    let mut table = Table::new(
+        "E8: instantaneous fairness over the execution (m=2, speed 1)",
+        &[
+            "policy",
+            "mean Jain",
+            "min Jain",
+            "starvation time",
+            "makespan",
+        ],
+    );
+    for p in [
+        Policy::Rr,
+        Policy::Laps(0.5),
+        Policy::Setf,
+        Policy::Mlfq,
+        Policy::Srpt,
+        Policy::Sjf,
+        Policy::Fcfs,
+    ] {
+        let mut alloc = p.make();
+        let s = simulate(
+            &trace,
+            alloc.as_mut(),
+            MachineConfig::new(2),
+            SimOptions::with_profile(),
+        )
+        .expect("valid policy run");
+        let series = instantaneous_fairness(s.profile.as_ref().unwrap());
+        table.push_row(vec![
+            p.to_string(),
+            fnum(series.mean_jain()),
+            fnum(series.min_jain()),
+            fnum(series.starvation_time()),
+            fnum(s.makespan()),
+        ]);
+    }
+    table.note("Jain index of the instantaneous rate vector, duration-weighted over contended segments (>= 2 alive jobs).");
+    table.note("Expected: RR = 1.0 exactly (the definitional claim); SRPT/SJF/FCFS starve whoever is not among the m highest-priority jobs.");
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e8_rr_is_perfectly_fair_and_priorities_are_not() {
+        let t = &e8(Effort::Quick)[0];
+        let find = |name: &str| t.rows.iter().find(|r| r[0] == name).unwrap();
+        let rr_mean: f64 = find("RR")[1].parse().unwrap();
+        let rr_starve: f64 = find("RR")[3].parse().unwrap();
+        assert!((rr_mean - 1.0).abs() < 1e-9);
+        assert_eq!(rr_starve, 0.0);
+        let srpt_mean: f64 = find("SRPT")[1].parse().unwrap();
+        let srpt_starve: f64 = find("SRPT")[3].parse().unwrap();
+        assert!(srpt_mean < 1.0);
+        assert!(srpt_starve > 0.0);
+    }
+}

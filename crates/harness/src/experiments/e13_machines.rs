@@ -1,0 +1,83 @@
+//! **E13 — multi-machine RR semantics across m.**
+//!
+//! Claim (paper, Section 1.1): "The algorithm RR has a natural
+//! interpretation in this setting: at any point in time when there are
+//! more jobs than machines, allocate machines to jobs equally. Otherwise,
+//! process each job on one machine exclusively" — and Theorem 1 holds for
+//! every m.
+//!
+//! Measurement: a fixed per-machine load, machine counts m ∈ {1,2,4,8};
+//! RR at speed 4.4 for ℓ2 with the ratio bracket, plus the fraction of
+//! busy time spent overloaded (n_t ≥ m) — the regime split the dual
+//! construction cares about. Expected shape: bounded ratios at every m;
+//! the overloaded fraction falls as m grows at fixed ρ.
+
+use super::Effort;
+use crate::corpus::integral_poisson;
+use crate::ratio::{default_baselines, empirical_ratio};
+use crate::table::{fnum, Table};
+use rayon::prelude::*;
+use tf_policies::Policy;
+use tf_simcore::{simulate, MachineConfig, SimOptions};
+use tf_workload::SizeDist;
+
+/// Run E13.
+pub fn e13(effort: Effort) -> Vec<Table> {
+    let k = 2u32;
+    let speed = 4.4;
+    let ms = [1usize, 2, 4, 8];
+    let mut table = Table::new(
+        "E13: RR across machine counts (l2, speed 4.4, per-machine load 0.9)",
+        &["m", "n", "ratio>=", "ratio<=", "overloaded fraction"],
+    );
+    let baselines = default_baselines();
+
+    let rows: Vec<_> = ms
+        .par_iter()
+        .map(|&m| {
+            // Scale job count with m to keep horizon comparable.
+            let n = effort.n() * m.max(1);
+            let t = integral_poisson(n, 0.9, m, SizeDist::Exponential { mean: 4.0 }, 1300);
+            let r = empirical_ratio(&t, Policy::Rr, m, speed, k, &baselines);
+            // Overloaded fraction from the profile at the augmented speed.
+            let s = simulate(
+                &t,
+                Policy::Rr.make().as_mut(),
+                MachineConfig::with_speed(m, speed),
+                SimOptions::with_profile(),
+            )
+            .unwrap();
+            let p = s.profile.as_ref().unwrap();
+            let occ = tf_metrics::occupancy_stats(p).expect("non-empty profile");
+            (m, n, r.ratio_vs_best, r.ratio_vs_lb, occ.overloaded_fraction)
+        })
+        .collect();
+    for (m, n, lo, hi, frac) in rows {
+        table.push_row(vec![
+            m.to_string(),
+            n.to_string(),
+            fnum(lo),
+            fnum(hi),
+            fnum(frac),
+        ]);
+    }
+    table.note("overloaded fraction = share of busy time with n_t >= m (the T_o regime of the dual construction) under augmented RR.");
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e13_bounded_ratios_everywhere() {
+        let t = &e13(Effort::Quick)[0];
+        assert_eq!(t.rows.len(), 4);
+        for row in &t.rows {
+            let lo: f64 = row[2].parse().unwrap();
+            let frac: f64 = row[4].parse().unwrap();
+            assert!(lo < 3.0, "{row:?}");
+            assert!((0.0..=1.0).contains(&frac), "{row:?}");
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! **E14 — the price of no migration (immediate dispatch).**
+//!
+//! Claim (paper, Related Work, citing \[2, 3\]): total flow time can be
+//! minimized to within polylog/constant factors *without migration*, even
+//! with immediate dispatch. The paper's RR, by contrast, migrates freely
+//! (fractional machine shares). This experiment measures what that
+//! freedom is worth.
+//!
+//! Measurement: migratory RR vs immediate-dispatch RR (per-machine RR
+//! queues) under three routing rules, for ℓ1 and ℓ2 at speeds {1.0, 2.2},
+//! m ∈ {2, 8}. Expected shape: least-work routing tracks migratory RR
+//! within small constants (the \[2\] message); cyclic/random routing pay
+//! more, especially at ℓ2 under heavy tails (one unlucky queue inflates
+//! the norm); all gaps shrink with speed.
+
+use super::Effort;
+use crate::corpus::integral_poisson;
+use crate::table::{fnum, Table};
+use rayon::prelude::*;
+use tf_dispatch::{simulate_dispatch, DispatchRule};
+use tf_policies::Policy;
+use tf_simcore::{simulate, MachineConfig, SimOptions};
+use tf_workload::SizeDist;
+
+/// Run E14.
+pub fn e14(effort: Effort) -> Vec<Table> {
+    let mut table = Table::new(
+        "E14: migratory RR vs immediate-dispatch RR (ratio of norms, dispatch/migratory)",
+        &["m", "speed", "k", "cyclic", "least-work", "random"],
+    );
+    let rules = [
+        DispatchRule::Cyclic,
+        DispatchRule::LeastWork,
+        DispatchRule::Random { seed: 1400 },
+    ];
+
+    let mut combos: Vec<(usize, f64, u32)> = Vec::new();
+    for m in [2usize, 8] {
+        for speed in [1.0, 2.2] {
+            for k in [1u32, 2] {
+                combos.push((m, speed, k));
+            }
+        }
+    }
+    let rows: Vec<_> = combos
+        .par_iter()
+        .map(|&(m, speed, k)| {
+            let trace = integral_poisson(
+                effort.n() * m,
+                0.9,
+                m,
+                SizeDist::Pareto {
+                    alpha: 1.8,
+                    min: 2.0,
+                },
+                1400,
+            );
+            let kf = f64::from(k);
+            let mut rr = Policy::Rr.make();
+            let migratory = simulate(
+                &trace,
+                rr.as_mut(),
+                MachineConfig::with_speed(m, speed),
+                SimOptions::default(),
+            )
+            .unwrap()
+            .flow_norm(kf);
+            let ratios: Vec<f64> = rules
+                .iter()
+                .map(|&rule| {
+                    let out = simulate_dispatch(&trace, rule, Policy::Rr, m, speed).unwrap();
+                    out.schedule.flow_norm(kf) / migratory
+                })
+                .collect();
+            (m, speed, k, ratios)
+        })
+        .collect();
+    for (m, speed, k, ratios) in rows {
+        table.push_row(vec![
+            m.to_string(),
+            fnum(speed),
+            k.to_string(),
+            fnum(ratios[0]),
+            fnum(ratios[1]),
+            fnum(ratios[2]),
+        ]);
+    }
+    table.note("Each dispatched machine runs its own single-machine RR; ratios > 1 are the price of giving up migration under the given routing rule.");
+    table.note("Expected: least-work ~ 1.0-1.3x (the [2] message); cyclic/random worse on heavy tails at k=2; all gaps shrink with speed.");
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e14_least_work_is_close_and_best() {
+        let t = &e14(Effort::Quick)[0];
+        for row in &t.rows {
+            let cyclic: f64 = row[3].parse().unwrap();
+            let least: f64 = row[4].parse().unwrap();
+            let random: f64 = row[5].parse().unwrap();
+            // Dispatch can even beat fractional RR slightly (dedicated
+            // machines avoid dilution), but should stay in a sane band.
+            for r in [cyclic, least, random] {
+                assert!(r > 0.3 && r < 20.0, "{row:?}");
+            }
+            // Least-work is never the worst rule by a large margin.
+            assert!(least <= cyclic.max(random) * 1.5 + 1e-9, "{row:?}");
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! **E18 — queueing-theory cross-validation of the simulator.**
+//!
+//! RR on one machine *is* M/G/1 processor sharing, whose steady-state mean
+//! flow has the textbook closed form `E[S]/(1−ρ)` (insensitive to the
+//! size distribution); FCFS obeys Pollaczek–Khinchine. Neither formula
+//! knows anything about our engine, so agreement is an independent
+//! end-to-end correctness check of the whole pipeline (arrival generation,
+//! event-driven integration, completion accounting) — and a guard against
+//! the subtle drift bugs discrete-event simulators are famous for.
+//!
+//! Measurement: long Poisson runs (warmed up, truncated) at ρ ∈
+//! {0.5, 0.7, 0.8} with exponential and uniform sizes; simulated mean flow
+//! vs theory for RR (= PS) and FCFS, plus PS's uniform conditional
+//! slowdown `E[T(x)]/x = 1/(1−ρ)` measured on small vs large jobs.
+//! Expected shape: all simulated/theory ratios within a few percent
+//! (finite-run noise), including the distribution-insensitivity of PS and
+//! the E[S²] sensitivity of FCFS.
+
+use super::Effort;
+use crate::table::{fnum, Table};
+use rayon::prelude::*;
+use tf_metrics::{mg1_fcfs_mean_flow, mg1_ps_mean_flow};
+use tf_policies::Policy;
+use tf_simcore::{simulate, MachineConfig, SimOptions, Trace};
+use tf_workload::{ArrivalProcess, SizeDist, WorkloadSpec};
+
+/// Simulate and return mean flow over the "steady" middle of the run
+/// (drop the first and last 20% of jobs by arrival order to trim warmup
+/// and drain effects).
+fn steady_mean_flow(trace: &Trace, policy: Policy) -> f64 {
+    let mut alloc = policy.make();
+    let s = simulate(
+        trace,
+        alloc.as_mut(),
+        MachineConfig::new(1),
+        SimOptions::default(),
+    )
+    .expect("valid policy run");
+    let n = trace.len();
+    let lo = n / 5;
+    let hi = n - n / 5;
+    s.flow[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+}
+
+/// Run E18.
+pub fn e18(effort: Effort) -> Vec<Table> {
+    let n = match effort {
+        Effort::Quick => 20_000,
+        Effort::Full => 120_000,
+    };
+    let mut table = Table::new(
+        "E18: simulator vs closed-form M/G/1 queueing theory (m=1)",
+        &[
+            "sizes",
+            "rho",
+            "RR sim",
+            "PS theory",
+            "RR/theory",
+            "FCFS sim",
+            "FCFS theory",
+            "FCFS/theory",
+        ],
+    );
+
+    let mut combos: Vec<(SizeDist, f64, f64)> = Vec::new(); // dist, E[S^2], rho
+    for &rho in &[0.5, 0.7, 0.8] {
+        // Exponential mean 1: E[S²] = 2.
+        combos.push((SizeDist::Exponential { mean: 1.0 }, 2.0, rho));
+        // Uniform [0.5, 1.5]: mean 1, E[S²] = var + mean² = 1/12 + 1.
+        combos.push((
+            SizeDist::Uniform { lo: 0.5, hi: 1.5 },
+            1.0 / 12.0 + 1.0,
+            rho,
+        ));
+    }
+
+    let seeds: u64 = 5;
+    let rows: Vec<_> = combos
+        .par_iter()
+        .map(|&(dist, s2, rho)| {
+            let lambda = rho / dist.mean();
+            // Average several independent runs: the mean-sojourn estimator
+            // at rho = 0.8 has long regeneration cycles, so one run of n
+            // jobs is still noisy at the few-percent level.
+            let (mut rr, mut fcfs) = (0.0, 0.0);
+            for seed in 0..seeds {
+                let spec = WorkloadSpec {
+                    n,
+                    arrivals: ArrivalProcess::Poisson { rate: lambda },
+                    sizes: dist,
+                    seed: 1800 + (rho * 10.0) as u64 + 131 * seed,
+                };
+                let trace = spec.generate();
+                rr += steady_mean_flow(&trace, Policy::Rr);
+                fcfs += steady_mean_flow(&trace, Policy::Fcfs);
+            }
+            rr /= seeds as f64;
+            fcfs /= seeds as f64;
+            let ps_theory = mg1_ps_mean_flow(lambda, dist.mean());
+            let fcfs_theory = mg1_fcfs_mean_flow(lambda, dist.mean(), s2);
+            (dist.label(), rho, rr, ps_theory, fcfs, fcfs_theory)
+        })
+        .collect();
+    for (label, rho, rr, pst, fcfs, ft) in rows {
+        table.push_row(vec![
+            label,
+            fnum(rho),
+            fnum(rr),
+            fnum(pst),
+            fnum(rr / pst),
+            fnum(fcfs),
+            fnum(ft),
+            fnum(fcfs / ft),
+        ]);
+    }
+    table.note("RR on one machine is M/G/1-PS: mean flow E[S]/(1-rho), insensitive to the size distribution. FCFS follows Pollaczek-Khinchine and feels E[S^2].");
+    table.note("First/last 20% of jobs trimmed (warmup/drain). Agreement within a few percent certifies the event-driven engine end to end against results it knows nothing about.");
+
+    // ---- E18b: PS's uniform conditional slowdown ---------------------------
+    // For M/G/1-PS, E[T(x)]/x = 1/(1-rho) for EVERY size x — proportional
+    // fairness in closed form. SRPT, by contrast, buys its mean by giving
+    // small jobs slowdown near 1 and charging the large ones.
+    let mut slow = Table::new(
+        "E18b: conditional slowdown by size quartile (exp sizes, rho=0.7)",
+        &["policy", "q1 (small)", "q2", "q3", "q4 (large)", "PS theory"],
+    );
+    let rho = 0.7;
+    let dist = SizeDist::Exponential { mean: 1.0 };
+    let spec = WorkloadSpec {
+        n,
+        arrivals: ArrivalProcess::Poisson { rate: rho },
+        sizes: dist,
+        seed: 1899,
+    };
+    let trace = spec.generate();
+    let lo = n / 5;
+    let hi = n - n / 5;
+    // Quartile thresholds over the steady window, by size.
+    let mut sizes: Vec<f64> = trace.jobs()[lo..hi].iter().map(|j| j.size).collect();
+    sizes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let q = |f: f64| sizes[((sizes.len() - 1) as f64 * f) as usize];
+    let cuts = [q(0.25), q(0.5), q(0.75)];
+    for policy in [Policy::Rr, Policy::Srpt] {
+        let mut alloc = policy.make();
+        let s = simulate(
+            &trace,
+            alloc.as_mut(),
+            MachineConfig::new(1),
+            SimOptions::default(),
+        )
+        .expect("valid policy run");
+        let mut sums = [0.0f64; 4];
+        let mut counts = [0usize; 4];
+        for j in &trace.jobs()[lo..hi] {
+            let bin = cuts.iter().filter(|&&c| j.size > c).count();
+            sums[bin] += s.flow[j.id as usize] / j.size;
+            counts[bin] += 1;
+        }
+        let mut row = vec![policy.to_string()];
+        for b in 0..4 {
+            row.push(fnum(sums[b] / counts[b] as f64));
+        }
+        row.push(fnum(1.0 / (1.0 - rho)));
+        slow.push_row(row);
+    }
+    slow.note("PS theory: E[T(x)]/x = 1/(1-rho) uniformly in x. Expected: RR's quartiles all near 3.33; SRPT's small-job quartiles near 1 with the cost loaded onto q4 — the fairness contrast in queueing-theory form.");
+    vec![table, slow]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e18_simulator_matches_theory() {
+        let t = &e18(Effort::Quick)[0];
+        for row in &t.rows {
+            let rho: f64 = row[1].parse().unwrap();
+            let rr_ratio: f64 = row[4].parse().unwrap();
+            let fcfs_ratio: f64 = row[7].parse().unwrap();
+            // Estimator noise grows sharply with rho; tolerances sized for
+            // 5 x 20k-job runs.
+            let tol = if rho > 0.75 { 0.10 } else { 0.05 };
+            assert!((rr_ratio - 1.0).abs() < tol, "PS deviation: {row:?}");
+            assert!((fcfs_ratio - 1.0).abs() < tol, "FCFS deviation: {row:?}");
+        }
+        // Insensitivity: PS theory identical across distributions at the
+        // same rho; FCFS theory differs (E[S^2] term). Spot-check at 0.8.
+        let exp = t
+            .rows
+            .iter()
+            .find(|r| r[0].contains("exp") && r[1] == "0.8000")
+            .unwrap();
+        let unif = t
+            .rows
+            .iter()
+            .find(|r| r[0].contains("unif") && r[1] == "0.8000")
+            .unwrap();
+        let exp_ps: f64 = exp[3].parse().unwrap();
+        let unif_ps: f64 = unif[3].parse().unwrap();
+        assert!((exp_ps - unif_ps).abs() < 1e-9);
+        let exp_fcfs: f64 = exp[6].parse().unwrap();
+        let unif_fcfs: f64 = unif[6].parse().unwrap();
+        assert!(exp_fcfs > unif_fcfs);
+    }
+
+    #[test]
+    fn e18b_slowdown_uniform_under_rr_skewed_under_srpt() {
+        let tables = e18(Effort::Quick);
+        let slow = &tables[1];
+        let row = |name: &str| slow.rows.iter().find(|r| r[0] == name).unwrap();
+        let rr: Vec<f64> = (1..=4).map(|c| row("RR")[c].parse().unwrap()).collect();
+        let srpt: Vec<f64> = (1..=4).map(|c| row("SRPT")[c].parse().unwrap()).collect();
+        let theory = 1.0 / (1.0 - 0.7);
+        // RR: every quartile within 15% of 1/(1-rho).
+        for (i, v) in rr.iter().enumerate() {
+            assert!((v / theory - 1.0).abs() < 0.15, "RR q{}: {v}", i + 1);
+        }
+        // SRPT: small jobs near slowdown 1, large jobs clearly above small.
+        assert!(srpt[0] < 1.5, "SRPT q1 {}", srpt[0]);
+        assert!(srpt[3] > 1.5 * srpt[0], "SRPT not skewed: {srpt:?}");
+    }
+}

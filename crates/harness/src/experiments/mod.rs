@@ -1,0 +1,147 @@
+//! Experiment implementations E1–E13. See the crate docs and DESIGN.md for
+//! the claim-to-experiment mapping.
+
+mod e01_theorem1;
+mod e02_l2_headline;
+mod e03_low_speed_blowup;
+mod e04_speed_sweep;
+mod e05_l1;
+mod e06_clairvoyant;
+mod e07_starvation;
+mod e08_instantaneous;
+mod e09_agedrr;
+mod e10_dualfit;
+mod e11_lp_quality;
+mod e12_quantum;
+mod e13_machines;
+mod e14_dispatch;
+mod e15_speedup_curves;
+mod e16_broadcast;
+mod e17_weighted;
+mod e18_queueing;
+mod e19_adversary_search;
+mod e20_max_flow;
+
+pub use e01_theorem1::e1;
+pub use e02_l2_headline::e2;
+pub use e03_low_speed_blowup::e3;
+pub use e04_speed_sweep::e4;
+pub use e05_l1::e5;
+pub use e06_clairvoyant::e6;
+pub use e07_starvation::e7;
+pub use e08_instantaneous::e8;
+pub use e09_agedrr::e9;
+pub use e10_dualfit::e10;
+pub use e11_lp_quality::e11;
+pub use e12_quantum::e12;
+pub use e13_machines::e13;
+pub use e14_dispatch::e14;
+pub use e15_speedup_curves::e15;
+pub use e16_broadcast::e16;
+pub use e17_weighted::e17;
+pub use e18_queueing::e18;
+pub use e19_adversary_search::e19;
+pub use e20_max_flow::e20;
+
+use crate::table::Table;
+
+/// How big to run: `Quick` keeps each experiment under a second for tests;
+/// `Full` is the paper-scale run used by the CLI and benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Small instances, single repetition — CI-friendly.
+    Quick,
+    /// Full-scale tables.
+    Full,
+}
+
+impl Effort {
+    /// Baseline job count for random workloads.
+    pub fn n(self) -> usize {
+        match self {
+            Effort::Quick => 30,
+            Effort::Full => 120,
+        }
+    }
+
+    /// Scale parameter for adversarial families (e.g. cascade levels).
+    pub fn scale(self) -> u32 {
+        match self {
+            Effort::Quick => 3,
+            Effort::Full => 6,
+        }
+    }
+}
+
+/// Run an experiment by id (`"e1"`..`"e13"`, case-insensitive). Returns
+/// `None` for unknown ids.
+pub fn run_experiment(id: &str, effort: Effort) -> Option<Vec<Table>> {
+    Some(match id.to_ascii_lowercase().as_str() {
+        "e1" => e1(effort),
+        "e2" => e2(effort),
+        "e3" => e3(effort),
+        "e4" => e4(effort),
+        "e5" => e5(effort),
+        "e6" => e6(effort),
+        "e7" => e7(effort),
+        "e8" => e8(effort),
+        "e9" => e9(effort),
+        "e10" => e10(effort),
+        "e11" => e11(effort),
+        "e12" => e12(effort),
+        "e13" => e13(effort),
+        "e14" => e14(effort),
+        "e15" => e15(effort),
+        "e16" => e16(effort),
+        "e17" => e17(effort),
+        "e18" => e18(effort),
+        "e19" => e19(effort),
+        "e20" => e20(effort),
+        _ => return None,
+    })
+}
+
+/// All experiment ids in order.
+pub fn all_ids() -> Vec<&'static str> {
+    vec![
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+        "e15", "e16", "e17", "e18", "e19",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run_experiment("e99", Effort::Quick).is_none());
+        assert!(run_experiment("", Effort::Quick).is_none());
+    }
+
+    #[test]
+    fn ids_are_case_insensitive() {
+        assert!(run_experiment("E7", Effort::Quick).is_some());
+    }
+
+    /// Every experiment runs at Quick effort and yields non-empty tables
+    /// with consistent row arity.
+    #[test]
+    fn all_experiments_run_quick() {
+        for id in all_ids() {
+            let tables = run_experiment(id, Effort::Quick).unwrap();
+            assert!(!tables.is_empty(), "{id} produced no tables");
+            for t in &tables {
+                assert!(!t.rows.is_empty(), "{id}: empty table {}", t.title);
+                for row in &t.rows {
+                    assert_eq!(
+                        row.len(),
+                        t.headers.len(),
+                        "{id}: ragged row in {}",
+                        t.title
+                    );
+                }
+            }
+        }
+    }
+}

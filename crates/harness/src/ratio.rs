@@ -1,0 +1,209 @@
+//! Empirical competitive-ratio machinery.
+//!
+//! OPT is intractable, so every ratio is reported as a *bracket*:
+//!
+//! * `ratio_vs_lb = (algᵏ / LB)^{1/k}` — an **upper estimate** of the true
+//!   ratio, using the certified lower bound from `tf-lowerbound`
+//!   (`LB ≤ OPTᵏ`);
+//! * `ratio_vs_best = (algᵏ / min over baseline policies at speed 1)^{1/k}`
+//!   — a **lower estimate**, since the best baseline upper-bounds OPT.
+//!
+//! The true competitive ratio on the instance lies inside
+//! `[ratio_vs_best, ratio_vs_lb]`.
+
+use serde::{Deserialize, Serialize};
+use tf_lowerbound::lk_lower_bound;
+use tf_policies::Policy;
+use tf_simcore::{simulate, MachineConfig, SimOptions, Trace};
+
+/// A bracketed empirical competitive ratio for one (instance, policy,
+/// speed, k) point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RatioEstimate {
+    /// The evaluated policy's `Σ F^k` at its (possibly augmented) speed.
+    pub alg_power_sum: f64,
+    /// Certified lower bound on `OPTᵏ` at speed 1.
+    pub lower_bound: f64,
+    /// Best baseline `Σ F^k` at speed 1 (an upper bound on `OPTᵏ`).
+    pub best_power_sum: f64,
+    /// Which baseline achieved it.
+    pub best_policy: String,
+    /// Upper estimate of the norm ratio: `(alg/LB)^{1/k}`.
+    pub ratio_vs_lb: f64,
+    /// Lower estimate of the norm ratio: `(alg/best)^{1/k}`.
+    pub ratio_vs_best: f64,
+}
+
+/// The default baseline set for OPT upper bounds: the clairvoyant
+/// policies, which are near-optimal at speed 1 for flow objectives.
+pub fn default_baselines() -> Vec<Policy> {
+    vec![Policy::Srpt, Policy::Sjf, Policy::Setf, Policy::Rr]
+}
+
+/// Evaluate `policy` at speed `speed` on `m` machines against OPT at speed
+/// 1, for the ℓk norm (integer `k` — the LP bound needs it).
+///
+/// # Panics
+/// Propagates simulation panics only for invalid configurations; all
+/// registry policies on valid traces succeed.
+pub fn empirical_ratio(
+    trace: &Trace,
+    policy: Policy,
+    m: usize,
+    speed: f64,
+    k: u32,
+    baselines: &[Policy],
+) -> RatioEstimate {
+    let kf = f64::from(k);
+    let mut alloc = policy.make();
+    let alg = simulate(
+        trace,
+        alloc.as_mut(),
+        MachineConfig::with_speed(m, speed),
+        SimOptions::default(),
+    )
+    .expect("simulation of a registry policy on a valid trace");
+    let alg_power_sum = alg.flow_power_sum(kf);
+
+    let lb = lk_lower_bound(trace, m, k);
+
+    let mut best_power_sum = f64::INFINITY;
+    let mut best_policy = String::new();
+    for p in baselines {
+        let mut b = p.make();
+        let s = simulate(
+            trace,
+            b.as_mut(),
+            MachineConfig::new(m),
+            SimOptions::default(),
+        )
+        .expect("baseline simulation");
+        let v = s.flow_power_sum(kf);
+        if v < best_power_sum {
+            best_power_sum = v;
+            best_policy = p.to_string();
+        }
+    }
+
+    let root = |x: f64| x.powf(1.0 / kf);
+    RatioEstimate {
+        alg_power_sum,
+        lower_bound: lb.value,
+        best_power_sum,
+        best_policy,
+        ratio_vs_lb: if lb.value > 0.0 {
+            root(alg_power_sum / lb.value)
+        } else {
+            f64::NAN
+        },
+        ratio_vs_best: if best_power_sum > 0.0 {
+            root(alg_power_sum / best_power_sum)
+        } else {
+            f64::NAN
+        },
+    }
+}
+
+/// `Σ F^k` of one policy at one speed (no lower bound, no baselines) —
+/// the cheap building block for sweeps that reuse a baseline.
+pub fn policy_power_sum(trace: &Trace, policy: Policy, m: usize, speed: f64, k: u32) -> f64 {
+    let mut alloc = policy.make();
+    simulate(
+        trace,
+        alloc.as_mut(),
+        MachineConfig::with_speed(m, speed),
+        SimOptions::default(),
+    )
+    .expect("simulation of a registry policy on a valid trace")
+    .flow_power_sum(f64::from(k))
+}
+
+/// Best `Σ F^k` over `baselines` at speed 1 (the OPT upper bound), with
+/// the winning policy's name.
+pub fn best_baseline_power(trace: &Trace, m: usize, k: u32, baselines: &[Policy]) -> (f64, String) {
+    let mut best = f64::INFINITY;
+    let mut name = String::new();
+    for p in baselines {
+        let v = policy_power_sum(trace, *p, m, 1.0, k);
+        if v < best {
+            best = v;
+            name = p.to_string();
+        }
+    }
+    (best, name)
+}
+
+/// Binary-search the minimum speed at which `policy`'s ratio (vs the best
+/// baseline) drops to `target` on this instance. Returns `hi` if even `hi`
+/// doesn't reach the target.
+pub fn min_speed_for_ratio(
+    trace: &Trace,
+    policy: Policy,
+    m: usize,
+    k: u32,
+    target: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    let (best, _) = best_baseline_power(trace, m, k, &default_baselines());
+    let ratio_at =
+        |s: f64| (policy_power_sum(trace, policy, m, s, k) / best).powf(1.0 / f64::from(k));
+    if ratio_at(hi) > target {
+        return hi;
+    }
+    let (mut lo, mut hi) = (lo, hi);
+    for _ in 0..40 {
+        let mid = 0.5 * (lo + hi);
+        if ratio_at(mid) <= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> Trace {
+        Trace::from_pairs([(0.0, 2.0), (0.0, 1.0), (1.0, 3.0), (2.0, 1.0), (5.0, 2.0)]).unwrap()
+    }
+
+    #[test]
+    fn bracket_is_ordered() {
+        let r = empirical_ratio(&trace(), Policy::Rr, 1, 2.0, 2, &default_baselines());
+        assert!(r.lower_bound <= r.best_power_sum + 1e-9);
+        assert!(r.ratio_vs_best <= r.ratio_vs_lb + 1e-9);
+        assert!(r.ratio_vs_best > 0.0);
+    }
+
+    #[test]
+    fn srpt_at_speed_one_matches_best_on_one_machine_l1() {
+        // SRPT is its own best baseline for l1, m=1: ratio_vs_best == 1.
+        let r = empirical_ratio(&trace(), Policy::Srpt, 1, 1.0, 1, &default_baselines());
+        assert!((r.ratio_vs_best - 1.0).abs() < 1e-9, "{}", r.ratio_vs_best);
+        assert_eq!(r.best_policy, "SRPT");
+    }
+
+    #[test]
+    fn more_speed_lowers_the_ratio() {
+        let t = trace();
+        let slow = empirical_ratio(&t, Policy::Rr, 1, 1.0, 2, &default_baselines());
+        let fast = empirical_ratio(&t, Policy::Rr, 1, 4.0, 2, &default_baselines());
+        assert!(fast.ratio_vs_best <= slow.ratio_vs_best + 1e-9);
+    }
+
+    #[test]
+    fn min_speed_search_brackets_the_knee() {
+        let t = trace();
+        // RR at high speed clearly beats ratio 1.2; at speed 1 it doesn't.
+        let s = min_speed_for_ratio(&t, Policy::Rr, 1, 2, 1.2, 0.5, 8.0);
+        assert!(s > 0.5 && s < 8.0);
+        let at = empirical_ratio(&t, Policy::Rr, 1, s, 2, &default_baselines());
+        assert!(at.ratio_vs_best <= 1.2 + 1e-6);
+        let below = empirical_ratio(&t, Policy::Rr, 1, s * 0.9, 2, &default_baselines());
+        assert!(below.ratio_vs_best >= 1.2 - 0.05, "{}", below.ratio_vs_best);
+    }
+}

@@ -1,0 +1,139 @@
+//! Seeded replication: run a measurement across independent seeds and
+//! summarize it — mean, sample standard deviation, and extremes — so
+//! tables can carry uncertainty instead of single draws.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Summary of replicated measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Replicates {
+    /// Number of replicates.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n ≤ 1).
+    pub std_dev: f64,
+    /// Minimum observed.
+    pub min: f64,
+    /// Maximum observed.
+    pub max: f64,
+}
+
+impl Replicates {
+    /// Summarize a slice of observations.
+    pub fn from_values(values: &[f64]) -> Self {
+        let n = values.len();
+        if n == 0 {
+            return Replicates { n: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0 };
+        }
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        Replicates {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: values.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Render as `mean ± std` with 4 significant digits.
+    pub fn display(&self) -> String {
+        format!("{} ± {}", crate::table::fnum(self.mean), crate::table::fnum(self.std_dev))
+    }
+
+    /// Half-width of a ~95% normal confidence interval on the mean
+    /// (`1.96·std/√n`; rough — replicates are few).
+    pub fn ci95(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            1.96 * self.std_dev / (self.n as f64).sqrt()
+        }
+    }
+}
+
+/// Run `measure(seed)` for `seeds` consecutive seeds starting at `base`,
+/// in parallel, and summarize.
+pub fn replicate<F>(base: u64, seeds: u64, measure: F) -> Replicates
+where
+    F: Fn(u64) -> f64 + Sync,
+{
+    let values: Vec<f64> = (0..seeds).into_par_iter().map(|i| measure(base + i)).collect();
+    Replicates::from_values(&values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_statistics() {
+        let r = Replicates::from_values(&[1.0, 2.0, 3.0]);
+        assert_eq!(r.n, 3);
+        assert!((r.mean - 2.0).abs() < 1e-12);
+        assert!((r.std_dev - 1.0).abs() < 1e-12);
+        assert_eq!(r.min, 1.0);
+        assert_eq!(r.max, 3.0);
+        assert!(r.ci95() > 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = Replicates::from_values(&[]);
+        assert_eq!(empty.n, 0);
+        assert_eq!(empty.std_dev, 0.0);
+        let single = Replicates::from_values(&[5.0]);
+        assert_eq!(single.std_dev, 0.0);
+        assert_eq!(single.mean, 5.0);
+    }
+
+    #[test]
+    fn replicate_is_deterministic_and_seed_sensitive() {
+        let f = |seed: u64| (seed % 7) as f64;
+        let a = replicate(10, 5, f);
+        let b = replicate(10, 5, f);
+        assert_eq!(a, b);
+        let c = replicate(11, 5, f);
+        assert_ne!(a.mean, c.mean);
+    }
+
+    #[test]
+    fn replicated_simulation_reduces_spread() {
+        // Real use: mean RR flow over Poisson workloads; more seeds give a
+        // tighter CI.
+        use tf_policies::Policy;
+        use tf_simcore::{simulate, MachineConfig, SimOptions};
+        use tf_workload::{ArrivalProcess, SizeDist, WorkloadSpec};
+        let measure = |seed: u64| {
+            let t = WorkloadSpec {
+                n: 300,
+                arrivals: ArrivalProcess::Poisson { rate: 0.8 },
+                sizes: SizeDist::Exponential { mean: 1.0 },
+                seed,
+            }
+            .generate();
+            let mut rr = Policy::Rr.make();
+            simulate(&t, rr.as_mut(), MachineConfig::new(1), SimOptions::default())
+                .unwrap()
+                .total_flow()
+                / 300.0
+        };
+        let few = replicate(1, 3, measure);
+        let many = replicate(1, 12, measure);
+        // Same data prefix → same ballpark mean; CI shrinks with n.
+        assert!((few.mean - many.mean).abs() < 3.0 * many.std_dev + 1.0);
+        assert!(many.ci95() < few.ci95() + 1e-9);
+    }
+
+    #[test]
+    fn display_format() {
+        let r = Replicates::from_values(&[2.0, 2.0]);
+        assert_eq!(r.display(), "2.000 ± 0");
+    }
+}

@@ -1,0 +1,62 @@
+//! Property tests for harness machinery: ratio brackets and tables.
+
+use proptest::prelude::*;
+use tf_harness::ratio::{default_baselines, empirical_ratio};
+use tf_harness::table::{fnum, Table};
+use tf_policies::Policy;
+use tf_simcore::Trace;
+
+fn arb_integral_trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec((0u32..15, 1u32..6), 1..12).prop_map(|pairs| {
+        Trace::from_pairs(pairs.into_iter().map(|(a, p)| (f64::from(a), f64::from(p))))
+            .expect("valid jobs")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The ratio bracket is always ordered: lower estimate ≤ upper
+    /// estimate, both positive, and the LB never exceeds the best
+    /// baseline.
+    #[test]
+    fn bracket_is_always_ordered(t in arb_integral_trace(), k in 1u32..3,
+                                 speed in 0.5f64..4.0) {
+        let r = empirical_ratio(&t, Policy::Rr, 1, speed, k, &default_baselines());
+        prop_assert!(r.lower_bound <= r.best_power_sum * (1.0 + 1e-9) + 1e-9);
+        prop_assert!(r.ratio_vs_best <= r.ratio_vs_lb * (1.0 + 1e-9) + 1e-9);
+        prop_assert!(r.ratio_vs_best > 0.0);
+        prop_assert!(r.alg_power_sum > 0.0);
+    }
+
+    /// Table rendering never loses rows or columns across the three
+    /// formats.
+    #[test]
+    fn table_renders_consistently(rows in prop::collection::vec(
+        prop::collection::vec("[a-z0-9.,]{0,8}", 3..=3), 1..10)) {
+        let mut t = Table::new("prop", &["a", "b", "c"]);
+        for r in &rows {
+            t.push_row(r.clone());
+        }
+        let text = t.to_text();
+        let md = t.to_markdown();
+        let csv = t.to_csv();
+        // Text: title + header + rule + rows.
+        prop_assert_eq!(text.lines().count(), 3 + rows.len());
+        // Markdown: title + blank + header + rule + rows.
+        prop_assert_eq!(md.lines().count(), 4 + rows.len());
+        // CSV: header + rows.
+        prop_assert_eq!(csv.lines().count(), 1 + rows.len());
+    }
+
+    /// fnum always produces a parseable number with ≤ 7 significant-ish
+    /// characters of noise (stable for table diffing).
+    #[test]
+    fn fnum_is_parseable(x in -1e9f64..1e9) {
+        let s = fnum(x);
+        let back: f64 = s.parse().unwrap();
+        if x != 0.0 {
+            prop_assert!(((back - x) / x).abs() < 1e-3, "{x} -> {s}");
+        }
+    }
+}

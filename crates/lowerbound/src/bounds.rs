@@ -1,0 +1,77 @@
+//! Cheap combinatorial lower bounds complementing the LP.
+
+use tf_policies::Srpt;
+use tf_simcore::{simulate, MachineConfig, SimOptions, Trace};
+
+/// `Σ_j p_j^k`: every job's flow is at least its size on unit-speed
+/// machines, so this lower-bounds `Σ_j F_j^k` for any schedule.
+pub fn size_bound(trace: &Trace, k: f64) -> f64 {
+    trace.jobs().iter().map(|j| j.size.powf(k)).sum()
+}
+
+/// The *super-machine* relaxation bound for total (ℓ1) flow time:
+/// replace `m` unit-speed machines by one machine of speed `m` **with the
+/// per-job one-machine cap removed**. Every feasible `m`-machine schedule
+/// remains feasible in the relaxation, and SRPT (work-conserving, full
+/// rate on the shortest remaining job) is optimal for total flow time on a
+/// single machine — so its relaxed total flow lower-bounds `OPT`'s.
+///
+/// For `m = 1` this *is* the exact ℓ1 optimum.
+pub fn srpt_super_machine_bound(trace: &Trace, m: usize) -> f64 {
+    // One machine of speed m; per-job cap equals machine speed, i.e. the
+    // relaxation lets one job absorb all m machines — exactly what we want.
+    let cfg = MachineConfig::with_speed(1, m as f64);
+    let mut srpt = Srpt::new();
+    simulate(trace, &mut srpt, cfg, SimOptions::default())
+        .expect("SRPT simulation cannot fail on a valid trace")
+        .total_flow()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tf_policies::Policy;
+
+    #[test]
+    fn size_bound_values() {
+        let t = Trace::from_pairs([(0.0, 2.0), (1.0, 3.0)]).unwrap();
+        assert_eq!(size_bound(&t, 1.0), 5.0);
+        assert_eq!(size_bound(&t, 2.0), 13.0);
+    }
+
+    #[test]
+    fn super_machine_bound_is_exact_on_one_machine() {
+        let t = Trace::from_pairs([(0.0, 4.0), (1.0, 1.0)]).unwrap();
+        // SRPT on one machine: flows 5 and 1 → 6 (see policy tests).
+        assert!((srpt_super_machine_bound(&t, 1) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn super_machine_bound_below_every_m_machine_policy() {
+        let t = Trace::from_pairs([(0.0, 3.0), (0.0, 1.0), (1.0, 2.0), (3.0, 1.0)]).unwrap();
+        for m in [2usize, 3] {
+            let lb = srpt_super_machine_bound(&t, m);
+            for p in Policy::all() {
+                let mut alloc = p.make();
+                let f = simulate(
+                    &t,
+                    alloc.as_mut(),
+                    MachineConfig::new(m),
+                    SimOptions::default(),
+                )
+                .unwrap()
+                .total_flow();
+                assert!(lb <= f + 1e-9, "m={m} {p}: {lb} > {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn super_machine_relaxation_can_beat_any_real_schedule() {
+        // With m=2 and one big job, the relaxation halves its flow —
+        // strictly below what any real 2-machine schedule achieves.
+        let t = Trace::from_pairs([(0.0, 4.0)]).unwrap();
+        let lb = srpt_super_machine_bound(&t, 2);
+        assert!((lb - 2.0).abs() < 1e-9);
+    }
+}

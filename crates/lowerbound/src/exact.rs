@@ -1,0 +1,283 @@
+//! Exact optimum over *slot-structured* schedules for tiny instances.
+//!
+//! A slot-structured schedule processes, in every unit time slot, at most
+//! `m` distinct jobs for one unit each (respecting release dates). Every
+//! such schedule is feasible in the paper's model, so the minimum
+//! `Σ_j F_j^k` over them is a genuine **upper bound on OPTᵏ** — usually
+//! far tighter than the best-policy upper bound the ratio brackets
+//! otherwise use. On a single machine the unit-serialization exchange
+//! argument makes it exactly OPTᵏ for integral instances.
+//!
+//! The search is exhaustive (DFS over per-slot job subsets) with
+//! memoization on `(slot, remaining-work vector)`; intended for
+//! `n ≲ 8` and short horizons — exactly the regime where closing the
+//! bracket matters (experiment E11c).
+
+use std::collections::HashMap;
+use tf_simcore::Trace;
+
+/// Result of the exact search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExactResult {
+    /// Minimum `Σ F^k` over slot-structured schedules.
+    pub power_sum: f64,
+    /// Number of memoized states explored.
+    pub states: usize,
+}
+
+/// Search limits to keep the exponential tool polite.
+#[derive(Debug, Clone, Copy)]
+pub struct ExactLimits {
+    /// Give up beyond this many memo states (returns `None`).
+    pub max_states: usize,
+}
+
+impl Default for ExactLimits {
+    fn default() -> Self {
+        ExactLimits {
+            max_states: 2_000_000,
+        }
+    }
+}
+
+struct Search {
+    arrivals: Vec<u16>,
+    k: u32,
+    m: usize,
+    horizon: u16,
+    memo: HashMap<(u16, Vec<u16>), f64>,
+    limits: ExactLimits,
+    exceeded: bool,
+}
+
+impl Search {
+    /// Minimum total remaining cost from slot `t` with remaining work
+    /// `rem` (0 = done). Completion of job `j` in slot `t` costs
+    /// `(t + 1 − r_j)^k`.
+    fn solve(&mut self, t: u16, rem: &[u16]) -> f64 {
+        if rem.iter().all(|&r| r == 0) {
+            return 0.0;
+        }
+        if t >= self.horizon {
+            return f64::INFINITY; // ran out of time (horizon is generous)
+        }
+        if self.exceeded {
+            return f64::NAN;
+        }
+        let key = (t, rem.to_vec());
+        if let Some(&v) = self.memo.get(&key) {
+            return v;
+        }
+        if self.memo.len() >= self.limits.max_states {
+            self.exceeded = true;
+            return f64::NAN;
+        }
+
+        // Candidates: released, unfinished jobs.
+        let avail: Vec<usize> = (0..rem.len())
+            .filter(|&j| rem[j] > 0 && self.arrivals[j] <= t)
+            .collect();
+        let mut best = f64::INFINITY;
+        // Enumerate subsets of size ≤ m. Idling inside a busy state is
+        // never optimal with monotone costs, but subsets *smaller* than m
+        // matter when fewer jobs are available; we enumerate all subsets
+        // up to size m (including the empty one only when forced).
+        let subsets = enumerate_subsets(&avail, self.m);
+        for subset in &subsets {
+            let mut next = rem.to_vec();
+            let mut completion_cost = 0.0;
+            for &j in subset {
+                next[j] -= 1;
+                if next[j] == 0 {
+                    let flow = f64::from(t + 1 - self.arrivals[j]);
+                    completion_cost += flow.powi(self.k as i32);
+                }
+            }
+            let sub = self.solve(t + 1, &next);
+            let total = completion_cost + sub;
+            if total < best {
+                best = total;
+            }
+        }
+        if subsets.is_empty() {
+            // Nothing released yet: idle one slot.
+            best = self.solve(t + 1, rem);
+        }
+        self.memo.insert(key, best);
+        best
+    }
+}
+
+/// All non-empty subsets of `avail` with size ≤ m (plus nothing if
+/// `avail` is empty — handled by the caller).
+fn enumerate_subsets(avail: &[usize], m: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let n = avail.len();
+    if n == 0 {
+        return out;
+    }
+    // Bitmask enumeration; n is tiny here.
+    for mask in 1u32..(1 << n) {
+        if (mask.count_ones() as usize) <= m {
+            out.push(
+                (0..n)
+                    .filter(|&i| mask & (1 << i) != 0)
+                    .map(|i| avail[i])
+                    .collect(),
+            );
+        }
+    }
+    out
+}
+
+/// Exact minimum `Σ F^k` over slot-structured schedules on `m` unit-speed
+/// machines, or `None` if the instance is too large for the state budget.
+///
+/// # Panics
+/// If the trace is not integral.
+pub fn exact_slotted_opt(
+    trace: &Trace,
+    m: usize,
+    k: u32,
+    limits: ExactLimits,
+) -> Option<ExactResult> {
+    assert!(
+        trace.is_integral(1e-9),
+        "exact search needs integral traces"
+    );
+    assert!(m >= 1 && k >= 1);
+    if trace.is_empty() {
+        return Some(ExactResult {
+            power_sum: 0.0,
+            states: 0,
+        });
+    }
+    let sizes: Vec<u16> = trace.jobs().iter().map(|j| j.size.round() as u16).collect();
+    let arrivals: Vec<u16> = trace
+        .jobs()
+        .iter()
+        .map(|j| j.arrival.round() as u16)
+        .collect();
+    let horizon = (trace.makespan_upper_bound(1.0)).ceil() as u16 + 1;
+
+    let mut s = Search {
+        arrivals,
+        k,
+        m,
+        horizon,
+        memo: HashMap::new(),
+        limits,
+        exceeded: false,
+    };
+    let v = s.solve(0, &sizes);
+    if s.exceeded || !v.is_finite() {
+        None
+    } else {
+        Some(ExactResult {
+            power_sum: v,
+            states: s.memo.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tf_policies::Policy;
+    use tf_simcore::{simulate, MachineConfig, SimOptions};
+
+    fn exact(t: &Trace, m: usize, k: u32) -> f64 {
+        exact_slotted_opt(t, m, k, ExactLimits::default())
+            .unwrap()
+            .power_sum
+    }
+
+    #[test]
+    fn single_job() {
+        let t = Trace::from_pairs([(0.0, 3.0)]).unwrap();
+        assert_eq!(exact(&t, 1, 1), 3.0);
+        assert_eq!(exact(&t, 1, 2), 9.0);
+    }
+
+    #[test]
+    fn matches_srpt_for_l1_single_machine() {
+        // SRPT is exactly optimal for l1 on one machine; the slotted
+        // search must reproduce it on integral instances.
+        for pairs in [
+            vec![(0.0, 4.0), (1.0, 1.0)],
+            vec![(0.0, 2.0), (0.0, 3.0), (2.0, 1.0)],
+            vec![(0.0, 1.0), (0.0, 1.0), (0.0, 1.0), (3.0, 2.0)],
+        ] {
+            let t = Trace::from_pairs(pairs).unwrap();
+            let mut srpt = Policy::Srpt.make();
+            let opt = simulate(
+                &t,
+                srpt.as_mut(),
+                MachineConfig::new(1),
+                SimOptions::default(),
+            )
+            .unwrap()
+            .total_flow();
+            assert!((exact(&t, 1, 1) - opt).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn never_worse_than_any_policy_and_never_below_lp() {
+        let t = Trace::from_pairs([(0.0, 2.0), (0.0, 1.0), (1.0, 2.0), (3.0, 1.0)]).unwrap();
+        for m in [1usize, 2] {
+            for k in [1u32, 2, 3] {
+                let ex = exact(&t, m, k);
+                // Upper-bound property: no worse than simulated policies...
+                // policies are fractional, so they can only be matched or
+                // beaten by the slotted optimum on one machine; on m≥2
+                // fractional sharing can beat slotted schedules in
+                // principle, so only check the LP side there.
+                let lp = crate::lp::lp_relaxation_value(&t, m, k);
+                assert!(ex >= lp.objective / 2.0 - 1e-9, "m={m} k={k}");
+                if m == 1 {
+                    for p in [Policy::Srpt, Policy::Sjf, Policy::Rr] {
+                        let mut a = p.make();
+                        let v =
+                            simulate(&t, a.as_mut(), MachineConfig::new(m), SimOptions::default())
+                                .unwrap()
+                                .flow_power_sum(f64::from(k));
+                        assert!(ex <= v + 1e-9, "m={m} k={k} {p}: exact {ex} > {v}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallelism_helps() {
+        let t = Trace::from_pairs([(0.0, 2.0), (0.0, 2.0)]).unwrap();
+        let one = exact(&t, 1, 2);
+        let two = exact(&t, 2, 2);
+        assert!(two < one);
+        assert_eq!(two, 8.0); // both finish at 2: 4 + 4
+    }
+
+    #[test]
+    fn respects_release_dates() {
+        let t = Trace::from_pairs([(5.0, 1.0)]).unwrap();
+        assert_eq!(exact(&t, 1, 1), 1.0);
+    }
+
+    #[test]
+    fn state_budget_gives_none() {
+        let pairs: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 6.0)).collect();
+        let t = Trace::from_pairs(pairs).unwrap();
+        let r = exact_slotted_opt(&t, 2, 2, ExactLimits { max_states: 10 });
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn k2_prefers_balanced_tails() {
+        // Two jobs (0,1) and (0,3), one machine.
+        // Orders: short first: F = 1, 4 → 1+16 = 17 (k=2).
+        //         long first:  F = 3, 4 → 9+16 = 25. Interleavings worse.
+        let t = Trace::from_pairs([(0.0, 1.0), (0.0, 3.0)]).unwrap();
+        assert_eq!(exact(&t, 1, 2), 17.0);
+    }
+}

@@ -1,0 +1,467 @@
+//! The paper's time-indexed LP relaxation (Section 3.1), solved exactly.
+//!
+//! Variables `x_jt` = units of work done on job `j` during unit slot
+//! `[t, t+1)`, for integral traces:
+//!
+//! ```text
+//!   min   Σ_j Σ_{t ≥ r_j} x_jt · ((t − r_j)^k + p_j^k) / p_j
+//!   s.t.  Σ_t x_jt = p_j                (every job fully processed)
+//!         Σ_j x_jt ≤ m                  (machine capacity per slot)
+//!         x_jt ≤ 1                      (one machine per job per slot)
+//!         x_jt ≥ 0
+//! ```
+//!
+//! The cost uses the slot's *start* `t`, the smallest age in the slot, so
+//! every feasible speed-1 schedule's indicator solution costs at most
+//! `2 Σ_j F_j^k` — the LP optimum divided by 2 is a valid lower bound on
+//! `OPT`'s k-th power sum. (We strip the paper's scaling constant γ, which
+//! multiplies both sides.)
+//!
+//! All capacities are integers, so the LP is a transportation polytope
+//! with integral vertices; the min-cost flow solver returns its exact
+//! optimum.
+
+use crate::mcmf::MinCostFlow;
+use serde::{Deserialize, Serialize};
+use tf_policies::Fcfs;
+use tf_simcore::{simulate, MachineConfig, SimOptions, Trace};
+
+/// Exact solution of the LP relaxation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LpSolution {
+    /// The LP objective value.
+    pub objective: f64,
+    /// Time horizon (number of unit slots considered).
+    pub horizon: u64,
+    /// Units of work routed (= Σ p_j when feasible; always feasible for
+    /// the generous horizon used).
+    pub routed: i64,
+}
+
+/// Integer power helper (exact for the exponents the paper uses).
+#[inline]
+fn ipow(base: f64, k: u32) -> f64 {
+    base.powi(k as i32)
+}
+
+/// Tight LP horizon: the makespan of a concrete non-idling feasible
+/// schedule (FCFS on `m` unit-speed machines), rounded up, plus one slot.
+///
+/// Soundness: that schedule is itself a feasible LP solution inside
+/// `[0, H)`. Every per-job slot cost is nondecreasing in `t`, so by the
+/// standard transportation exchange argument any optimal solution can be
+/// rerouted off slots `≥ H` without increasing cost — restricting the
+/// horizon to `H` preserves the optimum while shrinking the network by an
+/// order of magnitude on moderately loaded instances.
+fn tight_horizon(trace: &Trace, m: usize) -> u64 {
+    let mut fcfs = Fcfs::new();
+    let sched = simulate(
+        trace,
+        &mut fcfs,
+        MachineConfig::new(m),
+        SimOptions::default(),
+    )
+    .expect("FCFS on a valid trace cannot fail");
+    (sched.makespan()).ceil() as u64 + 1
+}
+
+/// The optimal LP *solution* (not just its value): per-job slot
+/// assignments `x_jt > 0`, plus derived fractional completion times.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LpSchedule {
+    /// For each job (by id): `(slot, units)` pairs with positive flow,
+    /// sorted by slot.
+    pub assignments: Vec<Vec<(u64, i64)>>,
+    /// Fractional completion per job: the end of its last used slot.
+    pub completion: Vec<f64>,
+    /// Objective value (same as the matching [`LpSolution`]).
+    pub objective: f64,
+}
+
+impl LpSchedule {
+    /// Work assigned to job `j` (must equal `p_j` for a feasible
+    /// solution).
+    pub fn work_of(&self, job: usize) -> i64 {
+        self.assignments[job].iter().map(|&(_, u)| u).sum()
+    }
+
+    /// Per-slot total load (for capacity verification).
+    pub fn slot_loads(&self) -> std::collections::BTreeMap<u64, i64> {
+        let mut loads = std::collections::BTreeMap::new();
+        for a in &self.assignments {
+            for &(t, u) in a {
+                *loads.entry(t).or_insert(0) += u;
+            }
+        }
+        loads
+    }
+}
+
+/// Solve the LP and extract the optimal assignment — the "fractional
+/// OPT" schedule the paper's relaxation describes. Useful for inspecting
+/// how the relaxation beats every integral schedule (E11) and for
+/// verifying optimality conditions in tests.
+///
+/// # Panics
+/// As [`lp_relaxation_value`].
+pub fn lp_relaxation_solution(trace: &Trace, m: usize, k: u32) -> LpSchedule {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(
+        trace.is_integral(1e-9),
+        "LP relaxation needs integral traces"
+    );
+    assert!(m >= 1);
+    let n = trace.len();
+    if n == 0 {
+        return LpSchedule {
+            assignments: vec![],
+            completion: vec![],
+            objective: 0.0,
+        };
+    }
+    let horizon = tight_horizon(trace, m);
+    let slots = horizon as usize;
+    let source = 0usize;
+    let job0 = 1usize;
+    let slot0 = job0 + n;
+    let sink = slot0 + slots;
+    let mut g = MinCostFlow::new(sink + 1);
+
+    let mut total_supply: i64 = 0;
+    let mut edge_ids: Vec<Vec<(u64, usize)>> = vec![Vec::new(); n];
+    for (ji, j) in trace.jobs().iter().enumerate() {
+        let p = j.size.round() as i64;
+        let r = j.arrival.round() as u64;
+        total_supply += p;
+        g.add_edge(source, job0 + ji, p, 0.0);
+        let pk = ipow(j.size, k);
+        for t in r..horizon {
+            let age = (t - r) as f64;
+            let cost = (ipow(age, k) + pk) / j.size;
+            let id = g.add_edge(job0 + ji, slot0 + t as usize, 1, cost);
+            edge_ids[ji].push((t, id));
+        }
+    }
+    for t in 0..slots {
+        g.add_edge(slot0 + t, sink, m as i64, 0.0);
+    }
+    let res = g.solve(source, sink, total_supply);
+    debug_assert_eq!(res.flow, total_supply);
+
+    let mut assignments = Vec::with_capacity(n);
+    let mut completion = Vec::with_capacity(n);
+    for ids in &edge_ids {
+        let mut a: Vec<(u64, i64)> = ids
+            .iter()
+            .filter_map(|&(t, id)| {
+                let f = g.flow_on(id);
+                (f > 0).then_some((t, f))
+            })
+            .collect();
+        a.sort_by_key(|&(t, _)| t);
+        completion.push(a.last().map_or(0.0, |&(t, _)| (t + 1) as f64));
+        assignments.push(a);
+    }
+    LpSchedule {
+        assignments,
+        completion,
+        objective: res.cost,
+    }
+}
+
+/// Solve the LP relaxation for an integral trace on `m` unit-speed
+/// machines with exponent `k ≥ 1`.
+///
+/// # Panics
+/// If the trace is not integral (use [`Trace::to_integral`] first) or
+/// `k = 0`.
+pub fn lp_relaxation_value(trace: &Trace, m: usize, k: u32) -> LpSolution {
+    lp_relaxation_value_weighted(trace, m, k, false)
+}
+
+/// The weighted variant: minimizes a relaxation of `Σ_j w_j F_j^k` (the
+/// cost of job `j`'s slots is multiplied by its trace weight). With
+/// `weighted = false` all weights are treated as 1, recovering the
+/// paper's (unweighted) LP. Soundness argument is identical — the weight
+/// multiplies both sides of the per-job inequality.
+///
+/// # Panics
+/// As [`lp_relaxation_value`].
+pub fn lp_relaxation_value_weighted(trace: &Trace, m: usize, k: u32, weighted: bool) -> LpSolution {
+    lp_relaxation_value_at_horizon(trace, m, k, weighted, None)
+}
+
+/// As [`lp_relaxation_value_weighted`], but with an explicit horizon
+/// override (must be at least the tight FCFS horizon to stay feasible).
+/// Exposed so validation code can confirm the tight-horizon optimization
+/// is lossless; everyday callers should pass `None`.
+pub fn lp_relaxation_value_at_horizon(
+    trace: &Trace,
+    m: usize,
+    k: u32,
+    weighted: bool,
+    horizon_override: Option<u64>,
+) -> LpSolution {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(
+        trace.is_integral(1e-9),
+        "LP relaxation needs integral traces"
+    );
+    assert!(m >= 1);
+    if trace.is_empty() {
+        return LpSolution {
+            objective: 0.0,
+            horizon: 0,
+            routed: 0,
+        };
+    }
+
+    let tight = tight_horizon(trace, m);
+    let horizon = match horizon_override {
+        Some(h) => {
+            assert!(h >= tight, "horizon override below the feasible minimum");
+            h
+        }
+        None => tight,
+    };
+    let n = trace.len();
+    let slots = horizon as usize;
+
+    // Nodes: source, jobs, slots, sink.
+    let source = 0usize;
+    let job0 = 1usize;
+    let slot0 = job0 + n;
+    let sink = slot0 + slots;
+    let mut g = MinCostFlow::new(sink + 1);
+
+    let mut total_supply: i64 = 0;
+    for (ji, j) in trace.jobs().iter().enumerate() {
+        let p = j.size.round() as i64;
+        let r = j.arrival.round() as u64;
+        total_supply += p;
+        g.add_edge(source, job0 + ji, p, 0.0);
+        let pk = ipow(j.size, k);
+        let w = if weighted { j.weight } else { 1.0 };
+        for t in r..horizon {
+            let age = (t - r) as f64;
+            let cost = w * (ipow(age, k) + pk) / j.size;
+            g.add_edge(job0 + ji, slot0 + t as usize, 1, cost);
+        }
+    }
+    for t in 0..slots {
+        g.add_edge(slot0 + t, sink, m as i64, 0.0);
+    }
+
+    let r = g.solve(source, sink, total_supply);
+    debug_assert_eq!(r.flow, total_supply, "horizon too small for feasibility");
+    LpSolution {
+        objective: r.cost,
+        horizon,
+        routed: r.flow,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_unit_job() {
+        // Job (0, 1), k=1: one slot at cost (0 + 1)/1 = 1.
+        let t = Trace::from_pairs([(0.0, 1.0)]).unwrap();
+        let s = lp_relaxation_value(&t, 1, 1);
+        assert!((s.objective - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_job_size_three_k1() {
+        // Job (0, 3), k=1: slots 0,1,2 with costs (0+3)/3, (1+3)/3, (2+3)/3
+        // = 1 + 4/3 + 5/3 = 4.
+        let t = Trace::from_pairs([(0.0, 3.0)]).unwrap();
+        let s = lp_relaxation_value(&t, 1, 1);
+        assert!((s.objective - 4.0).abs() < 1e-9, "{}", s.objective);
+    }
+
+    #[test]
+    fn single_job_k2() {
+        // Job (0, 2), k=2: slots 0,1: (0+4)/2 + (1+4)/2 = 4.5.
+        let t = Trace::from_pairs([(0.0, 2.0)]).unwrap();
+        let s = lp_relaxation_value(&t, 1, 2);
+        assert!((s.objective - 4.5).abs() < 1e-9, "{}", s.objective);
+    }
+
+    #[test]
+    fn contention_pushes_into_later_slots() {
+        // Two unit jobs at t=0, one machine, k=1: slots 0 and 1, costs
+        // (0+1) and (1+1): total 3.
+        let t = Trace::from_pairs([(0.0, 1.0), (0.0, 1.0)]).unwrap();
+        let s = lp_relaxation_value(&t, 1, 1);
+        assert!((s.objective - 3.0).abs() < 1e-9, "{}", s.objective);
+        // Two machines: both in slot 0 → 2.
+        let s = lp_relaxation_value(&t, 2, 1);
+        assert!((s.objective - 2.0).abs() < 1e-9, "{}", s.objective);
+    }
+
+    #[test]
+    fn per_job_slot_cap_binds() {
+        // One job of size 2 on two machines still needs two slots (x_jt ≤ 1):
+        // k=1 cost = (0+2)/2 + (1+2)/2 = 2.5, not 2.
+        let t = Trace::from_pairs([(0.0, 2.0)]).unwrap();
+        let s = lp_relaxation_value(&t, 2, 1);
+        assert!((s.objective - 2.5).abs() < 1e-9, "{}", s.objective);
+    }
+
+    #[test]
+    fn release_dates_respected() {
+        // Job (5, 1), k=1: earliest slot 5, age 0 → cost 1 regardless of
+        // earlier idle slots.
+        let t = Trace::from_pairs([(5.0, 1.0)]).unwrap();
+        let s = lp_relaxation_value(&t, 1, 1);
+        assert!((s.objective - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lp_halved_lower_bounds_feasible_schedules() {
+        // Compare LP/2 against the k-th power sum of an actual optimal-ish
+        // schedule (SRPT at speed 1).
+        use tf_policies::Policy;
+        use tf_simcore::{simulate, MachineConfig, SimOptions};
+        let t = Trace::from_pairs([(0.0, 3.0), (1.0, 1.0), (2.0, 2.0), (2.0, 1.0)]).unwrap();
+        for m in [1usize, 2] {
+            for k in [1u32, 2, 3] {
+                let lp = lp_relaxation_value(&t, m, k);
+                let mut srpt = Policy::Srpt.make();
+                let s = simulate(
+                    &t,
+                    srpt.as_mut(),
+                    MachineConfig::new(m),
+                    SimOptions::default(),
+                )
+                .unwrap();
+                let obj = s.flow_power_sum(f64::from(k));
+                assert!(
+                    lp.objective / 2.0 <= obj + 1e-9,
+                    "m={m} k={k}: LP/2 {} > SRPT {obj}",
+                    lp.objective / 2.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solution_extraction_is_feasible_and_matches_value() {
+        let t = Trace::from_pairs([(0.0, 2.0), (0.0, 1.0), (1.0, 3.0), (4.0, 1.0)]).unwrap();
+        for m in [1usize, 2] {
+            for k in [1u32, 2] {
+                let val = lp_relaxation_value(&t, m, k);
+                let sol = lp_relaxation_solution(&t, m, k);
+                assert!((sol.objective - val.objective).abs() < 1e-9, "m={m} k={k}");
+                // Feasibility: every job fully assigned, within release
+                // dates, per-slot cap m, per-job-slot cap 1.
+                for j in t.jobs() {
+                    assert_eq!(sol.work_of(j.id as usize), j.size.round() as i64);
+                    for &(slot, units) in &sol.assignments[j.id as usize] {
+                        assert!(slot as f64 >= j.arrival);
+                        assert!(units == 1, "per-slot cap violated");
+                    }
+                }
+                for (_, load) in sol.slot_loads() {
+                    assert!(load <= m as i64);
+                }
+                // Fractional completion ≥ arrival + size for every job.
+                for j in t.jobs() {
+                    assert!(sol.completion[j.id as usize] >= j.arrival + 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solution_prefers_early_slots() {
+        // Single job: its slots must be exactly r..r+p (costs increase).
+        let t = Trace::from_pairs([(2.0, 3.0)]).unwrap();
+        let sol = lp_relaxation_solution(&t, 1, 2);
+        let slots: Vec<u64> = sol.assignments[0].iter().map(|&(t, _)| t).collect();
+        assert_eq!(slots, vec![2, 3, 4]);
+        assert_eq!(sol.completion[0], 5.0);
+    }
+
+    #[test]
+    fn weighted_lp_scales_costs() {
+        // One weighted job: objective scales linearly with the weight.
+        use tf_simcore::TraceBuilder;
+        let mut b = TraceBuilder::new();
+        b.push_weighted(0.0, 3.0, 5.0);
+        let t = b.build().unwrap();
+        let unweighted = lp_relaxation_value_weighted(&t, 1, 1, false);
+        let weighted = lp_relaxation_value_weighted(&t, 1, 1, true);
+        assert!((weighted.objective - 5.0 * unweighted.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_lp_prioritizes_heavy_jobs() {
+        // Two unit jobs at t=0, one machine; the heavy one should take the
+        // early slot. Weighted objective: w_heavy·1 + w_light·2 <
+        // w_heavy·2 + w_light·1 iff w_heavy > w_light.
+        use tf_simcore::TraceBuilder;
+        let mut b = TraceBuilder::new();
+        b.push_weighted(0.0, 1.0, 10.0);
+        b.push_weighted(0.0, 1.0, 1.0);
+        let t = b.build().unwrap();
+        let s = lp_relaxation_value_weighted(&t, 1, 1, true);
+        // heavy in slot 0: 10·(0+1)/1 + 1·(1+1)/1 = 12.
+        assert!((s.objective - 12.0).abs() < 1e-9, "{}", s.objective);
+    }
+
+    #[test]
+    fn weighted_lp_halved_lower_bounds_weighted_flow() {
+        use tf_metrics_free::weighted_power_sum_of;
+        use tf_policies::Policy;
+        use tf_simcore::{simulate, MachineConfig, SimOptions, TraceBuilder};
+        let mut b = TraceBuilder::new();
+        b.push_weighted(0.0, 3.0, 2.0);
+        b.push_weighted(1.0, 1.0, 5.0);
+        b.push_weighted(1.0, 2.0, 1.0);
+        let t = b.build().unwrap();
+        for k in [1u32, 2] {
+            let lp = lp_relaxation_value_weighted(&t, 1, k, true);
+            for p in [Policy::Hdf, Policy::Srpt, Policy::Rr] {
+                let mut a = p.make();
+                let s =
+                    simulate(&t, a.as_mut(), MachineConfig::new(1), SimOptions::default()).unwrap();
+                let obj = weighted_power_sum_of(&t, &s.flow, f64::from(k));
+                assert!(lp.objective / 2.0 <= obj + 1e-9, "k={k} {p}");
+            }
+        }
+    }
+
+    /// Tiny local helper: weighted power sum without depending on
+    /// tf-metrics (which does not depend on us either way — kept local to
+    /// avoid a dev-dependency cycle risk).
+    mod tf_metrics_free {
+        use tf_simcore::Trace;
+
+        pub fn weighted_power_sum_of(trace: &Trace, flows: &[f64], k: f64) -> f64 {
+            trace
+                .jobs()
+                .iter()
+                .map(|j| j.weight * flows[j.id as usize].powf(k))
+                .sum()
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "integral")]
+    fn fractional_trace_rejected() {
+        let t = Trace::from_pairs([(0.5, 1.0)]).unwrap();
+        lp_relaxation_value(&t, 1, 1);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::from_pairs(std::iter::empty()).unwrap();
+        let s = lp_relaxation_value(&t, 1, 2);
+        assert_eq!(s.objective, 0.0);
+        assert_eq!(s.routed, 0);
+    }
+}

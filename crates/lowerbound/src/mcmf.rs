@@ -1,0 +1,458 @@
+//! Minimum-cost maximum-flow via successive shortest paths with Johnson
+//! potentials.
+//!
+//! Capacities are integers (`i64`), costs are non-negative `f64`. With all
+//! original costs non-negative the initial potentials are zero and every
+//! iteration runs Dijkstra on reduced costs; tiny negative reduced costs
+//! from floating-point rounding are clamped. This is exact for the
+//! transportation LPs built in [`crate::lp`] (integral optimal solutions
+//! exist; path costs are sums of ≤ 3 terms, so rounding error is ~ulps).
+
+/// One directed edge; edge `i ^ 1` is its residual twin.
+#[derive(Debug, Clone)]
+struct Edge {
+    to: u32,
+    cap: i64,
+    cost: f64,
+}
+
+/// A min-cost max-flow problem instance / solver.
+#[derive(Debug, Default, Clone)]
+pub struct MinCostFlow {
+    graph: Vec<Vec<u32>>, // node -> indices into `edges`
+    edges: Vec<Edge>,
+}
+
+/// Result of a [`MinCostFlow::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowResult {
+    /// Units of flow actually routed (≤ the requested amount).
+    pub flow: i64,
+    /// Total cost of the routed flow.
+    pub cost: f64,
+}
+
+impl MinCostFlow {
+    /// A problem with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        MinCostFlow {
+            graph: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// True iff the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// Add a directed edge `u → v` with capacity `cap ≥ 0` and cost
+    /// `cost ≥ 0`. Returns the edge index (useful to query final flow via
+    /// [`MinCostFlow::flow_on`]).
+    ///
+    /// # Panics
+    /// If `cost` is negative or non-finite, or a node is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize, cap: i64, cost: f64) -> usize {
+        assert!(
+            cost >= 0.0 && cost.is_finite(),
+            "costs must be non-negative, got {cost}"
+        );
+        assert!(
+            u < self.graph.len() && v < self.graph.len(),
+            "node out of range"
+        );
+        let id = self.edges.len();
+        self.graph[u].push(id as u32);
+        self.edges.push(Edge {
+            to: v as u32,
+            cap,
+            cost,
+        });
+        self.graph[v].push((id + 1) as u32);
+        self.edges.push(Edge {
+            to: u as u32,
+            cap: 0,
+            cost: -cost,
+        });
+        id
+    }
+
+    /// Flow currently on edge `id` (as returned by `add_edge`).
+    pub fn flow_on(&self, id: usize) -> i64 {
+        self.edges[id ^ 1].cap
+    }
+
+    /// Route up to `target` units of flow from `s` to `t` at minimum cost.
+    /// Routes the maximum feasible amount if less than `target` fits.
+    pub fn solve(&mut self, s: usize, t: usize, target: i64) -> FlowResult {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let n = self.graph.len();
+        let mut potential = vec![0.0f64; n];
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev_edge = vec![u32::MAX; n];
+        let mut total_flow = 0i64;
+        let mut total_cost = 0.0f64;
+
+        while total_flow < target {
+            // Dijkstra on reduced costs.
+            dist.fill(f64::INFINITY);
+            prev_edge.fill(u32::MAX);
+            dist[s] = 0.0;
+            let mut heap: BinaryHeap<Reverse<HeapItem>> = BinaryHeap::new();
+            heap.push(Reverse(HeapItem {
+                dist: 0.0,
+                node: s as u32,
+            }));
+            while let Some(Reverse(HeapItem { dist: d, node })) = heap.pop() {
+                let u = node as usize;
+                if d > dist[u] {
+                    continue;
+                }
+                for &eid in &self.graph[u] {
+                    let e = &self.edges[eid as usize];
+                    if e.cap <= 0 {
+                        continue;
+                    }
+                    let v = e.to as usize;
+                    // Reduced cost; clamp fp noise.
+                    let rc = (e.cost + potential[u] - potential[v]).max(0.0);
+                    let nd = d + rc;
+                    if nd < dist[v] {
+                        dist[v] = nd;
+                        prev_edge[v] = eid;
+                        heap.push(Reverse(HeapItem {
+                            dist: nd,
+                            node: v as u32,
+                        }));
+                    }
+                }
+            }
+            if !dist[t].is_finite() {
+                break; // no augmenting path
+            }
+            for (p, &d) in potential.iter_mut().zip(&dist) {
+                if d.is_finite() {
+                    *p += d;
+                }
+            }
+            // Bottleneck along the path.
+            let mut push = target - total_flow;
+            let mut v = t;
+            while v != s {
+                let eid = prev_edge[v] as usize;
+                push = push.min(self.edges[eid].cap);
+                v = self.edges[eid ^ 1].to as usize;
+            }
+            // Apply.
+            let mut v = t;
+            while v != s {
+                let eid = prev_edge[v] as usize;
+                self.edges[eid].cap -= push;
+                self.edges[eid ^ 1].cap += push;
+                total_cost += self.edges[eid].cost * push as f64;
+                v = self.edges[eid ^ 1].to as usize;
+            }
+            total_flow += push;
+        }
+        FlowResult {
+            flow: total_flow,
+            cost: total_cost,
+        }
+    }
+
+    /// Independent optimality certificate for the current flow: a flow of
+    /// its value is minimum-cost **iff the residual graph has no
+    /// negative-cost cycle** (the classical criterion — it does not depend
+    /// on how the flow was computed). Runs Bellman–Ford over all residual
+    /// edges; `tol` absorbs f64 rounding along cycles.
+    ///
+    /// Intended for tests and audits (`O(V·E)`), not hot paths.
+    pub fn verify_optimal(&self, tol: f64) -> bool {
+        let n = self.graph.len();
+        let mut dist = vec![0.0f64; n]; // virtual super-source to all nodes
+        for round in 0..n {
+            let mut changed = false;
+            for u in 0..n {
+                for &eid in &self.graph[u] {
+                    let e = &self.edges[eid as usize];
+                    if e.cap <= 0 {
+                        continue;
+                    }
+                    let v = e.to as usize;
+                    if dist[u] + e.cost < dist[v] - tol {
+                        dist[v] = dist[u] + e.cost;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return true; // converged: no negative cycle
+            }
+            if round == n - 1 {
+                return false; // still relaxing after V rounds: negative cycle
+            }
+        }
+        true
+    }
+}
+
+/// Heap entry ordered by `dist` (f64), with a total order for the heap.
+#[derive(PartialEq)]
+struct HeapItem {
+    dist: f64,
+    node: u32,
+}
+
+impl Eq for HeapItem {}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dist
+            .partial_cmp(&other.dist)
+            .expect("finite distances")
+            .then_with(|| self.node.cmp(&other.node))
+    }
+}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge() {
+        let mut g = MinCostFlow::new(2);
+        let e = g.add_edge(0, 1, 5, 2.0);
+        let r = g.solve(0, 1, 3);
+        assert_eq!(r, FlowResult { flow: 3, cost: 6.0 });
+        assert_eq!(g.flow_on(e), 3);
+    }
+
+    #[test]
+    fn caps_limit_flow() {
+        let mut g = MinCostFlow::new(2);
+        g.add_edge(0, 1, 2, 1.0);
+        let r = g.solve(0, 1, 10);
+        assert_eq!(r.flow, 2);
+        assert_eq!(r.cost, 2.0);
+    }
+
+    #[test]
+    fn prefers_cheap_path_then_spills() {
+        // Two parallel paths 0→1: direct cost 1 cap 1; via 2 cost 3 cap 5.
+        let mut g = MinCostFlow::new(3);
+        g.add_edge(0, 1, 1, 1.0);
+        g.add_edge(0, 2, 5, 1.0);
+        g.add_edge(2, 1, 5, 2.0);
+        let r = g.solve(0, 1, 3);
+        assert_eq!(r.flow, 3);
+        assert!((r.cost - (1.0 + 2.0 * 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rerouting_through_residual_edges() {
+        // Classic rerouting: a greedy first path must be partially undone.
+        //    0 →(1,$1) 1 →(1,$1) 3
+        //    0 →(1,$2) 2 →(1,$2) 3
+        //    1 →(1,$0) 2
+        // Max flow 2; optimal routes 0-1-3 and 0-2-3 (cost 1+1+2+2 = 6).
+        // A naive shortest-first pass may try 0-1-2-3; SSP must still land
+        // on 6 total.
+        let mut g = MinCostFlow::new(4);
+        g.add_edge(0, 1, 1, 1.0);
+        g.add_edge(1, 3, 1, 1.0);
+        g.add_edge(0, 2, 1, 2.0);
+        g.add_edge(2, 3, 1, 2.0);
+        g.add_edge(1, 2, 1, 0.0);
+        let r = g.solve(0, 3, 2);
+        assert_eq!(r.flow, 2);
+        assert!((r.cost - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transportation_instance_matches_hand_optimum() {
+        // 2 supplies × 2 sinks. Supply a: 2 units, b: 1 unit. Sinks x: cap
+        // 2, y: cap 2. Costs: a→x 1, a→y 5, b→x 2, b→y 1.
+        // Optimum: a sends 2 to x (2), b sends 1 to y (1). Total 3.
+        let (s, a, b, x, y, t) = (0, 1, 2, 3, 4, 5);
+        let mut g = MinCostFlow::new(6);
+        g.add_edge(s, a, 2, 0.0);
+        g.add_edge(s, b, 1, 0.0);
+        g.add_edge(a, x, 9, 1.0);
+        g.add_edge(a, y, 9, 5.0);
+        g.add_edge(b, x, 9, 2.0);
+        g.add_edge(b, y, 9, 1.0);
+        g.add_edge(x, t, 2, 0.0);
+        g.add_edge(y, t, 2, 0.0);
+        let r = g.solve(s, t, 3);
+        assert_eq!(r.flow, 3);
+        assert!((r.cost - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contention_forces_expensive_slots() {
+        // Like one LP slot capacity: both supplies want sink x (cheap) but
+        // x caps at 1.
+        let (s, a, b, x, y, t) = (0, 1, 2, 3, 4, 5);
+        let mut g = MinCostFlow::new(6);
+        g.add_edge(s, a, 1, 0.0);
+        g.add_edge(s, b, 1, 0.0);
+        g.add_edge(a, x, 1, 1.0);
+        g.add_edge(a, y, 1, 10.0);
+        g.add_edge(b, x, 1, 1.0);
+        g.add_edge(b, y, 1, 2.0);
+        g.add_edge(x, t, 1, 0.0);
+        g.add_edge(y, t, 9, 0.0);
+        let r = g.solve(s, t, 2);
+        assert_eq!(r.flow, 2);
+        // a takes x (1), b takes y (2).
+        assert!((r.cost - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_sink_routes_nothing() {
+        let mut g = MinCostFlow::new(3);
+        g.add_edge(0, 1, 1, 1.0);
+        let r = g.solve(0, 2, 5);
+        assert_eq!(r, FlowResult { flow: 0, cost: 0.0 });
+    }
+
+    #[test]
+    fn zero_target_is_a_noop() {
+        let mut g = MinCostFlow::new(2);
+        g.add_edge(0, 1, 1, 1.0);
+        let r = g.solve(0, 1, 0);
+        assert_eq!(r, FlowResult { flow: 0, cost: 0.0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_costs_rejected() {
+        let mut g = MinCostFlow::new(2);
+        g.add_edge(0, 1, 1, -1.0);
+    }
+
+    #[test]
+    fn solver_output_passes_optimality_certificate() {
+        // Reuse the rerouting instance: after solve, the residual graph
+        // must be free of negative cycles.
+        let mut g = MinCostFlow::new(4);
+        g.add_edge(0, 1, 1, 1.0);
+        g.add_edge(1, 3, 1, 1.0);
+        g.add_edge(0, 2, 1, 2.0);
+        g.add_edge(2, 3, 1, 2.0);
+        g.add_edge(1, 2, 1, 0.0);
+        g.solve(0, 3, 2);
+        assert!(g.verify_optimal(1e-9));
+    }
+
+    #[test]
+    fn certificate_rejects_suboptimal_flows() {
+        // Hand-build a suboptimal routing: push along the expensive path
+        // while the cheap one is idle → residual negative cycle.
+        //   0 →(cap1,$1) 1 →(cap1,$1) 3   (cheap, idle)
+        //   0 →(cap1,$5) 2 →(cap1,$5) 3   (expensive, used)
+        //   1 ↔ 2 free edges to close the cycle.
+        let mut g = MinCostFlow::new(4);
+        let _cheap1 = g.add_edge(0, 1, 1, 1.0);
+        let _cheap2 = g.add_edge(1, 3, 1, 1.0);
+        let exp1 = g.add_edge(0, 2, 1, 5.0);
+        let exp2 = g.add_edge(2, 3, 1, 5.0);
+        g.add_edge(1, 2, 1, 0.0);
+        g.add_edge(2, 1, 1, 0.0);
+        // Manually saturate the expensive path (bypassing solve).
+        for id in [exp1, exp2] {
+            g.edges[id].cap -= 1;
+            g.edges[id ^ 1].cap += 1;
+        }
+        assert!(!g.verify_optimal(1e-9));
+    }
+
+    #[test]
+    fn lp_solutions_are_certified_optimal() {
+        // End-to-end: the LP builder's solved network passes the
+        // independent certificate (exercised for a couple of shapes).
+        use tf_simcore::Trace;
+        for pairs in [
+            vec![(0.0, 2.0), (0.0, 1.0), (1.0, 3.0)],
+            vec![(0.0, 1.0), (2.0, 2.0), (2.0, 2.0), (5.0, 1.0)],
+        ] {
+            let t = Trace::from_pairs(pairs).unwrap();
+            // Rebuild the LP network by hand via the public API is not
+            // exposed; instead exercise the solver on the same shape:
+            // jobs → slots with increasing costs.
+            let n = t.len();
+            let horizon = t.makespan_upper_bound(1.0).ceil() as usize + 1;
+            let (s, sink) = (0usize, 1 + n + horizon);
+            let mut g = MinCostFlow::new(sink + 1);
+            let mut supply = 0;
+            for (ji, j) in t.jobs().iter().enumerate() {
+                let p = j.size.round() as i64;
+                supply += p;
+                g.add_edge(s, 1 + ji, p, 0.0);
+                for slot in (j.arrival as usize)..horizon {
+                    let age = slot as f64 - j.arrival;
+                    g.add_edge(1 + ji, 1 + n + slot, 1, (age * age + j.size * j.size) / j.size);
+                }
+            }
+            for slot in 0..horizon {
+                g.add_edge(1 + n + slot, sink, 1, 0.0);
+            }
+            let r = g.solve(s, sink, supply);
+            assert_eq!(r.flow, supply);
+            assert!(g.verify_optimal(1e-6), "negative residual cycle left");
+        }
+    }
+
+    #[test]
+    fn random_instances_match_bruteforce() {
+        // Exhaustive check on tiny random transportation instances:
+        // 2 supplies (1 unit each) × 3 sinks (cap 1): enumerate all
+        // assignments and compare.
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..50 {
+            let costs: Vec<Vec<f64>> = (0..2)
+                .map(|_| (0..3).map(|_| (next() * 10.0).round()).collect())
+                .collect();
+            // Brute force: pick distinct sinks for the two supplies.
+            let mut best = f64::INFINITY;
+            for (x, cx) in costs[0].iter().enumerate() {
+                for (y, cy) in costs[1].iter().enumerate() {
+                    if x != y {
+                        best = best.min(cx + cy);
+                    }
+                }
+            }
+            let (s, t) = (0usize, 6usize);
+            let mut g = MinCostFlow::new(7);
+            for (a, row) in costs.iter().enumerate() {
+                g.add_edge(s, 1 + a, 1, 0.0);
+                for (x, &c) in row.iter().enumerate() {
+                    g.add_edge(1 + a, 3 + x, 1, c);
+                }
+            }
+            for x in 0..3 {
+                g.add_edge(3 + x, t, 1, 0.0);
+            }
+            let r = g.solve(s, t, 2);
+            assert_eq!(r.flow, 2);
+            assert!((r.cost - best).abs() < 1e-9, "{} vs {best}", r.cost);
+        }
+    }
+}

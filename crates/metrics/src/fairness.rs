@@ -1,0 +1,239 @@
+//! Instantaneous fairness measures.
+//!
+//! The paper's premise: RR is the canonical *instantaneously fair* policy
+//! ("giving an equal share of the machine(s) to all jobs at all times",
+//! which "coincides with maximizing the minimum fairness"). This module
+//! quantifies that claim on recorded profiles so experiment E8 can show RR
+//! at Jain index exactly 1 and priority policies well below it.
+
+use serde::{Deserialize, Serialize};
+use tf_simcore::Profile;
+
+/// Jain's fairness index of an allocation vector:
+/// `(Σ x)² / (n · Σ x²)`, in `(0, 1]`, equal to 1 iff all entries are
+/// equal. An all-zero vector yields 1.0 (vacuously fair).
+pub fn jain_index(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = x.iter().sum();
+    let sq: f64 = x.iter().map(|&v| v * v).sum();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (x.len() as f64 * sq)
+}
+
+/// One point of the fairness time series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FairnessPoint {
+    /// Segment start time.
+    pub t: f64,
+    /// Duration the allocation was in force.
+    pub duration: f64,
+    /// Number of alive jobs.
+    pub n_alive: usize,
+    /// Jain index of the per-job rate vector.
+    pub jain: f64,
+    /// Minimum rate among alive jobs (max-min fairness looks at this).
+    pub min_rate: f64,
+}
+
+/// The fairness trajectory of a whole schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FairnessSeries {
+    /// One point per profile segment.
+    pub points: Vec<FairnessPoint>,
+}
+
+impl FairnessSeries {
+    /// Duration-weighted average Jain index over segments with at least two
+    /// alive jobs (a single job is trivially "fair"; including such
+    /// segments would flatter unfair policies).
+    pub fn mean_jain(&self) -> f64 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for p in &self.points {
+            if p.n_alive >= 2 {
+                num += p.jain * p.duration;
+                den += p.duration;
+            }
+        }
+        if den == 0.0 {
+            1.0
+        } else {
+            num / den
+        }
+    }
+
+    /// Worst (minimum) Jain index over contended segments.
+    pub fn min_jain(&self) -> f64 {
+        self.points
+            .iter()
+            .filter(|p| p.n_alive >= 2)
+            .map(|p| p.jain)
+            .fold(1.0, f64::min)
+    }
+
+    /// Total time during which some alive job was completely starved
+    /// (rate 0) while others ran.
+    pub fn starvation_time(&self) -> f64 {
+        self.points
+            .iter()
+            .filter(|p| p.n_alive >= 2 && p.min_rate <= 1e-12)
+            .map(|p| p.duration)
+            .sum()
+    }
+}
+
+/// Longest contiguous *service-denial* interval per job: the maximum
+/// stretch of time during which the job was alive but received zero rate.
+/// This is the quantitative form of "starving for service" from the
+/// paper's introduction — a job making no progress at all, however long
+/// its eventual flow turns out to be. Indexed by job id; jobs that never
+/// appear get 0.
+pub fn job_starvation(profile: &Profile, n_jobs: usize) -> Vec<f64> {
+    let mut worst = vec![0.0f64; n_jobs];
+    let mut streak = vec![0.0f64; n_jobs];
+    for seg in &profile.segments {
+        for &(id, rate) in &seg.rates {
+            let i = id as usize;
+            if i >= n_jobs {
+                continue;
+            }
+            if rate <= 1e-12 {
+                streak[i] += seg.duration();
+                worst[i] = worst[i].max(streak[i]);
+            } else {
+                streak[i] = 0.0;
+            }
+        }
+    }
+    worst
+}
+
+/// Compute the instantaneous fairness series of a recorded profile.
+pub fn instantaneous_fairness(profile: &Profile) -> FairnessSeries {
+    let points = profile
+        .segments
+        .iter()
+        .map(|seg| {
+            let rates: Vec<f64> = seg.rates.iter().map(|&(_, r)| r).collect();
+            FairnessPoint {
+                t: seg.t0,
+                duration: seg.duration(),
+                n_alive: rates.len(),
+                jain: jain_index(&rates),
+                min_rate: rates.iter().fold(f64::INFINITY, |a, &r| a.min(r)),
+            }
+        })
+        .collect();
+    FairnessSeries { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tf_simcore::profile::Segment;
+
+    #[test]
+    fn jain_basics() {
+        assert_eq!(jain_index(&[1.0, 1.0, 1.0]), 1.0);
+        assert!((jain_index(&[1.0, 0.0]) - 0.5).abs() < 1e-12);
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        // n-way: one active of n → 1/n.
+        let mut v = vec![0.0; 10];
+        v[3] = 2.0;
+        assert!((jain_index(&v) - 0.1).abs() < 1e-12);
+    }
+
+    fn seg(t0: f64, t1: f64, rates: &[(u32, f64)]) -> Segment {
+        Segment {
+            t0,
+            t1,
+            rates: rates.to_vec(),
+        }
+    }
+
+    #[test]
+    fn series_from_profile() {
+        let p = Profile {
+            segments: vec![
+                seg(0.0, 1.0, &[(0, 0.5), (1, 0.5)]), // fair
+                seg(1.0, 3.0, &[(0, 1.0), (1, 0.0)]), // starving job 1
+                seg(3.0, 4.0, &[(1, 1.0)]),           // single job: skipped
+            ],
+            m: 1,
+            speed: 1.0,
+        };
+        let s = instantaneous_fairness(&p);
+        assert_eq!(s.points.len(), 3);
+        assert_eq!(s.points[0].jain, 1.0);
+        assert!((s.points[1].jain - 0.5).abs() < 1e-12);
+        // Weighted mean over contended time: (1·1 + 0.5·2)/3.
+        assert!((s.mean_jain() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.min_jain() - 0.5).abs() < 1e-12);
+        assert!((s.starvation_time() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rr_profile_is_perfectly_fair() {
+        // Simulate RR inline (equal shares by construction).
+        use tf_simcore::{simulate, AliveJob, MachineConfig, RateAllocator, SimOptions, Trace};
+        struct Rr;
+        impl RateAllocator for Rr {
+            fn name(&self) -> &'static str {
+                "RR"
+            }
+            fn allocate(
+                &mut self,
+                _: f64,
+                alive: &[AliveJob],
+                cfg: &MachineConfig,
+                rates: &mut [f64],
+            ) {
+                rates.fill(cfg.speed * (cfg.m as f64 / alive.len() as f64).min(1.0));
+            }
+        }
+        let t = Trace::from_pairs([(0.0, 2.0), (0.5, 1.0), (1.0, 4.0)]).unwrap();
+        let sched = simulate(
+            &t,
+            &mut Rr,
+            MachineConfig::new(1),
+            SimOptions::with_profile(),
+        )
+        .unwrap();
+        let series = instantaneous_fairness(sched.profile.as_ref().unwrap());
+        assert_eq!(series.mean_jain(), 1.0);
+        assert_eq!(series.min_jain(), 1.0);
+        assert_eq!(series.starvation_time(), 0.0);
+    }
+
+    #[test]
+    fn job_starvation_tracks_longest_zero_streak() {
+        let p = Profile {
+            segments: vec![
+                seg(0.0, 1.0, &[(0, 1.0), (1, 0.0)]),
+                seg(1.0, 3.0, &[(0, 1.0), (1, 0.0)]), // streak continues: 3
+                seg(3.0, 4.0, &[(0, 0.0), (1, 1.0)]), // job1 breaks; job0 starves 1
+                seg(4.0, 5.0, &[(1, 0.0)]),           // job1 starves again: 1
+            ],
+            m: 1,
+            speed: 1.0,
+        };
+        let s = job_starvation(&p, 2);
+        assert!((s[0] - 1.0).abs() < 1e-12);
+        assert!((s[1] - 3.0).abs() < 1e-12);
+        // Out-of-range ids are ignored; absent jobs get 0.
+        let s = job_starvation(&p, 3);
+        assert_eq!(s[2], 0.0);
+    }
+
+    #[test]
+    fn empty_series_defaults() {
+        let s = FairnessSeries { points: vec![] };
+        assert_eq!(s.mean_jain(), 1.0);
+        assert_eq!(s.starvation_time(), 0.0);
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # tf-metrics — flow-time objectives and fairness measures
+//!
+//! The quantities the paper reasons about, computable from schedules:
+//!
+//! * [`lk_norm`] / [`flow_power_sum`] — the ℓk-norm of flow time
+//!   `(Σ_j F_j^k)^{1/k}` (k = ∞ gives max flow), the paper's objective;
+//! * [`flow_stats`] — mean / variance / percentiles / max of flow times,
+//!   quantifying the Silberschatz–Galvin–Gagne "predictable response time"
+//!   criterion quoted in the introduction;
+//! * [`jain_index`] and [`fairness`] — *instantaneous* fairness: how evenly
+//!   a schedule splits the machines among alive jobs at each instant (RR is
+//!   1.0 by construction);
+//! * [`stretch`] — slowdown `F_j / p_j` statistics.
+
+pub mod fairness;
+pub mod norms;
+pub mod occupancy;
+pub mod queueing;
+pub mod stats;
+pub mod stretch;
+pub mod weighted;
+
+pub use fairness::{instantaneous_fairness, jain_index, job_starvation, FairnessSeries};
+pub use norms::{flow_power_sum, lk_norm, normalized_lk_norm};
+pub use occupancy::{alive_series, occupancy_stats, OccupancyStats};
+pub use queueing::{mg1_fcfs_mean_flow, mg1_ps_mean_flow, mg1_ps_mean_flow_of_size, mm1_mean_flow};
+pub use stats::{flow_stats, percentile, FlowStats};
+pub use stretch::{stretch_stats, StretchStats};
+pub use weighted::{weighted_flow_power_sum, weighted_lk_norm, weighted_mean_flow};

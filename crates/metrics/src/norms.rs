@@ -1,0 +1,91 @@
+//! ℓk-norms of flow time.
+
+/// `Σ_j v_j^k` — the k-th power sum the paper's dual-fitting analysis
+/// bounds directly (it compares `RR^k` to `OPT^k` and takes k-th roots at
+/// the end).
+pub fn flow_power_sum(values: &[f64], k: f64) -> f64 {
+    values.iter().map(|&v| v.powf(k)).sum()
+}
+
+/// The ℓk norm `(Σ_j v_j^k)^{1/k}`; `k = ∞` yields the maximum.
+/// `k = 1` is total flow time, `k = 2` the paper's headline objective.
+pub fn lk_norm(values: &[f64], k: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    if k.is_infinite() {
+        values.iter().fold(0.0, |a, &v| a.max(v))
+    } else {
+        flow_power_sum(values, k).powf(1.0 / k)
+    }
+}
+
+/// The ℓk norm normalized by `n^{1/k}` — a per-job "typical flow at the
+/// k-th moment", comparable across instance sizes. For k=1 this is the
+/// average flow time; as k→∞ it approaches the max.
+pub fn normalized_lk_norm(values: &[f64], k: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    if k.is_infinite() {
+        lk_norm(values, k)
+    } else {
+        lk_norm(values, k) / (values.len() as f64).powf(1.0 / k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_values() {
+        let v = [3.0, 4.0];
+        assert_eq!(lk_norm(&v, 1.0), 7.0);
+        assert!((lk_norm(&v, 2.0) - 5.0).abs() < 1e-12);
+        assert_eq!(lk_norm(&v, f64::INFINITY), 4.0);
+        assert!((flow_power_sum(&v, 3.0) - 91.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norms_are_monotone_in_k_after_normalization() {
+        // Power-mean inequality: normalized ℓk is nondecreasing in k.
+        let v = [1.0, 2.0, 3.0, 10.0];
+        let mut prev = 0.0;
+        for k in [1.0, 1.5, 2.0, 3.0, 8.0] {
+            let cur = normalized_lk_norm(&v, k);
+            assert!(cur >= prev - 1e-12, "k={k}: {cur} < {prev}");
+            prev = cur;
+        }
+        assert!(normalized_lk_norm(&v, f64::INFINITY) >= prev - 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(lk_norm(&[], 2.0), 0.0);
+        assert_eq!(lk_norm(&[], f64::INFINITY), 0.0);
+        assert_eq!(normalized_lk_norm(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn single_value_all_norms_equal() {
+        for k in [1.0, 2.0, 5.0, f64::INFINITY] {
+            assert!((lk_norm(&[7.5], k) - 7.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normalized_l1_is_the_mean() {
+        let v = [2.0, 4.0, 6.0];
+        assert!((normalized_lk_norm(&v, 1.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linf_dominates_and_lk_approaches_it() {
+        let v = [1.0, 2.0, 9.0];
+        let linf = lk_norm(&v, f64::INFINITY);
+        let l16 = normalized_lk_norm(&v, 16.0);
+        assert!(l16 <= linf + 1e-9);
+        assert!(linf - l16 < 2.0); // high k hugs the max
+    }
+}

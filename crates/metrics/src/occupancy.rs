@@ -1,0 +1,153 @@
+//! Occupancy analytics over recorded profiles: alive-count trajectory,
+//! busy periods, and the overloaded/underloaded time split the paper's
+//! analysis (Section 3.2) decomposes over.
+
+use serde::{Deserialize, Serialize};
+use tf_simcore::Profile;
+
+/// Aggregate occupancy statistics of one execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OccupancyStats {
+    /// Total busy time (some job alive).
+    pub busy_time: f64,
+    /// Number of maximal busy periods (idle gaps separate them).
+    pub busy_periods: usize,
+    /// Longest busy period.
+    pub longest_busy_period: f64,
+    /// Time-average alive count over busy time.
+    pub mean_alive: f64,
+    /// Peak alive count.
+    pub peak_alive: usize,
+    /// Fraction of busy time that is *overloaded* (`n_t ≥ m`) — the `T_o`
+    /// regime of the dual construction.
+    pub overloaded_fraction: f64,
+}
+
+/// Compute occupancy statistics from a profile. Returns `None` for an
+/// empty profile.
+pub fn occupancy_stats(profile: &Profile) -> Option<OccupancyStats> {
+    let first = profile.segments.first()?;
+    let mut busy_time = 0.0;
+    let mut alive_time_weighted = 0.0;
+    let mut overloaded_time = 0.0;
+    let mut peak = 0usize;
+    let mut periods = 0usize;
+    let mut longest = 0.0f64;
+    let mut current_period = 0.0f64;
+    let mut prev_end = first.t0;
+
+    for seg in &profile.segments {
+        let d = seg.duration();
+        busy_time += d;
+        alive_time_weighted += seg.n_alive() as f64 * d;
+        if seg.overloaded(profile.m) {
+            overloaded_time += d;
+        }
+        peak = peak.max(seg.n_alive());
+        if seg.t0 > prev_end + 1e-9 {
+            // Idle gap: close the previous period.
+            periods += 1;
+            longest = longest.max(current_period);
+            current_period = 0.0;
+        }
+        current_period += d;
+        prev_end = seg.t1;
+    }
+    periods += 1;
+    longest = longest.max(current_period);
+
+    Some(OccupancyStats {
+        busy_time,
+        busy_periods: periods,
+        longest_busy_period: longest,
+        mean_alive: alive_time_weighted / busy_time,
+        peak_alive: peak,
+        overloaded_fraction: overloaded_time / busy_time,
+    })
+}
+
+/// The alive-count trajectory as `(t, n_t)` step points (one per segment
+/// start), for plotting or export.
+pub fn alive_series(profile: &Profile) -> Vec<(f64, usize)> {
+    profile.segments.iter().map(|s| (s.t0, s.n_alive())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tf_simcore::profile::Segment;
+
+    fn seg(t0: f64, t1: f64, n: usize) -> Segment {
+        Segment {
+            t0,
+            t1,
+            rates: (0..n as u32).map(|i| (i, 1.0 / n as f64)).collect(),
+        }
+    }
+
+    #[test]
+    fn stats_with_gap() {
+        let p = Profile {
+            segments: vec![seg(0.0, 2.0, 2), seg(2.0, 3.0, 1), seg(5.0, 6.0, 3)],
+            m: 2,
+            speed: 1.0,
+        };
+        let s = occupancy_stats(&p).unwrap();
+        assert_eq!(s.busy_time, 4.0);
+        assert_eq!(s.busy_periods, 2);
+        assert_eq!(s.longest_busy_period, 3.0);
+        // Time-weighted alive: (2·2 + 1·1 + 3·1)/4 = 2.0.
+        assert!((s.mean_alive - 2.0).abs() < 1e-12);
+        assert_eq!(s.peak_alive, 3);
+        // Overloaded (n ≥ 2): segments 1 and 3 → 3 of 4 time units.
+        assert!((s.overloaded_fraction - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profile() {
+        let p = Profile {
+            segments: vec![],
+            m: 1,
+            speed: 1.0,
+        };
+        assert!(occupancy_stats(&p).is_none());
+        assert!(alive_series(&p).is_empty());
+    }
+
+    #[test]
+    fn series_matches_segments() {
+        let p = Profile {
+            segments: vec![seg(0.0, 1.0, 1), seg(1.0, 2.0, 4)],
+            m: 1,
+            speed: 1.0,
+        };
+        assert_eq!(alive_series(&p), vec![(0.0, 1), (1.0, 4)]);
+    }
+
+    #[test]
+    fn real_rr_run() {
+        use tf_simcore::{simulate, AliveJob, MachineConfig, RateAllocator, SimOptions, Trace};
+        struct Rr;
+        impl RateAllocator for Rr {
+            fn name(&self) -> &'static str {
+                "RR"
+            }
+            fn allocate(
+                &mut self,
+                _: f64,
+                alive: &[AliveJob],
+                cfg: &MachineConfig,
+                rates: &mut [f64],
+            ) {
+                rates.fill(cfg.speed * (cfg.m as f64 / alive.len() as f64).min(1.0));
+            }
+        }
+        let t = Trace::from_pairs([(0.0, 1.0), (0.0, 1.0), (10.0, 2.0)]).unwrap();
+        let s = simulate(&t, &mut Rr, MachineConfig::new(1), SimOptions::with_profile()).unwrap();
+        let st = occupancy_stats(s.profile.as_ref().unwrap()).unwrap();
+        assert_eq!(st.busy_periods, 2);
+        assert_eq!(st.peak_alive, 2);
+        assert!((st.busy_time - 4.0).abs() < 1e-9);
+        assert_eq!(st.overloaded_fraction, 1.0); // m=1: always overloaded
+    }
+}

@@ -1,0 +1,94 @@
+//! Closed-form queueing-theory reference values.
+//!
+//! RR on one machine *is* processor sharing, and PS/FCFS single-server
+//! queues have textbook steady-state formulas. Comparing the simulator's
+//! long-run averages against them is an independent, implementation-free
+//! correctness check (experiment E18): any systematic engine bias would
+//! show up as a deviation from these constants.
+//!
+//! Conventions: arrival rate `λ`, service requirement `S` with mean
+//! `E[S]` and second moment `E[S²]`, utilization `ρ = λ·E[S] < 1`,
+//! unit-speed server.
+
+/// Mean sojourn (flow) time in an M/G/1 **processor-sharing** queue:
+/// `E[T] = E[S] / (1 − ρ)` — famously insensitive to the service
+/// distribution beyond its mean.
+pub fn mg1_ps_mean_flow(lambda: f64, mean_s: f64) -> f64 {
+    let rho = lambda * mean_s;
+    assert!(
+        (0.0..1.0).contains(&rho),
+        "PS formula needs rho in [0,1), got {rho}"
+    );
+    mean_s / (1.0 - rho)
+}
+
+/// Conditional mean sojourn of a size-`x` job in M/G/1-PS:
+/// `E[T(x)] = x / (1 − ρ)` (every job's expected slowdown is the same —
+/// PS's proportional fairness).
+pub fn mg1_ps_mean_flow_of_size(lambda: f64, mean_s: f64, x: f64) -> f64 {
+    let rho = lambda * mean_s;
+    assert!((0.0..1.0).contains(&rho));
+    x / (1.0 - rho)
+}
+
+/// Mean sojourn in an M/G/1 **FCFS** queue (Pollaczek–Khinchine):
+/// `E[T] = E[S] + λ·E[S²] / (2(1 − ρ))`.
+pub fn mg1_fcfs_mean_flow(lambda: f64, mean_s: f64, second_moment_s: f64) -> f64 {
+    let rho = lambda * mean_s;
+    assert!(
+        (0.0..1.0).contains(&rho),
+        "FCFS formula needs rho in [0,1), got {rho}"
+    );
+    mean_s + lambda * second_moment_s / (2.0 * (1.0 - rho))
+}
+
+/// Mean sojourn in an M/M/1 queue (exponential sizes, any
+/// work-conserving non-size-based discipline — FCFS, PS, LCFS all agree):
+/// `E[T] = 1 / (μ − λ)` with `μ = 1/E[S]`.
+pub fn mm1_mean_flow(lambda: f64, mean_s: f64) -> f64 {
+    let mu = 1.0 / mean_s;
+    assert!(lambda < mu, "unstable: lambda {lambda} >= mu {mu}");
+    1.0 / (mu - lambda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formulas_agree_where_they_must() {
+        // Exponential S with mean 2: E[S²] = 2·mean² = 8.
+        let (lambda, mean) = (0.3, 2.0);
+        let mm1 = mm1_mean_flow(lambda, mean);
+        let ps = mg1_ps_mean_flow(lambda, mean);
+        let fcfs = mg1_fcfs_mean_flow(lambda, mean, 2.0 * mean * mean);
+        // For M/M/1, PS and FCFS means coincide with 1/(mu-lambda).
+        assert!((mm1 - ps).abs() < 1e-12);
+        assert!((mm1 - fcfs).abs() < 1e-12);
+        assert!((mm1 - 5.0).abs() < 1e-12); // 1/(0.5-0.3)
+    }
+
+    #[test]
+    fn deterministic_sizes_favor_fcfs() {
+        // Deterministic S: E[S²] = mean² (half the exponential's) → FCFS
+        // beats PS (which is distribution-insensitive).
+        let (lambda, mean) = (0.4, 1.0);
+        let fcfs = mg1_fcfs_mean_flow(lambda, mean, mean * mean);
+        let ps = mg1_ps_mean_flow(lambda, mean);
+        assert!(fcfs < ps);
+    }
+
+    #[test]
+    fn conditional_slowdown_is_uniform() {
+        let (lambda, mean) = (0.25, 2.0);
+        let s1 = mg1_ps_mean_flow_of_size(lambda, mean, 1.0);
+        let s4 = mg1_ps_mean_flow_of_size(lambda, mean, 4.0);
+        assert!((s4 / s1 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn rejects_overload() {
+        mm1_mean_flow(1.0, 2.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Distributional statistics of flow times.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a flow-time (or any non-negative) sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowStats {
+    /// Sample size.
+    pub n: usize,
+    /// Sum of values (total flow when fed flow times).
+    pub total: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population variance (the quantity the paper's intro quotes the OS
+    /// textbook about minimizing).
+    pub variance: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (p50).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Linear-interpolated percentile of a sample (`q ∈ [0, 1]`). Returns 0
+/// for an empty sample.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    percentile_sorted(&sorted, q)
+}
+
+fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q.clamp(0.0, 1.0) * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Compute [`FlowStats`] for a sample. Returns an all-zero struct for an
+/// empty sample.
+pub fn flow_stats(values: &[f64]) -> FlowStats {
+    let n = values.len();
+    if n == 0 {
+        return FlowStats {
+            n: 0,
+            total: 0.0,
+            mean: 0.0,
+            variance: 0.0,
+            std_dev: 0.0,
+            min: 0.0,
+            p50: 0.0,
+            p90: 0.0,
+            p99: 0.0,
+            max: 0.0,
+        };
+    }
+    let total: f64 = values.iter().sum();
+    let mean = total / n as f64;
+    let variance = values.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    FlowStats {
+        n,
+        total,
+        mean,
+        variance,
+        std_dev: variance.sqrt(),
+        min: sorted[0],
+        p50: percentile_sorted(&sorted, 0.5),
+        p90: percentile_sorted(&sorted, 0.9),
+        p99: percentile_sorted(&sorted, 0.99),
+        max: sorted[n - 1],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let s = flow_stats(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.total, 10.0);
+        assert_eq!(s.mean, 2.5);
+        assert!((s.variance - 1.25).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.p50 - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let v = [0.0, 10.0];
+        assert!((percentile(&v, 0.25) - 2.5).abs() < 1e-12);
+        assert_eq!(percentile(&v, 0.0), 0.0);
+        assert_eq!(percentile(&v, 1.0), 10.0);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+        // Out-of-range q clamps.
+        assert_eq!(percentile(&[1.0, 2.0], 2.0), 2.0);
+        assert_eq!(percentile(&[1.0, 2.0], -1.0), 1.0);
+    }
+
+    #[test]
+    fn unordered_input_is_fine() {
+        let s = flow_stats(&[5.0, 1.0, 3.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.p50, 3.0);
+    }
+
+    #[test]
+    fn empty_sample() {
+        let s = flow_stats(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn constant_sample_has_zero_variance() {
+        let s = flow_stats(&[4.0; 10]);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.p99, 4.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Stretch (slowdown) statistics: flow time relative to job size.
+
+use serde::{Deserialize, Serialize};
+use tf_simcore::{Schedule, Trace};
+
+/// Stretch summary: `stretch_j = F_j / p_j` — how much worse a job did than
+/// having a dedicated unit-speed machine. Big stretch on small jobs is the
+/// signature of unfair head-of-line blocking; big stretch on large jobs is
+/// the signature of starvation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StretchStats {
+    /// Mean stretch.
+    pub mean: f64,
+    /// Maximum stretch.
+    pub max: f64,
+    /// Id of the job attaining the max.
+    pub argmax: u32,
+    /// Mean stretch among the smallest quartile of jobs (by size).
+    pub mean_small_quartile: f64,
+    /// Mean stretch among the largest quartile of jobs (by size).
+    pub mean_large_quartile: f64,
+}
+
+/// Compute stretch statistics for a schedule. Returns `None` on an empty
+/// instance.
+pub fn stretch_stats(trace: &Trace, sched: &Schedule) -> Option<StretchStats> {
+    let n = trace.len();
+    if n == 0 {
+        return None;
+    }
+    let stretches: Vec<f64> = trace
+        .jobs()
+        .iter()
+        .map(|j| sched.flow[j.id as usize] / j.size)
+        .collect();
+    let mean = stretches.iter().sum::<f64>() / n as f64;
+    let (argmax, &max) = stretches
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())?;
+
+    let mut by_size: Vec<u32> = (0..n as u32).collect();
+    by_size.sort_by(|&a, &b| trace.job(a).size.partial_cmp(&trace.job(b).size).unwrap());
+    let q = (n / 4).max(1);
+    let small: f64 = by_size[..q]
+        .iter()
+        .map(|&i| stretches[i as usize])
+        .sum::<f64>()
+        / q as f64;
+    let large: f64 = by_size[n - q..]
+        .iter()
+        .map(|&i| stretches[i as usize])
+        .sum::<f64>()
+        / q as f64;
+
+    Some(StretchStats {
+        mean,
+        max,
+        argmax: argmax as u32,
+        mean_small_quartile: small,
+        mean_large_quartile: large,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tf_simcore::MachineConfig;
+
+    fn sched(trace: &Trace, completions: &[f64]) -> Schedule {
+        Schedule {
+            policy: "test".into(),
+            cfg: MachineConfig::new(1),
+            completion: completions.to_vec(),
+            flow: trace
+                .jobs()
+                .iter()
+                .map(|j| completions[j.id as usize] - j.arrival)
+                .collect(),
+            profile: None,
+            events: 0,
+        }
+    }
+
+    #[test]
+    fn stretch_of_dedicated_machine_is_one() {
+        let t = Trace::from_pairs([(0.0, 2.0)]).unwrap();
+        let s = sched(&t, &[2.0]);
+        let st = stretch_stats(&t, &s).unwrap();
+        assert_eq!(st.mean, 1.0);
+        assert_eq!(st.max, 1.0);
+    }
+
+    #[test]
+    fn head_of_line_blocking_shows_on_small_jobs() {
+        // Big job (size 10) served first, tiny job (size 0.1) waits.
+        let t = Trace::from_pairs([(0.0, 10.0), (0.0, 0.1)]).unwrap();
+        let s = sched(&t, &[10.0, 10.1]);
+        let st = stretch_stats(&t, &s).unwrap();
+        assert!(st.max > 100.0);
+        assert_eq!(st.argmax, 1);
+        assert!(st.mean_small_quartile > st.mean_large_quartile);
+    }
+
+    #[test]
+    fn starvation_shows_on_large_jobs() {
+        // Tiny jobs served immediately, big job starved.
+        let t = Trace::from_pairs([(0.0, 1.0), (0.0, 1.0), (0.0, 1.0), (0.0, 10.0)]).unwrap();
+        let s = sched(&t, &[1.0, 2.0, 3.0, 130.0]);
+        let st = stretch_stats(&t, &s).unwrap();
+        assert_eq!(st.argmax, 3);
+        assert!(st.mean_large_quartile > st.mean_small_quartile);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let t = Trace::from_pairs(std::iter::empty()).unwrap();
+        let s = sched(&t, &[]);
+        assert!(stretch_stats(&t, &s).is_none());
+    }
+}

@@ -1,0 +1,88 @@
+//! Weighted flow-time objectives.
+//!
+//! The paper's setting is unweighted, but its technique lineage is the
+//! weighted-flow dual-fitting framework of Anand–Garg–Kumar \[1\], and
+//! Section 1.2 remarks that potential-function/dual-fitting analyses
+//! usually need a *weighted* RR. These helpers make the weighted
+//! objectives measurable so experiment E17 can compare RR against its
+//! weighted variant on weighted instances.
+
+/// `Σ_j w_j · F_j^k` — the weighted k-th power sum.
+pub fn weighted_flow_power_sum(flows: &[f64], weights: &[f64], k: f64) -> f64 {
+    debug_assert_eq!(flows.len(), weights.len());
+    flows
+        .iter()
+        .zip(weights)
+        .map(|(&f, &w)| w * f.powf(k))
+        .sum()
+}
+
+/// The weighted ℓk norm `(Σ_j w_j F_j^k)^{1/k}`; `k = ∞` gives
+/// `max_j w_j^{?}`… weights do not compose with max, so for `k = ∞` this
+/// returns the maximum flow among jobs with positive weight.
+pub fn weighted_lk_norm(flows: &[f64], weights: &[f64], k: f64) -> f64 {
+    if flows.is_empty() {
+        return 0.0;
+    }
+    if k.is_infinite() {
+        flows
+            .iter()
+            .zip(weights)
+            .filter(|&(_, &w)| w > 0.0)
+            .map(|(&f, _)| f)
+            .fold(0.0, f64::max)
+    } else {
+        weighted_flow_power_sum(flows, weights, k).powf(1.0 / k)
+    }
+}
+
+/// Weighted mean flow `Σ w_j F_j / Σ w_j` (0 for empty/zero weights).
+pub fn weighted_mean_flow(flows: &[f64], weights: &[f64]) -> f64 {
+    let wsum: f64 = weights.iter().sum();
+    if wsum <= 0.0 {
+        return 0.0;
+    }
+    weighted_flow_power_sum(flows, weights, 1.0) / wsum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_sums_and_norms() {
+        let f = [3.0, 4.0];
+        let w = [2.0, 1.0];
+        assert_eq!(weighted_flow_power_sum(&f, &w, 1.0), 10.0);
+        assert_eq!(weighted_flow_power_sum(&f, &w, 2.0), 2.0 * 9.0 + 16.0);
+        assert!((weighted_lk_norm(&f, &w, 2.0) - (34.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_weights_match_unweighted() {
+        let f = [1.0, 2.0, 5.0];
+        let w = [1.0; 3];
+        for k in [1.0, 2.0, 3.0] {
+            assert!(
+                (weighted_lk_norm(&f, &w, k) - crate::lk_norm(&f, k)).abs() < 1e-12,
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn infinity_ignores_zero_weight_jobs() {
+        let f = [10.0, 3.0];
+        let w = [0.0, 1.0];
+        assert_eq!(weighted_lk_norm(&f, &w, f64::INFINITY), 3.0);
+    }
+
+    #[test]
+    fn weighted_mean() {
+        let f = [2.0, 6.0];
+        let w = [3.0, 1.0];
+        assert_eq!(weighted_mean_flow(&f, &w), 3.0);
+        assert_eq!(weighted_mean_flow(&f, &[0.0, 0.0]), 0.0);
+        assert_eq!(weighted_mean_flow(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for metric invariants.
+
+use proptest::prelude::*;
+use tf_metrics::{flow_stats, jain_index, lk_norm, normalized_lk_norm, percentile};
+
+fn arb_sample() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1e4, 1..200)
+}
+
+proptest! {
+    /// Jain index is always in (0, 1], and 1 exactly for constant vectors.
+    #[test]
+    fn jain_bounds(x in arb_sample()) {
+        let j = jain_index(&x);
+        prop_assert!(j > 0.0 && j <= 1.0 + 1e-12, "{j}");
+    }
+
+    #[test]
+    fn jain_constant_vectors(v in 0.01f64..100.0, n in 1usize..50) {
+        let x = vec![v; n];
+        prop_assert!((jain_index(&x) - 1.0).abs() < 1e-12);
+    }
+
+    /// Jain is scale-invariant.
+    #[test]
+    fn jain_scale_invariant(x in arb_sample(), c in 0.1f64..100.0) {
+        let scaled: Vec<f64> = x.iter().map(|&v| v * c).collect();
+        let a = jain_index(&x);
+        let b = jain_index(&scaled);
+        prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    /// Norm sandwich: max ≤ lk ≤ sum, and norms decrease in k.
+    #[test]
+    fn norm_sandwich(x in arb_sample()) {
+        let linf = lk_norm(&x, f64::INFINITY);
+        let l1 = lk_norm(&x, 1.0);
+        for k in [1.0, 2.0, 3.0, 6.0] {
+            let lk = lk_norm(&x, k);
+            prop_assert!(lk <= l1 * (1.0 + 1e-9) + 1e-9);
+            prop_assert!(lk >= linf * (1.0 - 1e-9) - 1e-9, "k={k}: {lk} < {linf}");
+        }
+    }
+
+    /// lk norms are absolutely homogeneous: ||c·x|| = c·||x||.
+    #[test]
+    fn norm_homogeneous(x in arb_sample(), c in 0.1f64..10.0) {
+        let scaled: Vec<f64> = x.iter().map(|&v| v * c).collect();
+        for k in [1.0, 2.0, 4.0, f64::INFINITY] {
+            let a = lk_norm(&scaled, k);
+            let b = c * lk_norm(&x, k);
+            prop_assert!((a - b).abs() <= 1e-6 * b.max(1.0), "k={k}: {a} vs {b}");
+        }
+    }
+
+    /// Normalized norms are monotone in k (power-mean inequality).
+    #[test]
+    fn normalized_norm_monotone(x in arb_sample()) {
+        let mut prev = 0.0;
+        for k in [1.0, 2.0, 3.0, 5.0, 9.0] {
+            let cur = normalized_lk_norm(&x, k);
+            prop_assert!(cur >= prev - 1e-6 * cur.max(1.0), "k={k}: {cur} < {prev}");
+            prev = cur;
+        }
+    }
+
+    /// Percentiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn percentile_monotone(x in arb_sample()) {
+        let stats = flow_stats(&x);
+        let mut prev = stats.min;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let p = percentile(&x, q);
+            prop_assert!(p >= prev - 1e-9);
+            prop_assert!(p >= stats.min - 1e-9 && p <= stats.max + 1e-9);
+            prev = p;
+        }
+    }
+
+    /// flow_stats internal consistency: mean within [min, max], std² ≈ var,
+    /// total = mean·n.
+    #[test]
+    fn stats_consistency(x in arb_sample()) {
+        let s = flow_stats(&x);
+        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!((s.std_dev * s.std_dev - s.variance).abs() <= 1e-6 * s.variance.max(1.0));
+        prop_assert!((s.total - s.mean * s.n as f64).abs() <= 1e-6 * s.total.max(1.0));
+        prop_assert!(s.p50 <= s.p90 + 1e-9 && s.p90 <= s.p99 + 1e-9 && s.p99 <= s.max + 1e-9);
+    }
+}

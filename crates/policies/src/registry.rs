@@ -1,0 +1,191 @@
+//! Policy registry: a closed enumeration of every policy in the crate,
+//! with parsing and boxed construction — what the harness and CLI use.
+
+use crate::{
+    AgedRoundRobin, Fcfs, Hdf, Laps, Mlfq, RoundRobin, Setf, Sjf, Srpt, WeightedRoundRobin,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+use tf_simcore::RateAllocator;
+
+/// A closed, serializable identifier for every policy in this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Policy {
+    /// Round Robin (the paper's algorithm).
+    Rr,
+    /// Weighted Round Robin (static job weights).
+    Wrr,
+    /// Age-weighted Round Robin (continuous).
+    AgedRr,
+    /// Shortest Remaining Processing Time.
+    Srpt,
+    /// (Preemptive) Shortest Job First.
+    Sjf,
+    /// Highest Density First (weighted SJF).
+    Hdf,
+    /// Shortest Elapsed Time First.
+    Setf,
+    /// Multi-Level Feedback Queue (fractional, geometric levels).
+    Mlfq,
+    /// First Come First Served.
+    Fcfs,
+    /// Latest Arrival Processor Sharing with parameter β.
+    Laps(f64),
+}
+
+impl Policy {
+    /// All parameterless policies plus LAPS at its default β = 0.5 — the
+    /// standard comparison set used by the experiment harness.
+    pub fn all() -> Vec<Policy> {
+        vec![
+            Policy::Rr,
+            Policy::Wrr,
+            Policy::AgedRr,
+            Policy::Srpt,
+            Policy::Sjf,
+            Policy::Hdf,
+            Policy::Setf,
+            Policy::Mlfq,
+            Policy::Fcfs,
+            Policy::Laps(0.5),
+        ]
+    }
+
+    /// The non-clairvoyant subset (fair comparisons against RR).
+    pub fn non_clairvoyant() -> Vec<Policy> {
+        vec![
+            Policy::Rr,
+            Policy::AgedRr,
+            Policy::Setf,
+            Policy::Mlfq,
+            Policy::Fcfs,
+            Policy::Laps(0.5),
+        ]
+    }
+
+    /// Construct a fresh allocator for this policy.
+    pub fn make(&self) -> Box<dyn RateAllocator> {
+        match *self {
+            Policy::Rr => Box::new(RoundRobin::new()),
+            Policy::Wrr => Box::new(WeightedRoundRobin::new()),
+            Policy::AgedRr => Box::new(AgedRoundRobin::new()),
+            Policy::Srpt => Box::new(Srpt::new()),
+            Policy::Sjf => Box::new(Sjf::new()),
+            Policy::Hdf => Box::new(Hdf::new()),
+            Policy::Setf => Box::new(Setf::new()),
+            Policy::Mlfq => Box::new(Mlfq::default()),
+            Policy::Fcfs => Box::new(Fcfs::new()),
+            Policy::Laps(beta) => Box::new(Laps::new(beta)),
+        }
+    }
+
+    /// Whether the policy inspects job sizes / remaining work.
+    pub fn clairvoyant(&self) -> bool {
+        matches!(self, Policy::Srpt | Policy::Sjf | Policy::Hdf)
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Policy::Rr => write!(f, "RR"),
+            Policy::Wrr => write!(f, "WRR"),
+            Policy::AgedRr => write!(f, "AgedRR"),
+            Policy::Srpt => write!(f, "SRPT"),
+            Policy::Sjf => write!(f, "SJF"),
+            Policy::Hdf => write!(f, "HDF"),
+            Policy::Setf => write!(f, "SETF"),
+            Policy::Mlfq => write!(f, "MLFQ"),
+            Policy::Fcfs => write!(f, "FCFS"),
+            Policy::Laps(b) => write!(f, "LAPS({b})"),
+        }
+    }
+}
+
+impl FromStr for Policy {
+    type Err = String;
+
+    /// Case-insensitive; `laps` takes an optional `:β` suffix
+    /// (e.g. `laps:0.25`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        Ok(match lower.as_str() {
+            "rr" | "roundrobin" | "round-robin" => Policy::Rr,
+            "wrr" => Policy::Wrr,
+            "agedrr" | "aged-rr" | "wrr-age" => Policy::AgedRr,
+            "srpt" => Policy::Srpt,
+            "sjf" | "psjf" => Policy::Sjf,
+            "hdf" | "wsjf" => Policy::Hdf,
+            "setf" | "las" => Policy::Setf,
+            "mlfq" => Policy::Mlfq,
+            "fcfs" | "fifo" => Policy::Fcfs,
+            _ => {
+                if let Some(rest) = lower.strip_prefix("laps") {
+                    let beta = match rest.strip_prefix(':') {
+                        Some(b) => b.parse::<f64>().map_err(|e| format!("bad LAPS β: {e}"))?,
+                        None if rest.is_empty() => 0.5,
+                        _ => return Err(format!("unknown policy: {s}")),
+                    };
+                    if !(0.0..=1.0).contains(&beta) || beta == 0.0 {
+                        return Err(format!("LAPS β must be in (0,1], got {beta}"));
+                    }
+                    Policy::Laps(beta)
+                } else {
+                    return Err(format!("unknown policy: {s}"));
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for p in Policy::all() {
+            let parsed: Policy = match p {
+                Policy::Laps(b) => format!("laps:{b}").parse().unwrap(),
+                _ => p.to_string().parse().unwrap(),
+            };
+            assert_eq!(parsed, p);
+        }
+    }
+
+    #[test]
+    fn parse_aliases() {
+        assert_eq!("fifo".parse::<Policy>().unwrap(), Policy::Fcfs);
+        assert_eq!("las".parse::<Policy>().unwrap(), Policy::Setf);
+        assert_eq!("round-robin".parse::<Policy>().unwrap(), Policy::Rr);
+        assert_eq!("laps".parse::<Policy>().unwrap(), Policy::Laps(0.5));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<Policy>().is_err());
+        assert!("zzz".parse::<Policy>().is_err());
+        assert!("laps:2.0".parse::<Policy>().is_err());
+        assert!("laps:0".parse::<Policy>().is_err());
+        assert!("laps:x".parse::<Policy>().is_err());
+    }
+
+    #[test]
+    fn make_produces_matching_names() {
+        assert_eq!(Policy::Rr.make().name(), "RR");
+        assert_eq!(Policy::Srpt.make().name(), "SRPT");
+        assert_eq!(Policy::Laps(0.25).make().name(), "LAPS");
+    }
+
+    #[test]
+    fn clairvoyance_classification() {
+        assert!(Policy::Srpt.clairvoyant());
+        assert!(Policy::Sjf.clairvoyant());
+        assert!(!Policy::Rr.clairvoyant());
+        assert!(!Policy::Setf.clairvoyant());
+        for p in Policy::non_clairvoyant() {
+            assert!(!p.clairvoyant());
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Round Robin — the algorithm the paper analyzes — and its statically
+//! weighted generalization.
+
+use crate::waterfill::water_fill;
+use tf_simcore::{AliveJob, MachineConfig, RateAllocator};
+
+/// Round Robin on `m` identical machines of speed `s`.
+///
+/// "At any point in time when there are more jobs than machines, allocate
+/// machines to jobs equally. Otherwise, process each job on one machine
+/// exclusively." (paper, Section 1.1.) Equivalently:
+/// `rate_j = s · min(1, m / n_t)` for every alive job `j`, where `n_t` is
+/// the number of alive jobs.
+///
+/// RR is non-clairvoyant: it never inspects sizes or remaining work.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RoundRobin;
+
+impl RoundRobin {
+    /// A fresh RR allocator.
+    pub fn new() -> Self {
+        RoundRobin
+    }
+
+    /// The RR share at speed `s` with `m` machines and `n` alive jobs.
+    #[inline]
+    pub fn share(cfg: &MachineConfig, n: usize) -> f64 {
+        cfg.speed * (cfg.m as f64 / n as f64).min(1.0)
+    }
+}
+
+impl RateAllocator for RoundRobin {
+    fn name(&self) -> &'static str {
+        "RR"
+    }
+
+    fn allocate(&mut self, _now: f64, alive: &[AliveJob], cfg: &MachineConfig, rates: &mut [f64]) {
+        if alive.is_empty() {
+            return;
+        }
+        rates.fill(Self::share(cfg, alive.len()));
+    }
+}
+
+/// Weighted Round Robin: machine share proportional to each job's static
+/// weight, capped at one machine per job, excess re-flowed (max-min
+/// water-filling). With unit weights this is exactly [`RoundRobin`].
+#[derive(Debug, Default, Clone)]
+pub struct WeightedRoundRobin {
+    weights: Vec<f64>, // scratch
+}
+
+impl WeightedRoundRobin {
+    /// A fresh weighted-RR allocator (weights come from the jobs).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RateAllocator for WeightedRoundRobin {
+    fn name(&self) -> &'static str {
+        "WRR"
+    }
+
+    fn allocate(&mut self, _now: f64, alive: &[AliveJob], cfg: &MachineConfig, rates: &mut [f64]) {
+        self.weights.clear();
+        self.weights.extend(alive.iter().map(|a| a.weight));
+        water_fill(&self.weights, cfg.total_cap(), cfg.job_cap(), rates);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{alive, cfg, rates_of};
+
+    #[test]
+    fn rr_overloaded_equal_split() {
+        let a = alive(&[(0.0, 1.0, 0.0); 4]);
+        let r = rates_of(&mut RoundRobin::new(), 0.0, &a, &cfg(2, 1.0));
+        assert_eq!(r, vec![0.5; 4]);
+    }
+
+    #[test]
+    fn rr_underloaded_dedicated_machines() {
+        let a = alive(&[(0.0, 1.0, 0.0); 2]);
+        let r = rates_of(&mut RoundRobin::new(), 0.0, &a, &cfg(4, 2.0));
+        assert_eq!(r, vec![2.0; 2]);
+    }
+
+    #[test]
+    fn rr_share_formula() {
+        let c = cfg(3, 2.0);
+        assert_eq!(RoundRobin::share(&c, 2), 2.0); // underloaded: full machine
+        assert_eq!(RoundRobin::share(&c, 3), 2.0); // exactly loaded
+        assert_eq!(RoundRobin::share(&c, 6), 1.0); // overloaded: m/n = 1/2
+    }
+
+    #[test]
+    fn rr_ignores_sizes() {
+        let mixed = alive(&[(0.0, 100.0, 0.0), (0.0, 0.01, 0.0)]);
+        let r = rates_of(&mut RoundRobin::new(), 0.0, &mixed, &cfg(1, 1.0));
+        assert_eq!(r[0], r[1]);
+    }
+
+    #[test]
+    fn wrr_with_unit_weights_matches_rr() {
+        let a = alive(&[(0.0, 1.0, 0.0); 5]);
+        let c = cfg(2, 1.5);
+        let rr = rates_of(&mut RoundRobin::new(), 0.0, &a, &c);
+        let wrr = rates_of(&mut WeightedRoundRobin::new(), 0.0, &a, &c);
+        for (x, y) in rr.iter().zip(&wrr) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn wrr_respects_weights_and_caps() {
+        let mut a = alive(&[(0.0, 1.0, 0.0), (0.0, 1.0, 0.0)]);
+        a[0].weight = 3.0;
+        a[1].weight = 1.0;
+        // Budget 2, cap 1: heavy capped at 1, light absorbs the rest.
+        let r = rates_of(&mut WeightedRoundRobin::new(), 0.0, &a, &cfg(2, 1.0));
+        assert!((r[0] - 1.0).abs() < 1e-12);
+        assert!((r[1] - 1.0).abs() < 1e-12);
+        // Budget 1 (one machine): proportional 3:1.
+        let r = rates_of(&mut WeightedRoundRobin::new(), 0.0, &a, &cfg(1, 1.0));
+        assert!((r[0] - 0.75).abs() < 1e-12);
+        assert!((r[1] - 0.25).abs() < 1e-12);
+    }
+}

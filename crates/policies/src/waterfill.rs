@@ -1,0 +1,156 @@
+//! Capped proportional allocation (max-min water-filling).
+
+/// Distribute a total rate budget `total` over jobs with non-negative
+/// weights `w`, proportionally to weight but capping each share at `cap`,
+/// re-distributing capped excess among the rest (water-filling). Writes the
+/// result into `out`.
+///
+/// Properties:
+/// * `out[i] ≤ cap`, `Σ out[i] = min(total, n·cap)` when some weight is
+///   positive (zero-weight jobs receive zero unless *all* weights are zero,
+///   in which case the budget is split equally — the RR fallback).
+/// * If no cap binds, `out[i] ∝ w[i]`.
+pub fn water_fill(w: &[f64], total: f64, cap: f64, out: &mut [f64]) {
+    debug_assert_eq!(w.len(), out.len());
+    let n = w.len();
+    if n == 0 || total <= 0.0 || cap <= 0.0 {
+        out.fill(0.0);
+        return;
+    }
+    let wsum: f64 = w.iter().sum();
+    if wsum <= 0.0 {
+        // All weights zero: fall back to equal split (capped).
+        let share = (total / n as f64).min(cap);
+        out.fill(share);
+        return;
+    }
+    // Iterative water-filling: cap the heaviest, re-share the remainder.
+    // Sort indices by weight descending; scan for the break point where
+    // λ·w[i] ≤ cap for all uncapped i.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| w[b].partial_cmp(&w[a]).unwrap());
+    let mut budget = total.min(n as f64 * cap);
+    let mut remaining_weight = wsum;
+    let mut k = 0; // number of capped jobs so far
+    for &i in &order {
+        if remaining_weight <= 0.0 {
+            out[i] = 0.0;
+            continue;
+        }
+        let fair = budget * w[i] / remaining_weight;
+        if fair >= cap {
+            out[i] = cap;
+            budget -= cap;
+            remaining_weight -= w[i];
+            k += 1;
+        } else {
+            // Once the heaviest uncapped job fits under the cap, all lighter
+            // jobs do too: finish proportionally.
+            out[i] = fair;
+            // (keep iterating with the same λ = budget/remaining_weight)
+            let lambda = budget / remaining_weight;
+            for &j in order.iter().skip(k) {
+                out[j] = lambda * w[j];
+            }
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total(v: &[f64]) -> f64 {
+        v.iter().sum()
+    }
+
+    #[test]
+    fn proportional_when_no_cap_binds() {
+        let w = [1.0, 2.0, 3.0];
+        let mut out = [0.0; 3];
+        water_fill(&w, 1.2, 1.0, &mut out);
+        assert!((out[0] - 0.2).abs() < 1e-12);
+        assert!((out[1] - 0.4).abs() < 1e-12);
+        assert!((out[2] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn caps_bind_and_excess_reflows() {
+        // Weights 3:1, total 2, cap 1: heavy job capped at 1, light gets 1.
+        let w = [3.0, 1.0];
+        let mut out = [0.0; 2];
+        water_fill(&w, 2.0, 1.0, &mut out);
+        assert!((out[0] - 1.0).abs() < 1e-12);
+        assert!((out[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cascade_of_caps() {
+        // Weights 4:2:1, total 2.5, cap 1.
+        // λ·4 ≥ 1 → cap job0 at 1; budget 1.5 over weights 2:1 → 1.0, 0.5;
+        // job1 hits cap exactly; job2 gets 0.5.
+        let w = [4.0, 2.0, 1.0];
+        let mut out = [0.0; 3];
+        water_fill(&w, 2.5, 1.0, &mut out);
+        assert!((out[0] - 1.0).abs() < 1e-12);
+        assert!((out[1] - 1.0).abs() < 1e-12);
+        assert!((out[2] - 0.5).abs() < 1e-12);
+        assert!((total(&out) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weights_fall_back_to_equal_split() {
+        let w = [0.0, 0.0];
+        let mut out = [0.0; 2];
+        water_fill(&w, 1.0, 1.0, &mut out);
+        assert_eq!(out, [0.5, 0.5]);
+    }
+
+    #[test]
+    fn budget_larger_than_capacity_saturates_all() {
+        let w = [1.0, 5.0];
+        let mut out = [0.0; 2];
+        water_fill(&w, 100.0, 1.0, &mut out);
+        assert_eq!(out, [1.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let mut out: [f64; 0] = [];
+        water_fill(&[], 1.0, 1.0, &mut out);
+        let w = [1.0];
+        let mut out = [9.9];
+        water_fill(&w, 0.0, 1.0, &mut out);
+        assert_eq!(out, [0.0]);
+        let mut out = [9.9];
+        water_fill(&w, 1.0, 0.0, &mut out);
+        assert_eq!(out, [0.0]);
+    }
+
+    #[test]
+    fn mixed_zero_and_positive_weights() {
+        let w = [0.0, 1.0];
+        let mut out = [0.0; 2];
+        water_fill(&w, 1.0, 1.0, &mut out);
+        assert_eq!(out[0], 0.0);
+        assert!((out[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conserves_budget_generically() {
+        let w = [0.3, 2.7, 1.1, 0.9, 5.0];
+        let mut out = [0.0; 5];
+        water_fill(&w, 3.0, 1.0, &mut out);
+        assert!((total(&out) - 3.0).abs() < 1e-9);
+        for &r in &out {
+            assert!((0.0..=1.0 + 1e-12).contains(&r));
+        }
+        // Heavier jobs never get less.
+        let mut idx: Vec<usize> = (0..5).collect();
+        idx.sort_by(|&a, &b| w[a].partial_cmp(&w[b]).unwrap());
+        for pair in idx.windows(2) {
+            assert!(out[pair[0]] <= out[pair[1]] + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,544 @@
+//! The exact event-driven simulation engine.
+//!
+//! Between *events* — job arrivals, job completions, policy review points,
+//! and (for continuously-varying policies) adaptive step boundaries — every
+//! alive job is processed at a constant rate, so the engine advances time
+//! analytically to the earliest next event. For piecewise-constant policies
+//! (RR, SRPT, SJF, FCFS, LAPS) the produced schedule is exact up to
+//! floating-point rounding; there is no time-quantization error.
+
+use crate::alloc::{check_rates, AliveJob, MachineConfig, RateAllocator};
+use crate::error::SimError;
+use crate::profile::{Profile, Segment};
+use crate::schedule::Schedule;
+use crate::trace::Trace;
+use crate::{ABS_EPS, REL_EPS};
+
+/// Engine knobs. `SimOptions::default()` is right for almost all uses.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimOptions {
+    /// Record the full piecewise-constant [`Profile`] (needed by the
+    /// dual-fitting analysis and the validators; costs memory ∝ events·n).
+    pub record_profile: bool,
+    /// Maximum step length for policies with continuously-varying rates.
+    /// `None` picks `mean_size / (64·speed)` automatically.
+    pub max_step: Option<f64>,
+    /// Hard cap on engine events as runaway protection. `None` picks a
+    /// generous bound from the instance size.
+    pub max_events: Option<u64>,
+}
+
+impl SimOptions {
+    /// Options with profile recording enabled.
+    pub fn with_profile() -> Self {
+        SimOptions {
+            record_profile: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Why the engine chose a particular step length; used to snap time exactly
+/// onto arrival instants and to attribute events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum StepReason {
+    Arrival(f64),
+    Completion,
+    Review,
+    AdaptiveStep,
+}
+
+struct AliveState {
+    job: usize, // index into trace.jobs()
+    remaining: f64,
+    attained: f64,
+}
+
+/// Simulate `policy` on `trace` under `cfg`.
+///
+/// # Errors
+/// Propagates validation failures ([`MachineConfig::validate`]), infeasible
+/// allocations from the policy, stalls (positive remaining work but no
+/// progress possible), and event-budget exhaustion.
+pub fn simulate(
+    trace: &Trace,
+    policy: &mut dyn RateAllocator,
+    cfg: MachineConfig,
+    opts: SimOptions,
+) -> Result<Schedule, SimError> {
+    cfg.validate()?;
+    policy.reset();
+
+    let n = trace.len();
+    let jobs = trace.jobs();
+    let mut completion = vec![f64::NAN; n];
+    let mut flow = vec![f64::NAN; n];
+    let mut segments: Vec<Segment> = Vec::new();
+
+    let continuous = policy.continuous();
+    let max_step = if continuous {
+        opts.max_step.unwrap_or_else(|| {
+            let mean = if n > 0 {
+                trace.total_size() / n as f64
+            } else {
+                1.0
+            };
+            (mean / cfg.speed / 64.0).max(ABS_EPS)
+        })
+    } else {
+        opts.max_step.unwrap_or(f64::INFINITY)
+    };
+    let event_budget = opts.max_events.unwrap_or_else(|| {
+        let n64 = n as u64;
+        let base = 4096 + 64 * n64 * n64.max(1);
+        if continuous {
+            let steps = (trace.makespan_upper_bound(cfg.speed) / max_step).ceil();
+            base + 8 * steps.min(1e15) as u64
+        } else {
+            base
+        }
+    });
+
+    let mut alive: Vec<AliveState> = Vec::new();
+    let mut next_arrival = 0usize; // index into jobs
+    let mut time = 0.0_f64;
+    let mut events: u64 = 0;
+    let mut zero_steps_in_a_row = 0u32;
+
+    // Reusable buffers.
+    let mut views: Vec<AliveJob> = Vec::new();
+    let mut rates: Vec<f64> = Vec::new();
+
+    loop {
+        // Admit all jobs that have arrived by `time`.
+        while next_arrival < n && jobs[next_arrival].arrival <= time {
+            alive.push(AliveState {
+                job: next_arrival,
+                remaining: jobs[next_arrival].size,
+                attained: 0.0,
+            });
+            next_arrival += 1;
+            events += 1;
+        }
+
+        if alive.is_empty() {
+            if next_arrival >= n {
+                break; // all done
+            }
+            time = jobs[next_arrival].arrival;
+            continue;
+        }
+
+        if events > event_budget {
+            return Err(SimError::EventBudgetExhausted { events });
+        }
+
+        // `alive` is sorted by job index (arrival order) because arrivals
+        // are admitted in trace order and completions preserve order.
+        views.clear();
+        views.extend(alive.iter().map(|a| {
+            let j = &jobs[a.job];
+            AliveJob {
+                id: j.id,
+                arrival: j.arrival,
+                size: j.size,
+                weight: j.weight,
+                remaining: a.remaining,
+                attained: a.attained,
+                seq: j.id,
+            }
+        }));
+
+        rates.clear();
+        rates.resize(alive.len(), 0.0);
+        policy.allocate(time, &views, &cfg, &mut rates);
+        check_rates(&views, &cfg, &rates, REL_EPS)?;
+        // Clamp tolerated overshoot so downstream stays exactly feasible.
+        for r in rates.iter_mut() {
+            *r = r.clamp(0.0, cfg.job_cap());
+        }
+
+        // Earliest next event.
+        let mut dt = f64::INFINITY;
+        let mut reason = StepReason::AdaptiveStep;
+        if next_arrival < n {
+            let d = jobs[next_arrival].arrival - time;
+            if d < dt {
+                dt = d;
+                reason = StepReason::Arrival(jobs[next_arrival].arrival);
+            }
+        }
+        for (a, &r) in alive.iter().zip(&rates) {
+            if r > ABS_EPS {
+                let d = a.remaining / r;
+                if d < dt {
+                    dt = d;
+                    reason = StepReason::Completion;
+                }
+            }
+        }
+        if let Some(rev) = policy.review_in(time, &views, &cfg) {
+            // A review in the past or at `now` would spin; insist on a
+            // minimal positive advance.
+            let rev = rev.max(ABS_EPS);
+            if rev < dt {
+                dt = rev;
+                reason = StepReason::Review;
+            }
+        }
+        if continuous && max_step < dt {
+            dt = max_step;
+            reason = StepReason::AdaptiveStep;
+        }
+
+        if !dt.is_finite() {
+            // Work remains, nothing is running, and no arrival will change
+            // that: the policy has stalled the system.
+            return Err(SimError::Stalled {
+                time,
+                alive: alive.len(),
+            });
+        }
+
+        if dt <= 0.0 {
+            zero_steps_in_a_row += 1;
+            if zero_steps_in_a_row > 2 {
+                return Err(SimError::Stalled {
+                    time,
+                    alive: alive.len(),
+                });
+            }
+        } else {
+            zero_steps_in_a_row = 0;
+        }
+
+        // Advance.
+        if opts.record_profile && dt > 0.0 {
+            let seg_rates: Vec<(u32, f64)> =
+                views.iter().zip(&rates).map(|(v, &r)| (v.id, r)).collect();
+            segments.push(Segment {
+                t0: time,
+                t1: time + dt,
+                rates: seg_rates,
+            });
+        }
+        for (a, &r) in alive.iter_mut().zip(&rates) {
+            let w = r * dt;
+            a.attained += w;
+            a.remaining -= w;
+        }
+        time = match reason {
+            StepReason::Arrival(at) => at, // snap exactly onto the arrival
+            _ => time + dt,
+        };
+        if opts.record_profile {
+            if let Some(s) = segments.last_mut() {
+                s.t1 = s.t1.max(time); // keep profile contiguous after snapping
+            }
+        }
+        events += 1;
+
+        // Complete jobs whose remaining work has (numerically) vanished.
+        let mut i = 0;
+        while i < alive.len() {
+            let a = &alive[i];
+            let j = &jobs[a.job];
+            if a.remaining <= j.size * REL_EPS + ABS_EPS {
+                completion[a.job] = time;
+                flow[a.job] = time - j.arrival;
+                alive.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    let profile = if opts.record_profile {
+        let mut p = Profile {
+            segments,
+            m: cfg.m,
+            speed: cfg.speed,
+        };
+        p.coalesce(ABS_EPS);
+        Some(p)
+    } else {
+        None
+    };
+
+    Ok(Schedule {
+        policy: policy.name().to_string(),
+        cfg,
+        completion,
+        flow,
+        profile,
+        events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Round Robin defined inline so engine tests do not depend on the
+    /// policies crate (which depends on us).
+    struct Rr;
+    impl RateAllocator for Rr {
+        fn name(&self) -> &'static str {
+            "RR"
+        }
+        fn allocate(
+            &mut self,
+            _now: f64,
+            alive: &[AliveJob],
+            cfg: &MachineConfig,
+            rates: &mut [f64],
+        ) {
+            let share = cfg.speed * (cfg.m as f64 / alive.len() as f64).min(1.0);
+            rates.fill(share);
+        }
+    }
+
+    /// Run-one-job-at-a-time in arrival order (FCFS), also inline.
+    struct Fcfs;
+    impl RateAllocator for Fcfs {
+        fn name(&self) -> &'static str {
+            "FCFS"
+        }
+        fn allocate(
+            &mut self,
+            _now: f64,
+            _alive: &[AliveJob],
+            cfg: &MachineConfig,
+            rates: &mut [f64],
+        ) {
+            for r in rates.iter_mut().take(cfg.m) {
+                *r = cfg.speed;
+            }
+        }
+    }
+
+    fn trace(pairs: &[(f64, f64)]) -> Trace {
+        Trace::from_pairs(pairs.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn single_job_single_machine() {
+        let t = trace(&[(2.0, 3.0)]);
+        let s = simulate(&t, &mut Rr, MachineConfig::new(1), SimOptions::default()).unwrap();
+        assert!((s.completion[0] - 5.0).abs() < 1e-12);
+        assert!((s.flow[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speed_augmentation_scales_processing() {
+        let t = trace(&[(0.0, 3.0)]);
+        let s = simulate(
+            &t,
+            &mut Rr,
+            MachineConfig::with_speed(1, 3.0),
+            SimOptions::default(),
+        )
+        .unwrap();
+        assert!((s.completion[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rr_two_equal_jobs_share_machine() {
+        // Two unit jobs at t=0 on one machine under RR: both complete at 2.
+        let t = trace(&[(0.0, 1.0), (0.0, 1.0)]);
+        let s = simulate(&t, &mut Rr, MachineConfig::new(1), SimOptions::default()).unwrap();
+        assert!((s.completion[0] - 2.0).abs() < 1e-12);
+        assert!((s.completion[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rr_known_closed_form() {
+        // Jobs (r=0, p=1) and (r=0, p=2) under RR on 1 machine:
+        // both run at 1/2 until job0 finishes at t=2; job1 then has 1 left,
+        // finishing at t=3.
+        let t = trace(&[(0.0, 1.0), (0.0, 2.0)]);
+        let s = simulate(&t, &mut Rr, MachineConfig::new(1), SimOptions::default()).unwrap();
+        assert!((s.completion[0] - 2.0).abs() < 1e-12);
+        assert!((s.completion[1] - 3.0).abs() < 1e-12);
+        assert!((s.total_flow() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rr_mid_run_arrival() {
+        // Job0 (r=0, p=2), job1 (r=1, p=1) on 1 machine.
+        // t∈[0,1): job0 alone at rate 1 → remaining 1 at t=1.
+        // t≥1: both at 1/2. Job1 needs 2 time → but job0 finishes first:
+        // both have remaining 1 at t=1 → both complete at t=3.
+        let t = trace(&[(0.0, 2.0), (1.0, 1.0)]);
+        let s = simulate(&t, &mut Rr, MachineConfig::new(1), SimOptions::default()).unwrap();
+        assert!((s.completion[0] - 3.0).abs() < 1e-12);
+        assert!((s.completion[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rr_multiple_machines_dedicated_when_underloaded() {
+        // 2 machines, 2 jobs: each gets a full machine (min(1, m/n) = 1).
+        let t = trace(&[(0.0, 4.0), (0.0, 4.0)]);
+        let s = simulate(&t, &mut Rr, MachineConfig::new(2), SimOptions::default()).unwrap();
+        assert!((s.completion[0] - 4.0).abs() < 1e-12);
+        assert!((s.completion[1] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rr_multiple_machines_overloaded_split() {
+        // 2 machines, 4 unit jobs: each runs at 2/4 = 1/2 → all done at 2.
+        let t = trace(&[(0.0, 1.0); 4]);
+        let s = simulate(&t, &mut Rr, MachineConfig::new(2), SimOptions::default()).unwrap();
+        for j in 0..4 {
+            assert!((s.completion[j] - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fcfs_orders_by_arrival() {
+        let t = trace(&[(0.0, 2.0), (0.5, 1.0)]);
+        let s = simulate(&t, &mut Fcfs, MachineConfig::new(1), SimOptions::default()).unwrap();
+        assert!((s.completion[0] - 2.0).abs() < 1e-12);
+        assert!((s.completion[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_gap_between_jobs() {
+        let t = trace(&[(0.0, 1.0), (10.0, 1.0)]);
+        let s = simulate(&t, &mut Rr, MachineConfig::new(1), SimOptions::default()).unwrap();
+        assert!((s.completion[0] - 1.0).abs() < 1e-12);
+        assert!((s.completion[1] - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let t = Trace::from_pairs(std::iter::empty()).unwrap();
+        let s = simulate(&t, &mut Rr, MachineConfig::new(1), SimOptions::default()).unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn profile_records_exact_segments() {
+        let t = trace(&[(0.0, 1.0), (0.0, 2.0)]);
+        let s = simulate(
+            &t,
+            &mut Rr,
+            MachineConfig::new(1),
+            SimOptions::with_profile(),
+        )
+        .unwrap();
+        let p = s.profile.as_ref().unwrap();
+        assert_eq!(p.segments.len(), 2);
+        assert_eq!(p.segments[0].rates, vec![(0, 0.5), (1, 0.5)]);
+        assert_eq!(p.segments[1].rates, vec![(1, 1.0)]);
+        assert!((p.total_work() - 3.0).abs() < 1e-9);
+        assert!((p.work_of(0) - 1.0).abs() < 1e-9);
+        assert!((p.work_of(1) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stalling_policy_is_detected() {
+        struct Lazy;
+        impl RateAllocator for Lazy {
+            fn name(&self) -> &'static str {
+                "lazy"
+            }
+            fn allocate(&mut self, _: f64, _: &[AliveJob], _: &MachineConfig, rates: &mut [f64]) {
+                rates.fill(0.0);
+            }
+        }
+        let t = trace(&[(0.0, 1.0)]);
+        let e = simulate(&t, &mut Lazy, MachineConfig::new(1), SimOptions::default());
+        assert!(matches!(e, Err(SimError::Stalled { .. })));
+    }
+
+    #[test]
+    fn infeasible_policy_is_rejected() {
+        struct Greedy;
+        impl RateAllocator for Greedy {
+            fn name(&self) -> &'static str {
+                "greedy"
+            }
+            fn allocate(&mut self, _: f64, _: &[AliveJob], cfg: &MachineConfig, rates: &mut [f64]) {
+                rates.fill(2.0 * cfg.speed);
+            }
+        }
+        let t = trace(&[(0.0, 1.0)]);
+        let e = simulate(
+            &t,
+            &mut Greedy,
+            MachineConfig::new(1),
+            SimOptions::default(),
+        );
+        assert!(matches!(e, Err(SimError::RateCapViolated { .. })));
+    }
+
+    #[test]
+    fn review_hints_fire() {
+        // A policy that serves only the oldest job but asks for review every
+        // 0.25 time units; engine must not miss the hint (observable via
+        // event count exceeding the 3 events of plain FCFS).
+        struct Hinty;
+        impl RateAllocator for Hinty {
+            fn name(&self) -> &'static str {
+                "hinty"
+            }
+            fn allocate(&mut self, _: f64, _: &[AliveJob], cfg: &MachineConfig, rates: &mut [f64]) {
+                rates[0] = cfg.speed;
+            }
+            fn review_in(&self, _: f64, _: &[AliveJob], _: &MachineConfig) -> Option<f64> {
+                Some(0.25)
+            }
+        }
+        let t = trace(&[(0.0, 1.0)]);
+        let s = simulate(&t, &mut Hinty, MachineConfig::new(1), SimOptions::default()).unwrap();
+        assert!((s.completion[0] - 1.0).abs() < 1e-9);
+        assert!(s.events >= 4);
+    }
+
+    #[test]
+    fn simultaneous_arrivals_and_completions() {
+        // Three identical jobs arriving together complete together.
+        let t = trace(&[(1.0, 2.0), (1.0, 2.0), (1.0, 2.0)]);
+        let s = simulate(&t, &mut Rr, MachineConfig::new(1), SimOptions::default()).unwrap();
+        for j in 0..3 {
+            assert!((s.completion[j] - 7.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn event_budget_guard() {
+        let t = trace(&[(0.0, 1.0), (5.0, 1.0), (10.0, 1.0)]);
+        let opts = SimOptions {
+            max_events: Some(1),
+            ..Default::default()
+        };
+        let e = simulate(&t, &mut Rr, MachineConfig::new(1), opts);
+        assert!(matches!(e, Err(SimError::EventBudgetExhausted { .. })));
+    }
+
+    #[test]
+    fn work_conservation_on_random_like_instance() {
+        let t = trace(&[
+            (0.0, 3.0),
+            (0.5, 1.0),
+            (0.5, 2.0),
+            (2.0, 0.25),
+            (7.0, 5.0),
+            (7.0, 1.0),
+        ]);
+        let s = simulate(
+            &t,
+            &mut Rr,
+            MachineConfig::with_speed(2, 1.5),
+            SimOptions::with_profile(),
+        )
+        .unwrap();
+        let p = s.profile.as_ref().unwrap();
+        assert!((p.total_work() - t.total_size()).abs() < 1e-6);
+        for j in t.jobs() {
+            assert!((p.work_of(j.id) - j.size).abs() < 1e-6, "job {}", j.id);
+            assert!(s.flow[j.id as usize] >= j.size / 1.5 - 1e-9);
+        }
+    }
+}

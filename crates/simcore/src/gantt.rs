@@ -1,0 +1,150 @@
+//! ASCII Gantt rendering of recorded profiles.
+//!
+//! Turns a fractional [`Profile`] into a per-machine timetable via
+//! McNaughton's wrap-around rule and renders it as text — the quickest way
+//! to *see* what a policy did (used by examples and debugging sessions).
+
+use crate::mcnaughton::wrap_around;
+use crate::profile::Profile;
+
+/// Character used for idle machine time.
+const IDLE: char = '.';
+
+/// Map a job id to a stable display glyph (`0-9a-zA-Z`, then `#`).
+pub fn job_glyph(id: u32) -> char {
+    const GLYPHS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    GLYPHS.get(id as usize).map_or('#', |&b| b as char)
+}
+
+/// Render `profile` as an ASCII Gantt chart with `width` time columns.
+///
+/// Each machine gets one row; the glyph in a column is the job that
+/// machine runs at the column's center instant (per the McNaughton
+/// realization of the segment covering it), or `.` if idle. A header row
+/// carries the time axis.
+///
+/// Returns an empty string for an empty profile.
+pub fn render_gantt(profile: &Profile, width: usize) -> String {
+    let Some(first) = profile.segments.first() else {
+        return String::new();
+    };
+    let t0 = first.t0;
+    let t1 = profile.end();
+    let span = t1 - t0;
+    if span <= 0.0 || width == 0 {
+        return String::new();
+    }
+    let m = profile.m;
+    let mut rows = vec![vec![IDLE; width]; m];
+
+    for col in 0..width {
+        let t = t0 + span * (col as f64 + 0.5) / width as f64;
+        let Some(seg) = profile.segment_at(t) else {
+            continue;
+        };
+        let Some(assignment) = wrap_around(seg, m, profile.speed) else {
+            continue; // numerically infeasible segment: leave idle
+        };
+        for (machine, slots) in assignment.slots.iter().enumerate() {
+            for slot in slots {
+                if slot.start <= t && t < slot.end {
+                    rows[machine][col] = job_glyph(slot.job);
+                }
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("t = {:.2} .. {:.2} ({} cols)\n", t0, t1, width));
+    for (mi, row) in rows.iter().enumerate() {
+        out.push_str(&format!("m{mi:<2}|"));
+        out.extend(row.iter());
+        out.push_str("|\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::{AliveJob, MachineConfig, RateAllocator};
+    use crate::engine::{simulate, SimOptions};
+    use crate::trace::Trace;
+
+    struct Rr;
+    impl RateAllocator for Rr {
+        fn name(&self) -> &'static str {
+            "RR"
+        }
+        fn allocate(&mut self, _: f64, alive: &[AliveJob], cfg: &MachineConfig, rates: &mut [f64]) {
+            rates.fill(cfg.speed * (cfg.m as f64 / alive.len() as f64).min(1.0));
+        }
+    }
+
+    #[test]
+    fn glyphs_are_stable_and_bounded() {
+        assert_eq!(job_glyph(0), '0');
+        assert_eq!(job_glyph(10), 'a');
+        assert_eq!(job_glyph(36), 'A');
+        assert_eq!(job_glyph(1000), '#');
+    }
+
+    #[test]
+    fn renders_single_job() {
+        let t = Trace::from_pairs([(0.0, 2.0)]).unwrap();
+        let s = simulate(
+            &t,
+            &mut Rr,
+            MachineConfig::new(1),
+            SimOptions::with_profile(),
+        )
+        .unwrap();
+        let g = render_gantt(s.profile.as_ref().unwrap(), 8);
+        assert!(g.contains("m0 |00000000|"), "{g}");
+    }
+
+    #[test]
+    fn renders_idle_gap() {
+        let t = Trace::from_pairs([(0.0, 1.0), (3.0, 1.0)]).unwrap();
+        let s = simulate(
+            &t,
+            &mut Rr,
+            MachineConfig::new(1),
+            SimOptions::with_profile(),
+        )
+        .unwrap();
+        let g = render_gantt(s.profile.as_ref().unwrap(), 8);
+        // First quarter job 0, middle idle, last quarter job 1.
+        assert!(g.contains("00"), "{g}");
+        assert!(g.contains(".."), "{g}");
+        assert!(g.contains("11"), "{g}");
+    }
+
+    #[test]
+    fn renders_two_machines() {
+        let t = Trace::from_pairs([(0.0, 2.0), (0.0, 2.0)]).unwrap();
+        let s = simulate(
+            &t,
+            &mut Rr,
+            MachineConfig::new(2),
+            SimOptions::with_profile(),
+        )
+        .unwrap();
+        let g = render_gantt(s.profile.as_ref().unwrap(), 6);
+        assert!(g.lines().count() == 3, "{g}"); // header + 2 machines
+        assert!(g.contains("m0 |"));
+        assert!(g.contains("m1 |"));
+        // Each machine fully busy with one job.
+        assert!(g.contains("000000") && g.contains("111111"), "{g}");
+    }
+
+    #[test]
+    fn empty_profile_renders_empty() {
+        let p = Profile {
+            segments: vec![],
+            m: 1,
+            speed: 1.0,
+        };
+        assert_eq!(render_gantt(&p, 10), "");
+    }
+}

@@ -1,0 +1,76 @@
+//! Job model: arrival time, processing requirement, weight.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a job within a [`crate::Trace`]. Equal to the job's index
+/// in the trace's arrival-sorted job list.
+pub type JobId = u32;
+
+/// A job in the online scheduling instance.
+///
+/// In the paper's notation, job `j` arrives at `r_j` ([`Job::arrival`]) and
+/// requires `p_j` ([`Job::size`]) units of processing; on machines of speed
+/// `s` it completes once it has received `p_j` units of work (a machine of
+/// speed `s` performs `s·dt` work in `dt` time). The weight field supports
+/// weighted policy variants (e.g. weighted RR); the paper's setting is
+/// unweighted, i.e. all weights are 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Index of this job in its trace (arrival order, ties by insertion).
+    pub id: JobId,
+    /// Release/arrival time `r_j ≥ 0`; the scheduler first learns about the
+    /// job at this time.
+    pub arrival: f64,
+    /// Processing requirement `p_j > 0`.
+    pub size: f64,
+    /// Positive weight, 1.0 in the paper's (unweighted) setting.
+    pub weight: f64,
+}
+
+impl Job {
+    /// A unit-weight job. `id` is assigned by [`crate::trace::TraceBuilder`];
+    /// constructing jobs directly is mainly useful in tests.
+    pub fn new(id: JobId, arrival: f64, size: f64) -> Self {
+        Job {
+            id,
+            arrival,
+            size,
+            weight: 1.0,
+        }
+    }
+
+    /// A weighted job.
+    pub fn weighted(id: JobId, arrival: f64, size: f64, weight: f64) -> Self {
+        Job {
+            id,
+            arrival,
+            size,
+            weight,
+        }
+    }
+
+    /// Age of the job at time `t`: `t − r_j` (zero before arrival).
+    #[inline]
+    pub fn age_at(&self, t: f64) -> f64 {
+        (t - self.arrival).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn age_is_clamped_before_arrival() {
+        let j = Job::new(0, 5.0, 2.0);
+        assert_eq!(j.age_at(3.0), 0.0);
+        assert_eq!(j.age_at(5.0), 0.0);
+        assert_eq!(j.age_at(8.5), 3.5);
+    }
+
+    #[test]
+    fn constructors_set_weight() {
+        assert_eq!(Job::new(1, 0.0, 1.0).weight, 1.0);
+        assert_eq!(Job::weighted(1, 0.0, 1.0, 3.0).weight, 3.0);
+    }
+}

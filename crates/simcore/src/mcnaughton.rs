@@ -1,0 +1,247 @@
+//! McNaughton's wrap-around rule: realizing fractional allocations on
+//! concrete machines.
+//!
+//! The paper (Section 2) characterizes feasible schedules fractionally: at
+//! each instant, job `j` receives a machine share `m_j(t) ∈ [0, 1]` with
+//! `Σ_j m_j(t) ≤ m`. This module proves that abstraction faithful by
+//! construction: any constant fractional allocation over an interval is
+//! realized as a preemptive schedule on `m` physical machines in which no
+//! job ever runs on two machines simultaneously and no machine runs two
+//! jobs — McNaughton's classical wrap-around argument.
+
+use crate::job::JobId;
+use crate::profile::Segment;
+
+/// A contiguous run of one job on one machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineSlot {
+    /// Job being run.
+    pub job: JobId,
+    /// Start time (absolute).
+    pub start: f64,
+    /// End time (absolute, `> start`).
+    pub end: f64,
+}
+
+/// A concrete per-machine realization of one profile segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineAssignment {
+    /// `slots[i]` is machine `i`'s timeline within the segment, ordered by
+    /// start time.
+    pub slots: Vec<Vec<MachineSlot>>,
+}
+
+/// Realize one profile segment on `m` machines of speed `speed` via the
+/// wrap-around rule.
+///
+/// Preconditions (engine-enforced): every rate is in `[0, speed]` and rates
+/// sum to at most `m·speed`. Jobs with zero rate are skipped.
+///
+/// Returns `None` if the preconditions are violated beyond tolerance.
+pub fn wrap_around(seg: &Segment, m: usize, speed: f64) -> Option<MachineAssignment> {
+    let d = seg.duration();
+    let tol = 1e-9 * d.max(1.0);
+    let mut slots: Vec<Vec<MachineSlot>> = vec![Vec::new(); m];
+    // `cursor` is the fill position on the current machine, relative to t0.
+    let mut machine = 0usize;
+    let mut cursor = 0.0_f64;
+    for &(job, rate) in &seg.rates {
+        if rate <= 0.0 {
+            continue;
+        }
+        if rate > speed + tol {
+            return None;
+        }
+        // Busy time on a speed-`speed` machine to deliver rate·d work.
+        let mut need = (rate / speed) * d;
+        if need > d + tol {
+            return None;
+        }
+        need = need.min(d);
+        while need > tol {
+            if machine >= m {
+                return None; // total capacity exceeded
+            }
+            let avail = d - cursor;
+            let take = need.min(avail);
+            if take > tol {
+                slots[machine].push(MachineSlot {
+                    job,
+                    start: seg.t0 + cursor,
+                    end: seg.t0 + cursor + take,
+                });
+            }
+            cursor += take;
+            need -= take;
+            if cursor >= d - tol {
+                machine += 1;
+                cursor = 0.0;
+            }
+        }
+    }
+    Some(MachineAssignment { slots })
+}
+
+/// Check the wrap-around invariants on an assignment: within each machine,
+/// slots are disjoint and inside the segment; and no job runs on two
+/// machines at overlapping times.
+pub fn verify_assignment(seg: &Segment, asg: &MachineAssignment) -> Result<(), String> {
+    let tol = 1e-9 * seg.duration().max(1.0);
+    for (mi, mslots) in asg.slots.iter().enumerate() {
+        let mut prev_end = seg.t0 - tol;
+        for s in mslots {
+            if s.start < prev_end - tol {
+                return Err(format!("machine {mi}: overlapping slots at {}", s.start));
+            }
+            if s.start < seg.t0 - tol || s.end > seg.t1 + tol {
+                return Err(format!("machine {mi}: slot outside segment"));
+            }
+            if s.end <= s.start {
+                return Err(format!("machine {mi}: empty/negative slot"));
+            }
+            prev_end = s.end;
+        }
+    }
+    // Per-job non-parallelism: collect each job's slots and check pairwise
+    // disjointness (slot counts per job are tiny — at most 2 under
+    // wrap-around).
+    let mut per_job: std::collections::BTreeMap<JobId, Vec<(f64, f64)>> = Default::default();
+    for mslots in &asg.slots {
+        for s in mslots {
+            per_job.entry(s.job).or_default().push((s.start, s.end));
+        }
+    }
+    for (job, mut ivs) in per_job {
+        ivs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in ivs.windows(2) {
+            if w[1].0 < w[0].1 - tol {
+                return Err(format!("job {job} runs on two machines simultaneously"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Work delivered to each job by an assignment, at machine speed `speed`.
+pub fn delivered_work(
+    asg: &MachineAssignment,
+    speed: f64,
+) -> std::collections::BTreeMap<JobId, f64> {
+    let mut out = std::collections::BTreeMap::new();
+    for mslots in &asg.slots {
+        for s in mslots {
+            *out.entry(s.job).or_insert(0.0) += (s.end - s.start) * speed;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(t0: f64, t1: f64, rates: &[(JobId, f64)]) -> Segment {
+        Segment {
+            t0,
+            t1,
+            rates: rates.to_vec(),
+        }
+    }
+
+    #[test]
+    fn single_job_full_machine() {
+        let s = seg(0.0, 2.0, &[(0, 1.0)]);
+        let a = wrap_around(&s, 1, 1.0).unwrap();
+        verify_assignment(&s, &a).unwrap();
+        assert_eq!(
+            a.slots[0],
+            vec![MachineSlot {
+                job: 0,
+                start: 0.0,
+                end: 2.0
+            }]
+        );
+    }
+
+    #[test]
+    fn rr_three_jobs_two_machines_wraps() {
+        // RR with n=3, m=2: each rate 2/3 over duration 3 → 2 busy-units per
+        // job, 6 total = exactly 2 machines × 3.
+        let s = seg(0.0, 3.0, &[(0, 2.0 / 3.0), (1, 2.0 / 3.0), (2, 2.0 / 3.0)]);
+        let a = wrap_around(&s, 2, 1.0).unwrap();
+        verify_assignment(&s, &a).unwrap();
+        let w = delivered_work(&a, 1.0);
+        for j in 0..3u32 {
+            assert!((w[&j] - 2.0).abs() < 1e-9, "job {j}: {}", w[&j]);
+        }
+        // Job 1 is the one that wraps: split across machines 0 and 1.
+        let slots1: Vec<_> = a.slots.iter().flatten().filter(|sl| sl.job == 1).collect();
+        assert_eq!(slots1.len(), 2);
+    }
+
+    #[test]
+    fn respects_speed_scaling() {
+        // Speed 2: a rate-1.0 job only needs half the wall-clock.
+        let s = seg(0.0, 4.0, &[(0, 1.0), (1, 1.0)]);
+        let a = wrap_around(&s, 1, 2.0).unwrap();
+        verify_assignment(&s, &a).unwrap();
+        let w = delivered_work(&a, 2.0);
+        assert!((w[&0] - 4.0).abs() < 1e-9);
+        assert!((w[&1] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_rate_jobs_are_skipped() {
+        let s = seg(0.0, 1.0, &[(0, 1.0), (1, 0.0)]);
+        let a = wrap_around(&s, 1, 1.0).unwrap();
+        verify_assignment(&s, &a).unwrap();
+        assert!(!delivered_work(&a, 1.0).contains_key(&1));
+    }
+
+    #[test]
+    fn infeasible_rates_are_rejected() {
+        // Per-job cap violated.
+        let s = seg(0.0, 1.0, &[(0, 1.5)]);
+        assert!(wrap_around(&s, 2, 1.0).is_none());
+        // Total cap violated.
+        let s = seg(0.0, 1.0, &[(0, 1.0), (1, 1.0), (2, 1.0)]);
+        assert!(wrap_around(&s, 2, 1.0).is_none());
+    }
+
+    #[test]
+    fn verify_detects_bad_assignments() {
+        let s = seg(0.0, 2.0, &[(0, 1.0)]);
+        // Job on two machines at once.
+        let bad = MachineAssignment {
+            slots: vec![
+                vec![MachineSlot {
+                    job: 0,
+                    start: 0.0,
+                    end: 1.0,
+                }],
+                vec![MachineSlot {
+                    job: 0,
+                    start: 0.5,
+                    end: 1.5,
+                }],
+            ],
+        };
+        assert!(verify_assignment(&s, &bad).is_err());
+        // Overlap within one machine.
+        let bad = MachineAssignment {
+            slots: vec![vec![
+                MachineSlot {
+                    job: 0,
+                    start: 0.0,
+                    end: 1.0,
+                },
+                MachineSlot {
+                    job: 0,
+                    start: 0.5,
+                    end: 1.5,
+                },
+            ]],
+        };
+        assert!(verify_assignment(&s, &bad).is_err());
+    }
+}

@@ -1,0 +1,242 @@
+//! Piecewise-constant schedule profiles.
+//!
+//! A [`Profile`] is the exact record of what a policy did: a sequence of
+//! time segments, each with a constant rate per alive job. Downstream
+//! analysis (the dual-fitting machinery in `tf-core`, the schedule
+//! validator, fairness time series) consumes profiles rather than
+//! re-simulating.
+
+use crate::job::JobId;
+use serde::{Deserialize, Serialize};
+
+/// One maximal interval `[t0, t1)` during which the alive set and all rates
+/// are constant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Segment start time.
+    pub t0: f64,
+    /// Segment end time (`> t0`).
+    pub t1: f64,
+    /// `(job, rate)` for every alive job, sorted by job id (= arrival
+    /// order). Jobs with zero rate are included: aliveness matters to the
+    /// analysis even when a job is not being processed.
+    pub rates: Vec<(JobId, f64)>,
+}
+
+impl Segment {
+    /// Segment length `t1 − t0`.
+    #[inline]
+    pub fn duration(&self) -> f64 {
+        self.t1 - self.t0
+    }
+
+    /// Number of alive jobs `n_t` in this segment.
+    #[inline]
+    pub fn n_alive(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Whether the segment is *overloaded* in the paper's sense
+    /// (`|A(t)| ≥ m`, all machines busy under RR).
+    #[inline]
+    pub fn overloaded(&self, m: usize) -> bool {
+        self.rates.len() >= m
+    }
+
+    /// Rate of `job` in this segment, or `None` if it is not alive here.
+    pub fn rate_of(&self, job: JobId) -> Option<f64> {
+        self.rates
+            .binary_search_by_key(&job, |&(id, _)| id)
+            .ok()
+            .map(|i| self.rates[i].1)
+    }
+
+    /// Total processing rate in this segment.
+    pub fn total_rate(&self) -> f64 {
+        self.rates.iter().map(|&(_, r)| r).sum()
+    }
+}
+
+/// The complete piecewise-constant execution record of one simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    /// Contiguous, ordered segments; `segments[i].t1 == segments[i+1].t0`
+    /// except across idle gaps (no alive jobs), which are omitted.
+    pub segments: Vec<Segment>,
+    /// Machine count the schedule ran on.
+    pub m: usize,
+    /// Machine speed the schedule ran at.
+    pub speed: f64,
+}
+
+impl Profile {
+    /// Total work processed across all segments (`Σ rate·duration`).
+    pub fn total_work(&self) -> f64 {
+        self.segments
+            .iter()
+            .map(|s| s.total_rate() * s.duration())
+            .sum()
+    }
+
+    /// Work received by `job` over the whole profile.
+    pub fn work_of(&self, job: JobId) -> f64 {
+        self.segments
+            .iter()
+            .filter_map(|s| s.rate_of(job).map(|r| r * s.duration()))
+            .sum()
+    }
+
+    /// The segment covering time `t` (segments are half-open `[t0, t1)`),
+    /// or `None` during idle gaps / outside the horizon.
+    pub fn segment_at(&self, t: f64) -> Option<&Segment> {
+        let i = self.segments.partition_point(|s| s.t1 <= t);
+        self.segments.get(i).filter(|s| s.t0 <= t && t < s.t1)
+    }
+
+    /// Number of alive jobs at time `t` (0 during idle gaps).
+    pub fn n_alive_at(&self, t: f64) -> usize {
+        self.segment_at(t).map_or(0, |s| s.n_alive())
+    }
+
+    /// End of the last segment (makespan), or 0 for an empty profile.
+    pub fn end(&self) -> f64 {
+        self.segments.last().map_or(0.0, |s| s.t1)
+    }
+
+    /// Merge adjacent segments with identical alive sets and rates;
+    /// the engine already emits maximal segments for piecewise-constant
+    /// policies, but adaptive stepping of continuous policies produces many
+    /// splittable neighbors. `rate_tol` is the absolute per-job tolerance
+    /// for "identical".
+    pub fn coalesce(&mut self, rate_tol: f64) {
+        let mut out: Vec<Segment> = Vec::with_capacity(self.segments.len());
+        for seg in self.segments.drain(..) {
+            match out.last_mut() {
+                Some(last)
+                    if last.t1 == seg.t0
+                        && last.rates.len() == seg.rates.len()
+                        && last
+                            .rates
+                            .iter()
+                            .zip(&seg.rates)
+                            .all(|(&(i1, r1), &(i2, r2))| {
+                                i1 == i2 && (r1 - r2).abs() <= rate_tol
+                            }) =>
+                {
+                    last.t1 = seg.t1;
+                }
+                _ => out.push(seg),
+            }
+        }
+        self.segments = out;
+    }
+
+    /// Per-job alive interval `[r_j, C_j]` inferred from the profile:
+    /// first and last segment in which the job appears. Returns `None` if
+    /// the job never appears.
+    pub fn alive_interval(&self, job: JobId) -> Option<(f64, f64)> {
+        let mut first = None;
+        let mut last = None;
+        for s in &self.segments {
+            if s.rate_of(job).is_some() {
+                if first.is_none() {
+                    first = Some(s.t0);
+                }
+                last = Some(s.t1);
+            }
+        }
+        Some((first?, last?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(t0: f64, t1: f64, rates: &[(JobId, f64)]) -> Segment {
+        Segment {
+            t0,
+            t1,
+            rates: rates.to_vec(),
+        }
+    }
+
+    fn profile(segs: Vec<Segment>) -> Profile {
+        Profile {
+            segments: segs,
+            m: 1,
+            speed: 1.0,
+        }
+    }
+
+    #[test]
+    fn segment_accessors() {
+        let s = seg(1.0, 3.0, &[(0, 0.5), (2, 0.25)]);
+        assert_eq!(s.duration(), 2.0);
+        assert_eq!(s.n_alive(), 2);
+        assert_eq!(s.rate_of(0), Some(0.5));
+        assert_eq!(s.rate_of(1), None);
+        assert_eq!(s.rate_of(2), Some(0.25));
+        assert_eq!(s.total_rate(), 0.75);
+        assert!(s.overloaded(2));
+        assert!(!s.overloaded(3));
+    }
+
+    #[test]
+    fn work_accounting() {
+        let p = profile(vec![
+            seg(0.0, 2.0, &[(0, 1.0)]),
+            seg(2.0, 4.0, &[(0, 0.5), (1, 0.5)]),
+        ]);
+        assert!((p.total_work() - 4.0).abs() < 1e-12);
+        assert!((p.work_of(0) - 3.0).abs() < 1e-12);
+        assert!((p.work_of(1) - 1.0).abs() < 1e-12);
+        assert_eq!(p.work_of(9), 0.0);
+        assert_eq!(p.end(), 4.0);
+    }
+
+    #[test]
+    fn segment_lookup_handles_gaps() {
+        let p = profile(vec![seg(0.0, 1.0, &[(0, 1.0)]), seg(5.0, 6.0, &[(1, 1.0)])]);
+        assert_eq!(p.n_alive_at(0.5), 1);
+        assert_eq!(p.n_alive_at(3.0), 0); // idle gap
+        assert_eq!(p.n_alive_at(5.0), 1);
+        assert_eq!(p.n_alive_at(6.0), 0); // half-open at the end
+        assert!(p.segment_at(0.999999).is_some());
+        assert!(p.segment_at(1.0).is_none());
+    }
+
+    #[test]
+    fn coalesce_merges_identical_neighbors() {
+        let mut p = profile(vec![
+            seg(0.0, 1.0, &[(0, 0.5), (1, 0.5)]),
+            seg(1.0, 2.0, &[(0, 0.5), (1, 0.5)]),
+            seg(2.0, 3.0, &[(0, 1.0)]),
+        ]);
+        p.coalesce(1e-12);
+        assert_eq!(p.segments.len(), 2);
+        assert_eq!(p.segments[0].t1, 2.0);
+    }
+
+    #[test]
+    fn coalesce_respects_gaps_and_rate_differences() {
+        let mut p = profile(vec![
+            seg(0.0, 1.0, &[(0, 0.5)]),
+            seg(2.0, 3.0, &[(0, 0.5)]), // gap: no merge
+            seg(3.0, 4.0, &[(0, 0.6)]), // different rate: no merge
+        ]);
+        p.coalesce(1e-12);
+        assert_eq!(p.segments.len(), 3);
+    }
+
+    #[test]
+    fn alive_interval_spans_zero_rate_segments() {
+        let p = profile(vec![
+            seg(0.0, 1.0, &[(0, 1.0), (1, 0.0)]),
+            seg(1.0, 2.0, &[(1, 1.0)]),
+        ]);
+        assert_eq!(p.alive_interval(1), Some((0.0, 2.0)));
+        assert_eq!(p.alive_interval(0), Some((0.0, 1.0)));
+        assert_eq!(p.alive_interval(7), None);
+    }
+}

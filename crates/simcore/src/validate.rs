@@ -1,0 +1,249 @@
+//! End-to-end schedule validation.
+//!
+//! Given a [`Trace`], a [`Schedule`] and its recorded [`Profile`], check
+//! every feasibility and accounting invariant of the model in Section 2 of
+//! the paper. Used by tests and by the harness to certify that measured
+//! objectives come from feasible schedules.
+
+use crate::alloc::MachineConfig;
+use crate::profile::Profile;
+use crate::schedule::Schedule;
+use crate::trace::Trace;
+
+/// Result of validating a schedule; `issues` is empty iff the schedule
+/// passed every check.
+#[derive(Debug, Clone, Default)]
+pub struct ValidationReport {
+    /// Human-readable descriptions of each violated invariant.
+    pub issues: Vec<String>,
+}
+
+impl ValidationReport {
+    /// True iff no invariant was violated.
+    pub fn ok(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+/// Validate `sched` (which must carry a profile) against `trace`.
+///
+/// Checks, with relative tolerance `rel_tol`:
+/// 1. every job has a finite completion and `flow = completion − arrival`;
+/// 2. no job completes before `arrival + size/speed` (cap: one machine);
+/// 3. per-segment: rates within `[0, s]`, total within `m·s`;
+/// 4. per-job delivered work equals its size;
+/// 5. jobs are processed only while alive (`[arrival, completion]`);
+/// 6. the alive set in each segment is exactly the set of released,
+///    uncompleted jobs (as the engine defines it).
+pub fn validate_schedule(trace: &Trace, sched: &Schedule, rel_tol: f64) -> ValidationReport {
+    let mut rep = ValidationReport::default();
+    let cfg: MachineConfig = sched.cfg;
+    let scale = trace.makespan_upper_bound(cfg.speed).max(1.0);
+    let ttol = rel_tol * scale;
+
+    if sched.completion.len() != trace.len() || sched.flow.len() != trace.len() {
+        rep.issues.push(format!(
+            "schedule covers {} jobs, trace has {}",
+            sched.completion.len(),
+            trace.len()
+        ));
+        return rep;
+    }
+
+    for j in trace.jobs() {
+        let c = sched.completion[j.id as usize];
+        let f = sched.flow[j.id as usize];
+        if !c.is_finite() {
+            rep.issues.push(format!("job {}: never completed", j.id));
+            continue;
+        }
+        if (f - (c - j.arrival)).abs() > ttol {
+            rep.issues.push(format!(
+                "job {}: flow {} != completion-arrival {}",
+                j.id,
+                f,
+                c - j.arrival
+            ));
+        }
+        let min_c = j.arrival + j.size / cfg.speed;
+        if c < min_c - ttol {
+            rep.issues.push(format!(
+                "job {}: completes at {} before physical minimum {}",
+                j.id, c, min_c
+            ));
+        }
+    }
+
+    let Some(profile) = sched.profile.as_ref() else {
+        rep.issues
+            .push("schedule has no recorded profile".to_string());
+        return rep;
+    };
+    validate_profile_against(trace, sched, profile, rel_tol, &mut rep);
+    rep
+}
+
+fn validate_profile_against(
+    trace: &Trace,
+    sched: &Schedule,
+    profile: &Profile,
+    rel_tol: f64,
+    rep: &mut ValidationReport,
+) {
+    let cfg = sched.cfg;
+    let cap = cfg.job_cap();
+    let total_cap = cfg.total_cap();
+    let rtol = rel_tol * cap.max(1.0);
+
+    let mut prev_end: Option<f64> = None;
+    for (si, seg) in profile.segments.iter().enumerate() {
+        if seg.t1 <= seg.t0 {
+            rep.issues
+                .push(format!("segment {si}: non-positive duration"));
+        }
+        if let Some(pe) = prev_end {
+            if seg.t0 < pe - rtol {
+                rep.issues.push(format!(
+                    "segment {si}: overlaps previous (t0={} < {})",
+                    seg.t0, pe
+                ));
+            }
+        }
+        prev_end = Some(seg.t1);
+
+        let mut total = 0.0;
+        for &(id, r) in &seg.rates {
+            if !(0.0 - rtol..=cap + rtol).contains(&r) {
+                rep.issues
+                    .push(format!("segment {si}: job {id} rate {r} outside [0,{cap}]"));
+            }
+            total += r;
+            let j = trace.job(id);
+            // Processed (indeed, alive) only within [arrival, completion].
+            let mid = 0.5 * (seg.t0 + seg.t1);
+            let c = sched.completion[id as usize];
+            if mid < j.arrival || (c.is_finite() && mid > c + rel_tol * c.max(1.0)) {
+                rep.issues.push(format!(
+                    "segment {si}: job {id} alive at t≈{mid} outside [{}, {}]",
+                    j.arrival, c
+                ));
+            }
+        }
+        if total > total_cap + rtol * (seg.rates.len() as f64).max(1.0) {
+            rep.issues.push(format!(
+                "segment {si}: total rate {total} exceeds {total_cap}"
+            ));
+        }
+        // Alive-set completeness: every released, uncompleted job must be in
+        // the segment (the engine exposes all alive jobs to the policy).
+        let mid = 0.5 * (seg.t0 + seg.t1);
+        for j in trace.jobs() {
+            let c = sched.completion[j.id as usize];
+            let alive = j.arrival <= mid && (!c.is_finite() || mid < c);
+            if alive && seg.rate_of(j.id).is_none() {
+                rep.issues.push(format!(
+                    "segment {si}: alive job {} missing from segment",
+                    j.id
+                ));
+            }
+        }
+    }
+
+    // Work conservation per job.
+    for j in trace.jobs() {
+        let w = profile.work_of(j.id);
+        if (w - j.size).abs() > rel_tol * j.size.max(1.0) {
+            rep.issues.push(format!(
+                "job {}: delivered work {} != size {}",
+                j.id, w, j.size
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::{AliveJob, RateAllocator};
+    use crate::engine::{simulate, SimOptions};
+
+    struct Rr;
+    impl RateAllocator for Rr {
+        fn name(&self) -> &'static str {
+            "RR"
+        }
+        fn allocate(&mut self, _: f64, alive: &[AliveJob], cfg: &MachineConfig, rates: &mut [f64]) {
+            let share = cfg.speed * (cfg.m as f64 / alive.len() as f64).min(1.0);
+            rates.fill(share);
+        }
+    }
+
+    #[test]
+    fn valid_rr_schedule_passes() {
+        let t = Trace::from_pairs([(0.0, 1.0), (0.5, 2.0), (0.5, 0.25), (3.0, 1.0)]).unwrap();
+        let s = simulate(
+            &t,
+            &mut Rr,
+            MachineConfig::with_speed(2, 1.5),
+            SimOptions::with_profile(),
+        )
+        .unwrap();
+        let rep = validate_schedule(&t, &s, 1e-7);
+        assert!(rep.ok(), "{:?}", rep.issues);
+    }
+
+    #[test]
+    fn missing_profile_is_flagged() {
+        let t = Trace::from_pairs([(0.0, 1.0)]).unwrap();
+        let s = simulate(&t, &mut Rr, MachineConfig::new(1), SimOptions::default()).unwrap();
+        let rep = validate_schedule(&t, &s, 1e-7);
+        assert!(!rep.ok());
+        assert!(rep.issues[0].contains("profile"));
+    }
+
+    #[test]
+    fn tampered_completion_is_flagged() {
+        let t = Trace::from_pairs([(0.0, 2.0)]).unwrap();
+        let mut s = simulate(
+            &t,
+            &mut Rr,
+            MachineConfig::new(1),
+            SimOptions::with_profile(),
+        )
+        .unwrap();
+        s.completion[0] = 0.5; // before arrival + size/speed = 2.0
+        s.flow[0] = 0.5;
+        let rep = validate_schedule(&t, &s, 1e-7);
+        assert!(rep.issues.iter().any(|i| i.contains("physical minimum")));
+    }
+
+    #[test]
+    fn tampered_profile_rate_is_flagged() {
+        let t = Trace::from_pairs([(0.0, 2.0)]).unwrap();
+        let mut s = simulate(
+            &t,
+            &mut Rr,
+            MachineConfig::new(1),
+            SimOptions::with_profile(),
+        )
+        .unwrap();
+        s.profile.as_mut().unwrap().segments[0].rates[0].1 = 5.0;
+        let rep = validate_schedule(&t, &s, 1e-7);
+        assert!(rep.issues.iter().any(|i| i.contains("outside [0,")));
+    }
+
+    #[test]
+    fn wrong_job_count_is_flagged() {
+        let t = Trace::from_pairs([(0.0, 1.0), (0.0, 1.0)]).unwrap();
+        let small = Trace::from_pairs([(0.0, 1.0)]).unwrap();
+        let s = simulate(
+            &small,
+            &mut Rr,
+            MachineConfig::new(1),
+            SimOptions::with_profile(),
+        )
+        .unwrap();
+        let rep = validate_schedule(&t, &s, 1e-7);
+        assert!(!rep.ok());
+    }
+}

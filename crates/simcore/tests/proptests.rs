@@ -1,0 +1,131 @@
+//! Property-based tests for the simulation engine: invariants that must
+//! hold for every trace, machine count, and speed.
+
+use proptest::prelude::*;
+use tf_simcore::mcnaughton::{delivered_work, verify_assignment, wrap_around};
+use tf_simcore::quantum::{simulate_quantum_rr, QuantumOptions};
+use tf_simcore::validate::validate_schedule;
+use tf_simcore::{simulate, AliveJob, MachineConfig, RateAllocator, SimOptions, Trace};
+
+/// Inline RR (the policies crate depends on simcore, so tests here keep
+/// their own copy).
+struct Rr;
+impl RateAllocator for Rr {
+    fn name(&self) -> &'static str {
+        "RR"
+    }
+    fn allocate(&mut self, _: f64, alive: &[AliveJob], cfg: &MachineConfig, rates: &mut [f64]) {
+        let share = cfg.speed * (cfg.m as f64 / alive.len() as f64).min(1.0);
+        rates.fill(share);
+    }
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec((0.0f64..50.0, 0.01f64..20.0), 1..40)
+        .prop_map(|pairs| Trace::from_pairs(pairs).expect("valid jobs"))
+}
+
+fn arb_cfg() -> impl Strategy<Value = MachineConfig> {
+    (1usize..6, 0.25f64..8.0).prop_map(|(m, s)| MachineConfig::with_speed(m, s))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every job completes, flow is positive and at least size/speed, and
+    /// the profile conserves work exactly.
+    #[test]
+    fn rr_schedule_is_valid((t, cfg) in (arb_trace(), arb_cfg())) {
+        let s = simulate(&t, &mut Rr, cfg, SimOptions::with_profile()).unwrap();
+        let rep = validate_schedule(&t, &s, 1e-6);
+        prop_assert!(rep.ok(), "{:?}", rep.issues);
+    }
+
+    /// Doubling the speed never increases any completion time under RR
+    /// (RR's alive sets shrink pointwise with more speed).
+    #[test]
+    fn rr_speed_monotonicity(t in arb_trace(), m in 1usize..4, s in 0.5f64..4.0) {
+        let slow = simulate(&t, &mut Rr, MachineConfig::with_speed(m, s), SimOptions::default()).unwrap();
+        let fast = simulate(&t, &mut Rr, MachineConfig::with_speed(m, 2.0 * s), SimOptions::default()).unwrap();
+        for j in 0..t.len() {
+            prop_assert!(fast.completion[j] <= slow.completion[j] + 1e-6,
+                "job {j}: fast {} > slow {}", fast.completion[j], slow.completion[j]);
+        }
+    }
+
+    /// Jobs with identical arrival and size finish at the same time under RR
+    /// (instantaneous fairness implies symmetric treatment).
+    #[test]
+    fn rr_treats_twins_identically(arr in 0.0f64..10.0, size in 0.1f64..10.0,
+                                    extra in prop::collection::vec((0.0f64..20.0, 0.1f64..10.0), 0..10),
+                                    m in 1usize..4) {
+        let mut pairs = vec![(arr, size), (arr, size)];
+        pairs.extend(extra);
+        let t = Trace::from_pairs(pairs).unwrap();
+        // Find the two twins in the sorted trace: they are adjacent with the
+        // same (arrival, size); locate by matching values.
+        let twins: Vec<u32> = t.jobs().iter()
+            .filter(|j| j.arrival == arr && j.size == size)
+            .map(|j| j.id)
+            .collect();
+        let s = simulate(&t, &mut Rr, MachineConfig::new(m), SimOptions::default()).unwrap();
+        // All twins complete together (there may be >2 if extra collided —
+        // then they are all symmetric too).
+        for w in twins.windows(2) {
+            prop_assert!((s.completion[w[0] as usize] - s.completion[w[1] as usize]).abs() < 1e-6);
+        }
+    }
+
+    /// The engine's exact RR dominates (is dominated by) quantum RR in the
+    /// limit: at a tiny quantum the total flows agree within a tolerance
+    /// scaled by the number of jobs.
+    #[test]
+    fn quantum_rr_converges(t in arb_trace(), m in 1usize..3) {
+        let cfg = MachineConfig::new(m);
+        let ideal = simulate(&t, &mut Rr, cfg, SimOptions::default()).unwrap();
+        let q = simulate_quantum_rr(&t, cfg, QuantumOptions::new(1e-3)).unwrap();
+        let n = t.len() as f64;
+        // Per-job completion error under quantum RR is O(n·q).
+        let tol = 1e-3 * n * (n + 2.0);
+        for j in 0..t.len() {
+            prop_assert!((ideal.completion[j] - q.completion[j]).abs() <= tol,
+                "job {j}: ideal {} vs quantum {}", ideal.completion[j], q.completion[j]);
+        }
+    }
+
+    /// Every recorded RR segment is realizable on physical machines via
+    /// McNaughton wrap-around, delivering exactly rate·duration work.
+    #[test]
+    fn rr_segments_are_realizable((t, cfg) in (arb_trace(), arb_cfg())) {
+        let s = simulate(&t, &mut Rr, cfg, SimOptions::with_profile()).unwrap();
+        let p = s.profile.unwrap();
+        for seg in &p.segments {
+            let a = wrap_around(seg, cfg.m, cfg.speed).expect("feasible segment");
+            verify_assignment(seg, &a).unwrap();
+            let w = delivered_work(&a, cfg.speed);
+            for &(id, r) in &seg.rates {
+                let got = w.get(&id).copied().unwrap_or(0.0);
+                prop_assert!((got - r * seg.duration()).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// Total flow of RR is invariant under relabeling (building the trace
+    /// from a shuffled pair list gives the same multiset of flows).
+    #[test]
+    fn rr_flow_is_permutation_invariant(mut pairs in prop::collection::vec((0.0f64..20.0, 0.1f64..5.0), 1..20)) {
+        let t1 = Trace::from_pairs(pairs.clone()).unwrap();
+        pairs.reverse();
+        let t2 = Trace::from_pairs(pairs).unwrap();
+        let cfg = MachineConfig::new(2);
+        let s1 = simulate(&t1, &mut Rr, cfg, SimOptions::default()).unwrap();
+        let s2 = simulate(&t2, &mut Rr, cfg, SimOptions::default()).unwrap();
+        let mut f1 = s1.flow.clone();
+        let mut f2 = s2.flow.clone();
+        f1.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        f2.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (a, b) in f1.iter().zip(&f2) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

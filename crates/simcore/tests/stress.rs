@@ -1,0 +1,119 @@
+//! Numerical and structural stress tests: extreme size ratios, massive
+//! simultaneous arrivals, tiny speeds — the places event-driven engines
+//! quietly lose precision.
+
+use tf_simcore::validate::validate_schedule;
+use tf_simcore::{simulate, AliveJob, MachineConfig, RateAllocator, SimOptions, Trace};
+
+struct Rr;
+impl RateAllocator for Rr {
+    fn name(&self) -> &'static str {
+        "RR"
+    }
+    fn allocate(&mut self, _: f64, alive: &[AliveJob], cfg: &MachineConfig, rates: &mut [f64]) {
+        rates.fill(cfg.speed * (cfg.m as f64 / alive.len() as f64).min(1.0));
+    }
+}
+
+#[test]
+fn extreme_size_ratio() {
+    // 12 orders of magnitude between jobs sharing a machine.
+    let t = Trace::from_pairs([(0.0, 1e-6), (0.0, 1e6)]).unwrap();
+    let s = simulate(
+        &t,
+        &mut Rr,
+        MachineConfig::new(1),
+        SimOptions::with_profile(),
+    )
+    .unwrap();
+    // Tiny job finishes at 2e-6 (shared), giant at ~1e6 + 1e-6.
+    assert!((s.completion[0] - 2e-6).abs() < 1e-12);
+    assert!((s.completion[1] - (1e6 + 1e-6)).abs() < 1e-3);
+    let rep = validate_schedule(&t, &s, 1e-6);
+    assert!(rep.ok(), "{:?}", rep.issues);
+}
+
+#[test]
+fn thousand_simultaneous_jobs() {
+    let t = Trace::from_pairs(std::iter::repeat((0.0, 1.0)).take(1000)).unwrap();
+    let s = simulate(&t, &mut Rr, MachineConfig::new(1), SimOptions::default()).unwrap();
+    for c in &s.completion {
+        assert!((c - 1000.0).abs() < 1e-6, "{c}");
+    }
+    assert!(s.events < 5000, "event blow-up: {}", s.events);
+}
+
+#[test]
+fn long_chain_of_overlapping_arrivals() {
+    // 2000 jobs arriving in a dense ramp: exercises repeated re-allocation
+    // without accumulating drift in remaining-work bookkeeping.
+    let t = Trace::from_pairs((0..2000).map(|i| (i as f64 * 0.25, 1.0))).unwrap();
+    let s = simulate(
+        &t,
+        &mut Rr,
+        MachineConfig::with_speed(2, 2.1),
+        SimOptions::with_profile(),
+    )
+    .unwrap();
+    let p = s.profile.as_ref().unwrap();
+    assert!((p.total_work() - t.total_size()).abs() < 1e-4 * t.total_size());
+    let rep = validate_schedule(&t, &s, 1e-5);
+    assert!(
+        rep.ok(),
+        "{:?}",
+        rep.issues.iter().take(3).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn tiny_speed_scales_exactly() {
+    let t = Trace::from_pairs([(0.0, 1.0), (0.0, 2.0)]).unwrap();
+    let s = simulate(
+        &t,
+        &mut Rr,
+        MachineConfig::with_speed(1, 1e-6),
+        SimOptions::default(),
+    )
+    .unwrap();
+    // Same shape as speed 1 (completions 2 and 3), scaled by 1e6.
+    assert!((s.completion[0] - 2e6).abs() < 1.0);
+    assert!((s.completion[1] - 3e6).abs() < 1.0);
+}
+
+#[test]
+fn far_future_arrival_after_long_idle() {
+    let t = Trace::from_pairs([(0.0, 1.0), (1e9, 1.0)]).unwrap();
+    let s = simulate(&t, &mut Rr, MachineConfig::new(1), SimOptions::default()).unwrap();
+    assert!((s.completion[1] - (1e9 + 1.0)).abs() < 1e-3);
+}
+
+#[test]
+fn near_coincident_arrivals_stay_ordered() {
+    // Arrivals separated by 1 ulp-ish gaps must not confuse admission.
+    let base = 1.0f64;
+    let eps = f64::EPSILON * 4.0;
+    let t = Trace::from_pairs([(base, 1.0), (base + eps, 1.0), (base + 2.0 * eps, 1.0)]).unwrap();
+    let s = simulate(&t, &mut Rr, MachineConfig::new(1), SimOptions::default()).unwrap();
+    for c in &s.completion {
+        assert!(c.is_finite());
+        assert!((c - (base + 3.0)).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn profile_segments_are_bounded_by_events() {
+    let t = Trace::from_pairs((0..500).map(|i| (i as f64 * 0.5, 0.75))).unwrap();
+    let s = simulate(
+        &t,
+        &mut Rr,
+        MachineConfig::new(1),
+        SimOptions::with_profile(),
+    )
+    .unwrap();
+    let p = s.profile.as_ref().unwrap();
+    assert!(p.segments.len() as u64 <= s.events);
+    // Contiguity within busy periods.
+    for w in p.segments.windows(2) {
+        assert!(w[1].t0 >= w[0].t1 - 1e-9);
+    }
+}

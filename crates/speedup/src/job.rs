@@ -1,0 +1,181 @@
+//! Phased jobs for the speed-up curves model.
+
+use serde::{Deserialize, Serialize};
+
+/// Parallelizability of a phase — the speed-up curve `Γ(ρ)` in the
+/// arbitrary-speedup model \[13\].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PhaseKind {
+    /// Fully parallelizable: progresses at rate `s·ρ` with `ρ` processors
+    /// of speed `s` (speed-up curve `Γ(ρ) = ρ`).
+    Par,
+    /// Sequential: progresses at rate `s` regardless of allocation
+    /// (`Γ(ρ) = 1`); allocated processors are wasted.
+    Seq,
+    /// Limited parallelism: `Γ(ρ) = min(ρ, cap)` — the phase can exploit
+    /// at most `cap` processors (Par is `cap = ∞`; unlike Seq, it
+    /// requires allocation to progress at all).
+    Capped {
+        /// Maximum useful processor count (`> 0`).
+        cap: f64,
+    },
+}
+
+/// One phase of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Work in this phase (`> 0`).
+    pub work: f64,
+    /// Parallelizability.
+    pub kind: PhaseKind,
+}
+
+impl Phase {
+    /// A parallelizable phase.
+    pub fn par(work: f64) -> Self {
+        Phase {
+            work,
+            kind: PhaseKind::Par,
+        }
+    }
+
+    /// A sequential phase.
+    pub fn seq(work: f64) -> Self {
+        Phase {
+            work,
+            kind: PhaseKind::Seq,
+        }
+    }
+
+    /// A limited-parallelism phase (`Γ(ρ) = min(ρ, cap)`).
+    pub fn capped(work: f64, cap: f64) -> Self {
+        assert!(cap > 0.0 && cap.is_finite(), "bad parallelism cap {cap}");
+        Phase {
+            work,
+            kind: PhaseKind::Capped { cap },
+        }
+    }
+}
+
+/// A job: arrival time plus an ordered list of phases.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupJob {
+    /// Job id (index in the trace).
+    pub id: u32,
+    /// Arrival time.
+    pub arrival: f64,
+    /// Phases, executed in order.
+    pub phases: Vec<Phase>,
+}
+
+impl SpeedupJob {
+    /// Total work across phases.
+    pub fn total_work(&self) -> f64 {
+        self.phases.iter().map(|p| p.work).sum()
+    }
+
+    /// Total sequential work (the part no allocation can accelerate
+    /// beyond the machine speed).
+    pub fn seq_work(&self) -> f64 {
+        self.phases
+            .iter()
+            .filter(|p| p.kind == PhaseKind::Seq)
+            .map(|p| p.work)
+            .sum()
+    }
+}
+
+/// A validated instance in the speed-up curves model: jobs sorted by
+/// arrival, ids dense.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupTrace {
+    jobs: Vec<SpeedupJob>,
+}
+
+impl SpeedupTrace {
+    /// Build from `(arrival, phases)` pairs.
+    ///
+    /// # Panics
+    /// If any phase has non-positive or non-finite work, a job has no
+    /// phases, or an arrival is negative/non-finite.
+    pub fn new(jobs: impl IntoIterator<Item = (f64, Vec<Phase>)>) -> Self {
+        let mut v: Vec<SpeedupJob> = jobs
+            .into_iter()
+            .map(|(arrival, phases)| {
+                assert!(
+                    arrival.is_finite() && arrival >= 0.0,
+                    "bad arrival {arrival}"
+                );
+                assert!(!phases.is_empty(), "job needs at least one phase");
+                for p in &phases {
+                    assert!(
+                        p.work.is_finite() && p.work > 0.0,
+                        "bad phase work {}",
+                        p.work
+                    );
+                }
+                SpeedupJob {
+                    id: 0,
+                    arrival,
+                    phases,
+                }
+            })
+            .collect();
+        v.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).unwrap());
+        for (i, j) in v.iter_mut().enumerate() {
+            j.id = i as u32;
+        }
+        SpeedupTrace { jobs: v }
+    }
+
+    /// The jobs, arrival-sorted.
+    pub fn jobs(&self) -> &[SpeedupJob] {
+        &self.jobs
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_aggregates() {
+        let j = SpeedupJob {
+            id: 0,
+            arrival: 0.0,
+            phases: vec![Phase::par(2.0), Phase::seq(3.0), Phase::par(1.0)],
+        };
+        assert_eq!(j.total_work(), 6.0);
+        assert_eq!(j.seq_work(), 3.0);
+    }
+
+    #[test]
+    fn trace_sorts_and_ids() {
+        let t = SpeedupTrace::new([(2.0, vec![Phase::par(1.0)]), (0.0, vec![Phase::seq(1.0)])]);
+        assert_eq!(t.jobs()[0].arrival, 0.0);
+        assert_eq!(t.jobs()[0].id, 0);
+        assert_eq!(t.jobs()[1].id, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad phase work")]
+    fn rejects_zero_work() {
+        SpeedupTrace::new([(0.0, vec![Phase::par(0.0)])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn rejects_phaseless_jobs() {
+        SpeedupTrace::new([(0.0, vec![])]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Processor-allocation policies for the speed-up curves model.
+
+use crate::job::PhaseKind;
+
+/// Observable state of an alive job handed to policies. Non-clairvoyant
+/// policies (EQUI, LAPS) must ignore everything except arrival order;
+/// clairvoyant baselines may use the rest.
+#[derive(Debug, Clone, Copy)]
+pub struct AliveCurveJob {
+    /// Job id.
+    pub id: u32,
+    /// Arrival time.
+    pub arrival: f64,
+    /// Kind of the *current* phase (clairvoyant information in this model,
+    /// since phase boundaries are not externally visible).
+    pub current_kind: PhaseKind,
+    /// Remaining work in the current phase (clairvoyant).
+    pub remaining_phase: f64,
+    /// Remaining work over all phases (clairvoyant).
+    pub remaining_total: f64,
+}
+
+/// A processor-allocation policy: split `p_total` processors over the
+/// alive jobs. Feasibility: `ρ_i ≥ 0`, `Σ ρ_i ≤ p_total` (no per-job cap
+/// — parallel phases may absorb every processor).
+pub trait ProcessorPolicy {
+    /// Stable display name.
+    fn name(&self) -> &'static str;
+
+    /// Fill `rho` (zeroed, same order as `alive`, which is arrival-sorted).
+    fn allocate(&mut self, alive: &[AliveCurveJob], p_total: f64, rho: &mut [f64]);
+}
+
+/// EQUI — the speed-up-curves incarnation of Round Robin: every alive job
+/// gets `P/n_t`, oblivious to phases. The paper's Section 1.2 cites that
+/// this policy is O(1)-speed O(1)-competitive for ℓ1 \[13\] but **not**
+/// for ℓ2 \[15\] in this model.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Equi;
+
+impl ProcessorPolicy for Equi {
+    fn name(&self) -> &'static str {
+        "EQUI"
+    }
+
+    fn allocate(&mut self, alive: &[AliveCurveJob], p_total: f64, rho: &mut [f64]) {
+        if alive.is_empty() {
+            return;
+        }
+        rho.fill(p_total / alive.len() as f64);
+    }
+}
+
+/// LAPS(β) for speed-up curves \[13\]: the `⌈βn⌉` latest-arrived jobs
+/// share the processors equally; earlier jobs get zero.
+#[derive(Debug, Clone, Copy)]
+pub struct LapsCurves {
+    /// Fraction of latest arrivals served, in `(0, 1]`.
+    pub beta: f64,
+}
+
+impl LapsCurves {
+    /// LAPS with the given β (clamped into `(0, 1]`).
+    pub fn new(beta: f64) -> Self {
+        LapsCurves {
+            beta: beta.clamp(f64::MIN_POSITIVE, 1.0),
+        }
+    }
+}
+
+impl ProcessorPolicy for LapsCurves {
+    fn name(&self) -> &'static str {
+        "LAPS"
+    }
+
+    fn allocate(&mut self, alive: &[AliveCurveJob], p_total: f64, rho: &mut [f64]) {
+        let n = alive.len();
+        if n == 0 {
+            return;
+        }
+        let k = ((self.beta * n as f64).ceil() as usize).clamp(1, n);
+        let share = p_total / k as f64;
+        for r in rho.iter_mut().skip(n - k) {
+            *r = share;
+        }
+    }
+}
+
+/// The clairvoyant baseline: sequential phases run free, so give **all**
+/// processors to the parallel-phase job with the least remaining total
+/// work (SRPT on parallel work). On instances whose parallel phases are
+/// fully parallelizable this concentration is exchange-argument optimal
+/// for mean flow and near-optimal for ℓk.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GreedyPar;
+
+impl ProcessorPolicy for GreedyPar {
+    fn name(&self) -> &'static str {
+        "GreedyPar"
+    }
+
+    fn allocate(&mut self, alive: &[AliveCurveJob], p_total: f64, rho: &mut [f64]) {
+        let mut best: Option<usize> = None;
+        for (i, a) in alive.iter().enumerate() {
+            if matches!(a.current_kind, PhaseKind::Par | PhaseKind::Capped { .. }) {
+                match best {
+                    None => best = Some(i),
+                    Some(b) if a.remaining_total < alive[b].remaining_total => best = Some(i),
+                    _ => {}
+                }
+            }
+        }
+        if let Some(i) = best {
+            rho[i] = p_total;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alive(specs: &[(PhaseKind, f64)]) -> Vec<AliveCurveJob> {
+        specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(kind, rem))| AliveCurveJob {
+                id: i as u32,
+                arrival: i as f64,
+                current_kind: kind,
+                remaining_phase: rem,
+                remaining_total: rem,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn equi_splits_equally() {
+        let a = alive(&[(PhaseKind::Par, 1.0), (PhaseKind::Seq, 5.0)]);
+        let mut rho = vec![0.0; 2];
+        Equi.allocate(&a, 4.0, &mut rho);
+        assert_eq!(rho, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn laps_serves_latest() {
+        let a = alive(&[
+            (PhaseKind::Par, 1.0),
+            (PhaseKind::Par, 1.0),
+            (PhaseKind::Par, 1.0),
+            (PhaseKind::Par, 1.0),
+        ]);
+        let mut rho = vec![0.0; 4];
+        LapsCurves::new(0.5).allocate(&a, 2.0, &mut rho);
+        assert_eq!(rho, vec![0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn greedypar_concentrates_on_least_remaining_parallel() {
+        let a = alive(&[
+            (PhaseKind::Seq, 0.5),
+            (PhaseKind::Par, 3.0),
+            (PhaseKind::Par, 2.0),
+        ]);
+        let mut rho = vec![0.0; 3];
+        GreedyPar.allocate(&a, 8.0, &mut rho);
+        assert_eq!(rho, vec![0.0, 0.0, 8.0]);
+    }
+
+    #[test]
+    fn greedypar_idles_when_everything_is_sequential() {
+        let a = alive(&[(PhaseKind::Seq, 1.0), (PhaseKind::Seq, 2.0)]);
+        let mut rho = vec![0.0; 2];
+        GreedyPar.allocate(&a, 8.0, &mut rho);
+        assert_eq!(rho, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the speed-up curves engine.
+
+use proptest::prelude::*;
+use tf_speedup::{simulate_speedup, Equi, GreedyPar, LapsCurves, Phase, SpeedupTrace};
+
+fn arb_trace() -> impl Strategy<Value = SpeedupTrace> {
+    let phase =
+        (0.1f64..4.0, prop::bool::ANY)
+            .prop_map(|(w, par)| if par { Phase::par(w) } else { Phase::seq(w) });
+    prop::collection::vec((0.0f64..20.0, prop::collection::vec(phase, 1..4)), 1..20)
+        .prop_map(SpeedupTrace::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every job completes under every policy, never earlier than its
+    /// physical minimum (par work / (P·s) + seq work / s, sequenced).
+    #[test]
+    fn all_jobs_complete_with_physical_minimum(t in arb_trace(),
+                                               p in 0.5f64..4.0, s in 0.5f64..3.0) {
+        for mk in 0..3 {
+            let sched = match mk {
+                0 => simulate_speedup(&t, &mut Equi, p, s),
+                1 => simulate_speedup(&t, &mut GreedyPar, p, s),
+                _ => simulate_speedup(&t, &mut LapsCurves::new(0.5), p, s),
+            };
+            for j in t.jobs() {
+                let c = sched.completion[j.id as usize];
+                prop_assert!(c.is_finite(), "job {} incomplete", j.id);
+                let par_work = j.total_work() - j.seq_work();
+                let min_flow = par_work / (p * s) + j.seq_work() / s;
+                prop_assert!(
+                    sched.flow[j.id as usize] >= min_flow - 1e-6,
+                    "job {}: flow {} < physical min {min_flow}",
+                    j.id, sched.flow[j.id as usize]
+                );
+            }
+        }
+    }
+
+    /// More speed never hurts EQUI (its allocation is oblivious, so every
+    /// phase progresses pointwise faster).
+    #[test]
+    fn equi_speed_monotone(t in arb_trace(), p in 0.5f64..4.0) {
+        let slow = simulate_speedup(&t, &mut Equi, p, 1.0);
+        let fast = simulate_speedup(&t, &mut Equi, p, 2.0);
+        for j in 0..t.len() {
+            prop_assert!(fast.completion[j] <= slow.completion[j] + 1e-6);
+        }
+    }
+
+    /// A pure-sequential instance is policy-independent: every job's flow
+    /// is exactly its total work / speed.
+    #[test]
+    fn sequential_jobs_are_policy_independent(arrivals in prop::collection::vec(0.0f64..10.0, 1..15),
+                                              s in 0.5f64..3.0) {
+        let t = SpeedupTrace::new(arrivals.iter().map(|&a| (a, vec![Phase::seq(2.0)])));
+        for mk in 0..3 {
+            let sched = match mk {
+                0 => simulate_speedup(&t, &mut Equi, 1.0, s),
+                1 => simulate_speedup(&t, &mut GreedyPar, 1.0, s),
+                _ => simulate_speedup(&t, &mut LapsCurves::new(0.3), 1.0, s),
+            };
+            for j in 0..t.len() {
+                prop_assert!((sched.flow[j] - 2.0 / s).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// GreedyPar dominates EQUI on single-phase parallel instances for
+    /// total flow (it is SRPT there, EQUI is RR on one machine of speed
+    /// P·s — SRPT optimality).
+    #[test]
+    fn greedypar_beats_equi_on_parallel_work(works in prop::collection::vec(0.2f64..5.0, 1..12)) {
+        let t = SpeedupTrace::new(works.iter().map(|&w| (0.0, vec![Phase::par(w)])));
+        let e = simulate_speedup(&t, &mut Equi, 2.0, 1.0);
+        let g = simulate_speedup(&t, &mut GreedyPar, 2.0, 1.0);
+        let sum = |s: &tf_speedup::SpeedupSchedule| s.flow.iter().sum::<f64>();
+        prop_assert!(sum(&g) <= sum(&e) + 1e-6);
+    }
+}

@@ -1,0 +1,200 @@
+//! Named adversarial instance families.
+//!
+//! These are the deterministic constructions behind the lower bounds the
+//! paper states or cites, plus the motivating starvation example from its
+//! introduction. Each generator documents which experiment uses it.
+
+use tf_simcore::{Trace, TraceBuilder};
+
+/// `n` equal jobs of size `size` arriving together at `t = 0` — the
+/// maximum-sharing instance. Under RR on one speed-`s` machine all jobs
+/// finish simultaneously at `n·size/s`, so `Σ F² = n³·size²/s²`, whereas
+/// serving them in any fixed order gives `Σ (j·size)² ≈ n³·size²/3`:
+/// batches cost RR a constant factor `3/s²`, the textbook warm-up case.
+pub fn equal_batch(n: usize, size: f64) -> Trace {
+    let mut b = TraceBuilder::new();
+    for _ in 0..n {
+        b.push(0.0, size);
+    }
+    b.build().expect("valid batch")
+}
+
+/// One long job (size `long_size`) released at `t = 0`, then a periodic
+/// stream of short jobs (size `short_size`, one every `short_size/load`
+/// time units, `count` of them). At `load = 1` the shorts alone saturate a
+/// unit-speed machine.
+///
+/// * Under **SRPT** at speed 1 the long job *starves* until the stream
+///   ends: every short has less remaining work. Its flow is
+///   `≈ count·short_size + long_size`.
+/// * Under **RR** the long job always holds its `1/n_t` share and finishes
+///   in time `O(long_size)` — the temporal-fairness motivation from the
+///   paper's introduction (experiment E7).
+pub fn srpt_starvation(long_size: f64, short_size: f64, count: usize, load: f64) -> Trace {
+    let gap = short_size / load;
+    let mut b = TraceBuilder::new();
+    b.push(0.0, long_size);
+    for i in 0..count {
+        b.push(i as f64 * gap, short_size);
+    }
+    b.build().expect("valid starvation instance")
+}
+
+/// The **geometric cascade** driving RR's low-speed blow-up (experiment
+/// E3): `levels + 1` phases; phase `ℓ` releases `2^ℓ` jobs of size
+/// `2^(levels−ℓ)`, spread evenly across its window. Every phase carries
+/// equal total work `2^levels`, and windows have length
+/// `2^levels / load`, so the offered load is `load` throughout.
+///
+/// Early phases contain *few, huge* jobs; later phases flood the system
+/// with *many, small* ones. RR dilutes the old huge jobs' share by every
+/// newly arrived small job, multiplying their flow times — and the ℓk norm
+/// (k ≥ 2) is dominated by exactly those stragglers. A clairvoyant
+/// scheduler clears each phase inside its own window. Total job count is
+/// `2^(levels+1) − 1`.
+pub fn geometric_cascade(levels: u32, load: f64) -> Trace {
+    assert!(load > 0.0);
+    let window = ((2f64).powi(levels as i32) / load).ceil();
+    let mut b = TraceBuilder::new();
+    for level in 0..=levels {
+        let count = 1usize << level;
+        let size = (2f64).powi((levels - level) as i32);
+        let t0 = level as f64 * window;
+        for i in 0..count {
+            // Arrivals floored to integers: the whole family stays
+            // integral so the LP lower bound applies exactly.
+            b.push((t0 + i as f64 * window / count as f64).floor(), size);
+        }
+    }
+    b.build().expect("valid cascade")
+}
+
+/// The **geometric burst**: all `levels + 1` size classes arrive together
+/// at `t = 0`; class `ℓ` holds `ratio^ℓ` jobs of size `ratio^(levels−ℓ)`
+/// (equal total work per class). This is the natural finite approximation
+/// of the recursive constructions behind RR's cited lower bounds: in one
+/// busy period, RR time-shares across all scales so the few huge jobs pay
+/// an age penalty for every smaller class, while SRPT clears classes
+/// smallest-first. The measured ℓ2 ratio grows with `levels` at speed 1
+/// and stays above 1 for speeds below ≈ 3/2 (experiment E3).
+pub fn geometric_burst(levels: u32, ratio: u32) -> Trace {
+    assert!(ratio >= 2);
+    let mut b = TraceBuilder::new();
+    for level in 0..=levels {
+        let count = (ratio as usize).pow(level);
+        let size = (ratio as f64).powi((levels - level) as i32);
+        for _ in 0..count {
+            b.push(0.0, size);
+        }
+    }
+    b.build().expect("valid burst")
+}
+
+/// A critically-loaded stream of equal jobs: `n` jobs of size 1, one
+/// arriving every `1/load` time units. At `load` near 1 on a unit-speed
+/// machine the alive population under RR builds up; speeding RR up drains
+/// it. Used in the speed-sweep experiment (E4) as the "congestion ramp"
+/// counterpart of [`geometric_cascade`].
+pub fn critical_stream(n: usize, load: f64) -> Trace {
+    let gap = 1.0 / load;
+    let mut b = TraceBuilder::new();
+    for i in 0..n {
+        b.push(i as f64 * gap, 1.0);
+    }
+    b.build().expect("valid stream")
+}
+
+/// Two interleaved job classes with a shared deadline structure:
+/// `pairs` big jobs of size `big` arrive at `0, big, 2·big, …` while each
+/// big job's slot also receives `per_big` small jobs of size
+/// `big/per_big`. Keeps the machine exactly busy while forcing any fair
+/// scheduler to time-share classes — a stress case for the ℓk trade-off
+/// between finishing bigs (variance) and smalls (mean).
+pub fn interleaved_classes(pairs: usize, big: f64, per_big: usize) -> Trace {
+    let small = big / per_big as f64;
+    let mut b = TraceBuilder::new();
+    for i in 0..pairs {
+        let t0 = i as f64 * 2.0 * big;
+        b.push(t0, big);
+        for j in 0..per_big {
+            b.push(t0 + j as f64 * small, small);
+        }
+    }
+    b.build().expect("valid interleaved instance")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_batch_shape() {
+        let t = equal_batch(5, 2.0);
+        assert_eq!(t.len(), 5);
+        assert!(t.jobs().iter().all(|j| j.arrival == 0.0 && j.size == 2.0));
+    }
+
+    #[test]
+    fn starvation_instance_saturates() {
+        let t = srpt_starvation(10.0, 1.0, 50, 1.0);
+        assert_eq!(t.len(), 51);
+        // Shorts arrive back to back: gap = size.
+        let shorts: Vec<_> = t.jobs().iter().filter(|j| j.size == 1.0).collect();
+        assert_eq!(shorts.len(), 50);
+        for w in shorts.windows(2) {
+            assert!((w[1].arrival - w[0].arrival - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cascade_counts_and_work() {
+        let levels = 4;
+        let t = geometric_cascade(levels, 0.9);
+        assert_eq!(t.len(), (1 << (levels + 1)) - 1);
+        // Every level contributes 2^levels work.
+        let per_level = (2f64).powi(levels as i32);
+        assert!((t.total_size() - per_level * (levels + 1) as f64).abs() < 1e-9);
+        // Offered load ≈ 0.9 over the arrival span plus one window
+        // (window length is ceiled to keep arrivals integral).
+        let window = (per_level / 0.9).ceil();
+        let horizon = window * (levels + 1) as f64;
+        assert!((t.total_size() / horizon - 0.9).abs() < 0.05);
+        assert!(t.is_integral(1e-9));
+    }
+
+    #[test]
+    fn cascade_big_jobs_come_first() {
+        let t = geometric_cascade(3, 1.0);
+        assert_eq!(t.job(0).size, 8.0);
+        let last = t.job((t.len() - 1) as u32);
+        assert_eq!(last.size, 1.0);
+    }
+
+    #[test]
+    fn burst_counts_and_sizes() {
+        let t = geometric_burst(3, 2);
+        assert_eq!(t.len(), 1 + 2 + 4 + 8);
+        assert!(t.jobs().iter().all(|j| j.arrival == 0.0));
+        // Equal work per class: 4 classes × 8.
+        assert!((t.total_size() - 32.0).abs() < 1e-12);
+        assert_eq!(t.max_size(), 8.0);
+        let units = t.jobs().iter().filter(|j| j.size == 1.0).count();
+        assert_eq!(units, 8);
+    }
+
+    #[test]
+    fn critical_stream_spacing() {
+        let t = critical_stream(4, 0.5);
+        let arrivals: Vec<f64> = t.jobs().iter().map(|j| j.arrival).collect();
+        assert_eq!(arrivals, vec![0.0, 2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn interleaved_classes_work_balance() {
+        let t = interleaved_classes(3, 4.0, 4);
+        assert_eq!(t.len(), 3 * 5);
+        // Per slot: one big (4.0) + 4 smalls (1.0 each) = 8.0 work per 8.0
+        // time → exactly critical.
+        assert!((t.total_size() - 24.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,184 @@
+//! Arrival processes.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How job arrival times are generated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Poisson process with the given rate (jobs per unit time):
+    /// i.i.d. exponential inter-arrival gaps.
+    Poisson {
+        /// Arrival rate (jobs per unit time).
+        rate: f64,
+    },
+    /// Deterministic arrivals every `interval` time units.
+    Periodic {
+        /// Gap between consecutive arrivals.
+        interval: f64,
+    },
+    /// `per_batch` simultaneous arrivals every `interval` time units —
+    /// maximizes instantaneous contention.
+    Batched {
+        /// Gap between batches.
+        interval: f64,
+        /// Simultaneous arrivals per batch.
+        per_batch: usize,
+    },
+    /// All jobs arrive at time 0.
+    AllAtOnce,
+    /// Non-homogeneous Poisson with a sinusoidal ("diurnal") rate:
+    /// `λ(t) = base · (1 + amplitude·sin(2πt/period))`, sampled by
+    /// thinning. Models the day/night load cycles real clusters see.
+    Diurnal {
+        /// Mean arrival rate (jobs per unit time).
+        base: f64,
+        /// Relative swing, in `[0, 1)` (0 = plain Poisson).
+        amplitude: f64,
+        /// Cycle length.
+        period: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Generate `n` arrival times (non-decreasing, starting at 0).
+    pub fn generate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<f64> {
+        let mut out = Vec::with_capacity(n);
+        match *self {
+            ArrivalProcess::Poisson { rate } => {
+                let mut t = 0.0;
+                for _ in 0..n {
+                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    t += -u.ln() / rate;
+                    out.push(t);
+                }
+            }
+            ArrivalProcess::Periodic { interval } => {
+                for i in 0..n {
+                    out.push(i as f64 * interval);
+                }
+            }
+            ArrivalProcess::Batched {
+                interval,
+                per_batch,
+            } => {
+                let per_batch = per_batch.max(1);
+                for i in 0..n {
+                    out.push((i / per_batch) as f64 * interval);
+                }
+            }
+            ArrivalProcess::AllAtOnce => {
+                out.resize(n, 0.0);
+            }
+            ArrivalProcess::Diurnal {
+                base,
+                amplitude,
+                period,
+            } => {
+                // Thinning: draw from a Poisson process at the peak rate
+                // λ_max = base·(1+amplitude), accept each point with
+                // probability λ(t)/λ_max.
+                let lmax = base * (1.0 + amplitude);
+                let mut t = 0.0;
+                while out.len() < n {
+                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    t += -u.ln() / lmax;
+                    let rate =
+                        base * (1.0 + amplitude * (std::f64::consts::TAU * t / period).sin());
+                    if rng.gen::<f64>() * lmax <= rate {
+                        out.push(t);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Long-run arrival rate (jobs per unit time); infinite for
+    /// [`ArrivalProcess::AllAtOnce`].
+    pub fn rate(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate } => rate,
+            ArrivalProcess::Periodic { interval } => 1.0 / interval,
+            ArrivalProcess::Batched {
+                interval,
+                per_batch,
+            } => per_batch as f64 / interval,
+            ArrivalProcess::AllAtOnce => f64::INFINITY,
+            ArrivalProcess::Diurnal { base, .. } => base,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        let p = ArrivalProcess::Poisson { rate: 2.0 };
+        let mut rng = StdRng::seed_from_u64(5);
+        let times = p.generate(100_000, &mut rng);
+        let mean_gap = times.last().unwrap() / times.len() as f64;
+        assert!((mean_gap - 0.5).abs() < 0.01, "{mean_gap}");
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn periodic_and_batched() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(
+            ArrivalProcess::Periodic { interval: 2.0 }.generate(3, &mut rng),
+            vec![0.0, 2.0, 4.0]
+        );
+        assert_eq!(
+            ArrivalProcess::Batched {
+                interval: 1.0,
+                per_batch: 2
+            }
+            .generate(5, &mut rng),
+            vec![0.0, 0.0, 1.0, 1.0, 2.0]
+        );
+        assert_eq!(
+            ArrivalProcess::AllAtOnce.generate(3, &mut rng),
+            vec![0.0; 3]
+        );
+    }
+
+    #[test]
+    fn diurnal_mean_rate_and_cycle_bias() {
+        let p = ArrivalProcess::Diurnal {
+            base: 1.0,
+            amplitude: 0.8,
+            period: 100.0,
+        };
+        let mut rng = StdRng::seed_from_u64(21);
+        let times = p.generate(100_000, &mut rng);
+        // Long-run rate ≈ base.
+        let mean_gap = times.last().unwrap() / times.len() as f64;
+        assert!((mean_gap - 1.0).abs() < 0.03, "{mean_gap}");
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        // Peaks (first half of each cycle, sin > 0) must hold well over
+        // half the arrivals.
+        let peak =
+            times.iter().filter(|&&t| (t % 100.0) < 50.0).count() as f64 / times.len() as f64;
+        assert!(peak > 0.6, "no diurnal bias: {peak}");
+    }
+
+    #[test]
+    fn rates() {
+        assert_eq!(ArrivalProcess::Poisson { rate: 3.0 }.rate(), 3.0);
+        assert_eq!(ArrivalProcess::Periodic { interval: 0.5 }.rate(), 2.0);
+        assert_eq!(
+            ArrivalProcess::Batched {
+                interval: 2.0,
+                per_batch: 4
+            }
+            .rate(),
+            2.0
+        );
+        assert!(ArrivalProcess::AllAtOnce.rate().is_infinite());
+    }
+}

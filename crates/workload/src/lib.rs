@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # tf-workload — instance generation for the experiment suite
+//!
+//! The paper proves worst-case guarantees over *all* instances; an
+//! empirical reproduction needs concrete instance families that (a) stress
+//! the mechanisms the proof reasons about and (b) include the explicit
+//! adversarial constructions behind the cited lower bounds.
+//!
+//! * [`SizeDist`] — job-size distributions (deterministic, uniform,
+//!   exponential, Pareto heavy-tail, bimodal, lognormal), with hand-rolled
+//!   samplers over `rand`'s uniform source so results are reproducible
+//!   across crate versions;
+//! * [`PoissonWorkload`] — the M/G/m-style random workload: Poisson
+//!   arrivals at a target utilization with any size distribution;
+//! * [`adversarial`] — named hard instances: equal-size batches (maximum
+//!   sharing), the long-job-plus-short-stream *PS killer*, the geometric
+//!   cascade driving RR's low-speed blow-up (experiment E3), and the
+//!   SRPT-starvation instance motivating temporal fairness (experiment E7);
+//! * [`traceio`] — JSON (de)serialization of traces and workload specs.
+
+pub mod adversarial;
+pub mod arrivals;
+pub mod sizes;
+pub mod spec;
+pub mod traceio;
+
+pub use arrivals::ArrivalProcess;
+pub use sizes::SizeDist;
+pub use spec::{PoissonWorkload, WorkloadSpec};

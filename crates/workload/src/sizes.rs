@@ -1,0 +1,261 @@
+//! Job-size distributions with reproducible hand-rolled samplers.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A job-size distribution. All variants have finite mean (required to
+/// target a utilization); Pareto requires `alpha > 1` for that reason.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SizeDist {
+    /// Every job has exactly this size.
+    Deterministic(f64),
+    /// Uniform on `[lo, hi]`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean job size.
+        mean: f64,
+    },
+    /// Pareto with shape `alpha > 1` and scale (minimum) `min`:
+    /// `P(X > x) = (min/x)^alpha`. The heavy-tailed regime `alpha ∈ (1, 2]`
+    /// is where fairness questions bite (a few huge jobs among many small).
+    Pareto {
+        /// Shape (tail) parameter, `> 1` for a finite mean.
+        alpha: f64,
+        /// Scale (minimum size).
+        min: f64,
+    },
+    /// `size = small` with probability `1 − p_large`, else `large` — the
+    /// sharpest "mice and elephants" mix.
+    Bimodal {
+        /// Mouse size.
+        small: f64,
+        /// Elephant size.
+        large: f64,
+        /// Probability of an elephant.
+        p_large: f64,
+    },
+    /// Lognormal: `exp(mu + sigma·Z)` with standard normal `Z`.
+    LogNormal {
+        /// Location parameter of the underlying normal.
+        mu: f64,
+        /// Scale parameter of the underlying normal.
+        sigma: f64,
+    },
+}
+
+impl SizeDist {
+    /// Expected job size.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            SizeDist::Deterministic(p) => p,
+            SizeDist::Uniform { lo, hi } => 0.5 * (lo + hi),
+            SizeDist::Exponential { mean } => mean,
+            SizeDist::Pareto { alpha, min } => {
+                debug_assert!(alpha > 1.0, "Pareto needs alpha > 1 for finite mean");
+                alpha * min / (alpha - 1.0)
+            }
+            SizeDist::Bimodal {
+                small,
+                large,
+                p_large,
+            } => small * (1.0 - p_large) + large * p_large,
+            SizeDist::LogNormal { mu, sigma } => (mu + 0.5 * sigma * sigma).exp(),
+        }
+    }
+
+    /// Draw one size. Guaranteed positive.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            SizeDist::Deterministic(p) => p,
+            SizeDist::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+            SizeDist::Exponential { mean } => {
+                let u: f64 = open01(rng);
+                -mean * u.ln()
+            }
+            SizeDist::Pareto { alpha, min } => {
+                let u: f64 = open01(rng);
+                min * u.powf(-1.0 / alpha)
+            }
+            SizeDist::Bimodal {
+                small,
+                large,
+                p_large,
+            } => {
+                if rng.gen::<f64>() < p_large {
+                    large
+                } else {
+                    small
+                }
+            }
+            SizeDist::LogNormal { mu, sigma } => (mu + sigma * standard_normal(rng)).exp(),
+        }
+    }
+
+    /// Short label for tables (e.g. `"pareto(1.5)"`).
+    pub fn label(&self) -> String {
+        match *self {
+            SizeDist::Deterministic(p) => format!("det({p})"),
+            SizeDist::Uniform { lo, hi } => format!("unif[{lo},{hi}]"),
+            SizeDist::Exponential { mean } => format!("exp({mean})"),
+            SizeDist::Pareto { alpha, .. } => format!("pareto({alpha})"),
+            SizeDist::Bimodal { p_large, .. } => format!("bimodal(p={p_large})"),
+            SizeDist::LogNormal { sigma, .. } => format!("lognorm(σ={sigma})"),
+        }
+    }
+}
+
+/// Uniform draw from the open interval `(0, 1)` — safe to pass to `ln` and
+/// negative powers.
+fn open01<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen();
+        if u > 0.0 && u < 1.0 {
+            return u;
+        }
+    }
+}
+
+/// Standard normal via Box–Muller (keeps us off extra dependencies and
+/// stable across `rand` versions).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = open01(rng);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empirical_mean(d: SizeDist, n: usize) -> f64 {
+        let mut rng = StdRng::seed_from_u64(7);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn all_samples_positive() {
+        let dists = [
+            SizeDist::Deterministic(2.0),
+            SizeDist::Uniform { lo: 0.5, hi: 1.5 },
+            SizeDist::Exponential { mean: 1.0 },
+            SizeDist::Pareto {
+                alpha: 1.5,
+                min: 0.5,
+            },
+            SizeDist::Bimodal {
+                small: 1.0,
+                large: 50.0,
+                p_large: 0.05,
+            },
+            SizeDist::LogNormal {
+                mu: 0.0,
+                sigma: 1.0,
+            },
+        ];
+        let mut rng = StdRng::seed_from_u64(1);
+        for d in dists {
+            for _ in 0..1000 {
+                assert!(d.sample(&mut rng) > 0.0, "{d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_means_match_theory() {
+        // Light-tailed: tight tolerance.
+        for d in [
+            SizeDist::Deterministic(3.0),
+            SizeDist::Uniform { lo: 1.0, hi: 3.0 },
+            SizeDist::Exponential { mean: 2.0 },
+            SizeDist::Bimodal {
+                small: 1.0,
+                large: 10.0,
+                p_large: 0.2,
+            },
+        ] {
+            let m = empirical_mean(d, 200_000);
+            assert!(
+                (m - d.mean()).abs() / d.mean() < 0.02,
+                "{d:?}: {m} vs {}",
+                d.mean()
+            );
+        }
+        // Heavy-tailed: looser.
+        let p = SizeDist::Pareto {
+            alpha: 2.5,
+            min: 1.0,
+        };
+        let m = empirical_mean(p, 400_000);
+        assert!(
+            (m - p.mean()).abs() / p.mean() < 0.05,
+            "{m} vs {}",
+            p.mean()
+        );
+        let l = SizeDist::LogNormal {
+            mu: 0.0,
+            sigma: 0.5,
+        };
+        let m = empirical_mean(l, 200_000);
+        assert!(
+            (m - l.mean()).abs() / l.mean() < 0.03,
+            "{m} vs {}",
+            l.mean()
+        );
+    }
+
+    #[test]
+    fn pareto_tail_exponent() {
+        // P(X > 2·min) should be 2^-alpha.
+        let d = SizeDist::Pareto {
+            alpha: 2.0,
+            min: 1.0,
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 200_000;
+        let over = (0..n).filter(|_| d.sample(&mut rng) > 2.0).count() as f64 / n as f64;
+        assert!((over - 0.25).abs() < 0.01, "{over}");
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let d = SizeDist::Uniform { lo: 2.0, hi: 5.0 };
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((2.0..=5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn determinism_with_seed() {
+        let d = SizeDist::Exponential { mean: 1.0 };
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..10).map(|_| d.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..10).map(|_| d.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert_eq!(SizeDist::Deterministic(1.0).label(), "det(1)");
+        assert!(SizeDist::Pareto {
+            alpha: 1.5,
+            min: 1.0
+        }
+        .label()
+        .contains("1.5"));
+    }
+}

@@ -1,0 +1,74 @@
+//! A realistic scenario: a heavy-tailed "datacenter" workload (Poisson
+//! arrivals, Pareto sizes — mice and elephants) on a small cluster.
+//! Generates the trace, persists it as JSON, reloads it, and compares
+//! every policy on latency, tail, and fairness metrics.
+//!
+//! ```text
+//! cargo run --release --example datacenter_trace
+//! ```
+
+use temporal_fairness_rr::metrics::{flow_stats, instantaneous_fairness, stretch_stats};
+use temporal_fairness_rr::prelude::*;
+use temporal_fairness_rr::workload::traceio::{load_trace, save_trace};
+
+fn main() {
+    // 300 requests at 90% utilization of 4 machines; Pareto(1.7) sizes.
+    let workload = PoissonWorkload::new(
+        300,
+        0.9,
+        4,
+        SizeDist::Pareto {
+            alpha: 1.7,
+            min: 1.0,
+        },
+        2024,
+    );
+    let trace = workload.generate();
+
+    // Persist + reload: the artifact a real evaluation would check in.
+    let path = std::env::temp_dir().join("tf_datacenter_trace.json");
+    save_trace(&trace, &path).expect("write trace");
+    let trace = load_trace(&path).expect("read trace back");
+    println!(
+        "workload: {} jobs, total work {:.0}, max job {:.1}, saved to {}",
+        trace.len(),
+        trace.total_size(),
+        trace.max_size(),
+        path.display()
+    );
+    println!();
+
+    let cfg = MachineConfig::new(4);
+    println!(
+        "{:<9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>9}",
+        "policy", "mean", "p99", "max", "l2", "maxStretch", "meanJain"
+    );
+    for p in [
+        Policy::Rr,
+        Policy::Srpt,
+        Policy::Sjf,
+        Policy::Setf,
+        Policy::Fcfs,
+        Policy::Laps(0.5),
+    ] {
+        let mut alloc = p.make();
+        let s = simulate(&trace, alloc.as_mut(), cfg, SimOptions::with_profile()).unwrap();
+        let st = flow_stats(&s.flow);
+        let stretch = stretch_stats(&trace, &s).unwrap();
+        let fairness = instantaneous_fairness(s.profile.as_ref().unwrap());
+        println!(
+            "{:<9} {:>9.2} {:>9.2} {:>9.2} {:>9.1} {:>10.1} {:>9.3}",
+            p.to_string(),
+            st.mean,
+            st.p99,
+            st.max,
+            lk_norm(&s.flow, 2.0),
+            stretch.max,
+            fairness.mean_jain(),
+        );
+    }
+    println!();
+    println!("RR gives up some mean latency for a perfect fairness index and");
+    println!("bounded stretch on the elephants — the trade the paper formalizes");
+    println!("through the l2 norm of flow time.");
+}

@@ -1,0 +1,61 @@
+//! The paper's motivating scenario: a long job competing with a saturating
+//! stream of short jobs. SRPT minimizes average flow but *starves* the
+//! long job; RR keeps every job progressing — temporal fairness.
+//!
+//! ```text
+//! cargo run --example fairness_starvation
+//! ```
+
+use temporal_fairness_rr::metrics::{flow_stats, instantaneous_fairness};
+use temporal_fairness_rr::prelude::*;
+use temporal_fairness_rr::workload::adversarial::srpt_starvation;
+
+fn main() {
+    // One job of size 30 at t=0; 150 unit jobs arriving back-to-back.
+    let trace = srpt_starvation(30.0, 1.0, 150, 1.0);
+    let cfg = MachineConfig::new(1);
+
+    println!(
+        "{:<6} {:>10} {:>12} {:>10} {:>10} {:>10}",
+        "policy", "mean", "variance", "p99", "max", "meanJain"
+    );
+    for p in [
+        Policy::Rr,
+        Policy::Srpt,
+        Policy::Sjf,
+        Policy::Setf,
+        Policy::Fcfs,
+    ] {
+        let mut alloc = p.make();
+        let s = simulate(&trace, alloc.as_mut(), cfg, SimOptions::with_profile()).unwrap();
+        let st = flow_stats(&s.flow);
+        let fairness = instantaneous_fairness(s.profile.as_ref().unwrap());
+        println!(
+            "{:<6} {:>10.2} {:>12.2} {:>10.2} {:>10.2} {:>10.3}",
+            p.to_string(),
+            st.mean,
+            st.variance,
+            st.p99,
+            st.max,
+            fairness.mean_jain()
+        );
+    }
+
+    println!();
+    let mut srpt = Srpt::new();
+    let s = simulate(&trace, &mut srpt, cfg, SimOptions::default()).unwrap();
+    println!(
+        "under SRPT the long job waits for the entire stream: flow {:.1} (size 30)",
+        s.flow[0]
+    );
+    let mut rr = RoundRobin::new();
+    let s = simulate(&trace, &mut rr, cfg, SimOptions::default()).unwrap();
+    println!(
+        "under RR it always holds its fair share:        flow {:.1}",
+        s.flow[0]
+    );
+    println!();
+    println!("This is why the l2 norm matters: it charges the variance that");
+    println!("the l1 norm ignores, and the paper proves RR handles it with");
+    println!("O(1) speed augmentation (Theorem 1).");
+}

@@ -1,0 +1,69 @@
+//! Quickstart: simulate Round Robin and a clairvoyant baseline on a small
+//! instance and compare the flow-time norms the paper studies.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use temporal_fairness_rr::prelude::*;
+
+fn main() {
+    // Five jobs: (arrival, size). Job 0 is large; shorts arrive during it.
+    let trace = Trace::from_pairs([(0.0, 8.0), (1.0, 1.0), (2.0, 2.0), (2.0, 1.0), (6.0, 3.0)])
+        .expect("valid trace");
+
+    println!(
+        "instance: {} jobs, total work {}",
+        trace.len(),
+        trace.total_size()
+    );
+    println!();
+
+    // One machine, unit speed: RR vs SRPT vs FCFS.
+    let cfg = MachineConfig::new(1);
+    for (name, sched) in [
+        (
+            "RR",
+            simulate(&trace, &mut RoundRobin::new(), cfg, SimOptions::default()).unwrap(),
+        ),
+        (
+            "SRPT",
+            simulate(&trace, &mut Srpt::new(), cfg, SimOptions::default()).unwrap(),
+        ),
+        (
+            "FCFS",
+            simulate(&trace, &mut Fcfs::new(), cfg, SimOptions::default()).unwrap(),
+        ),
+    ] {
+        println!("{name:>5}:");
+        for j in trace.jobs() {
+            println!(
+                "    job {} (r={}, p={}): completes {:.3}, flow {:.3}",
+                j.id, j.arrival, j.size, sched.completion[j.id as usize], sched.flow[j.id as usize]
+            );
+        }
+        println!(
+            "    l1 = {:.3}   l2 = {:.3}   max = {:.3}",
+            sched.flow_norm(1.0),
+            sched.flow_norm(2.0),
+            sched.flow_norm(f64::INFINITY)
+        );
+        println!();
+    }
+
+    // The paper's speed augmentation: RR with a (4+eps)-speed machine is
+    // O(1)-competitive for the l2 norm (Theorem 1, k=2).
+    let fast = MachineConfig::with_speed(1, 4.4);
+    let rr_fast = simulate(&trace, &mut RoundRobin::new(), fast, SimOptions::default()).unwrap();
+    println!(
+        "RR at speed 4.4: l2 = {:.3} (speed-1 SRPT l2 = {:.3})",
+        rr_fast.flow_norm(2.0),
+        simulate(&trace, &mut Srpt::new(), cfg, SimOptions::default())
+            .unwrap()
+            .flow_norm(2.0),
+    );
+
+    // And a certified lower bound on what ANY schedule could do:
+    let lb = lk_lower_bound(&trace, 1, 2);
+    println!("certified lower bound on the l2 norm: {:.3}", lb.norm(2.0));
+}

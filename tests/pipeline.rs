@@ -1,0 +1,134 @@
+//! Cross-crate integration: generator → simulator → metrics → lower bound
+//! → dual-fitting certificate, exercised through the facade crate exactly
+//! as a downstream user would.
+
+use temporal_fairness_rr::core::{primal_cost, verify_theorem1};
+use temporal_fairness_rr::lowerbound::lk_lower_bound;
+use temporal_fairness_rr::metrics::{instantaneous_fairness, lk_norm};
+use temporal_fairness_rr::prelude::*;
+use temporal_fairness_rr::simcore::validate::validate_schedule;
+use temporal_fairness_rr::workload::adversarial::geometric_burst;
+
+fn workload(n: usize, seed: u64) -> Trace {
+    PoissonWorkload::new(n, 0.9, 2, SizeDist::Exponential { mean: 3.0 }, seed)
+        .generate()
+        .to_integral()
+}
+
+#[test]
+fn full_pipeline_on_random_workload() {
+    let trace = workload(60, 11);
+    let cfg = MachineConfig::new(2);
+
+    // Every policy yields a valid schedule whose l2 norm dominates the
+    // certified lower bound.
+    let lb = lk_lower_bound(&trace, 2, 2);
+    assert!(lb.value > 0.0);
+    for p in Policy::all() {
+        let mut alloc = p.make();
+        let s = simulate(&trace, alloc.as_mut(), cfg, SimOptions::with_profile()).unwrap();
+        let tol = if p == Policy::AgedRr { 2e-2 } else { 1e-6 };
+        let rep = validate_schedule(&trace, &s, tol);
+        assert!(rep.ok(), "{p}: {:?}", rep.issues);
+        assert!(
+            s.flow_power_sum(2.0) >= lb.value * (1.0 - 1e-9),
+            "{p} beat the lower bound"
+        );
+    }
+}
+
+#[test]
+fn theorem1_certificate_via_facade() {
+    let trace = workload(50, 23);
+    for k in [1u32, 2] {
+        let cert: Certificate = verify_theorem1(&trace, 2, k, 0.05).unwrap();
+        assert!(cert.certified(), "k={k}: {:?}", cert.report);
+        // The certified chain: RR^k (at speed eta) <= (4*gamma/(3*eps)) *
+        // OPT^k (at speed 1), with OPT^k at least the certified LB.
+        let lb = lk_lower_bound(&trace, 2, k);
+        let bound = 4.0 * cert.gamma / (3.0 * cert.eps);
+        // A necessary consequence we can check without knowing OPT: the
+        // certificate's ratio bound holds against any OPT >= LB... which is
+        // trivially satisfiable; instead check the non-trivial direction
+        // via an explicit feasible schedule.
+        let mut srpt = Srpt::new();
+        let opt_upper = simulate(
+            &trace,
+            &mut srpt,
+            MachineConfig::new(2),
+            SimOptions::default(),
+        )
+        .unwrap()
+        .flow_power_sum(f64::from(k));
+        assert!(opt_upper >= lb.value * (1.0 - 1e-9));
+        assert!(
+            cert.rr_power_sum <= bound * opt_upper * (1.0 + 1e-7),
+            "k={k}: certified bound violated"
+        );
+    }
+}
+
+#[test]
+fn weak_duality_chain_through_all_crates() {
+    let trace = geometric_burst(4, 2);
+    let (m, k, eps) = (1usize, 2u32, 0.05);
+    let cert = verify_theorem1(&trace, m, k, eps).unwrap();
+    assert!(cert.certified());
+
+    // Dual objective <= gamma-scaled primal cost of an independent
+    // feasible schedule (SRPT at speed 1), computed from its exact profile.
+    let mut srpt = Srpt::new();
+    let sched = simulate(
+        &trace,
+        &mut srpt,
+        MachineConfig::new(m),
+        SimOptions::with_profile(),
+    )
+    .unwrap();
+    let cost = primal_cost(&trace, sched.profile.as_ref().unwrap(), k, eps);
+    assert!(
+        cert.dual_objective <= cost * (1.0 + 1e-7),
+        "weak duality violated: {} > {}",
+        cert.dual_objective,
+        cost
+    );
+}
+
+#[test]
+fn rr_is_instantaneously_fair_on_every_instance_shape() {
+    for trace in [
+        workload(40, 3),
+        geometric_burst(4, 2),
+        Trace::from_pairs([(0.0, 5.0), (0.0, 0.5), (4.0, 2.0)]).unwrap(),
+    ] {
+        let mut rr = RoundRobin::new();
+        let s = simulate(
+            &trace,
+            &mut rr,
+            MachineConfig::new(2),
+            SimOptions::with_profile(),
+        )
+        .unwrap();
+        let series = instantaneous_fairness(s.profile.as_ref().unwrap());
+        // Exactly fair up to f64 summation noise in the index itself.
+        assert!((series.mean_jain() - 1.0).abs() < 1e-12);
+        assert!((series.min_jain() - 1.0).abs() < 1e-12);
+        assert_eq!(series.starvation_time(), 0.0);
+    }
+}
+
+#[test]
+fn norms_from_schedule_match_metrics_crate() {
+    let trace = workload(30, 5);
+    let mut rr = RoundRobin::new();
+    let s = simulate(
+        &trace,
+        &mut rr,
+        MachineConfig::new(1),
+        SimOptions::default(),
+    )
+    .unwrap();
+    for k in [1.0, 2.0, 3.0, f64::INFINITY] {
+        assert!((s.flow_norm(k) - lk_norm(&s.flow, k)).abs() < 1e-9);
+    }
+}

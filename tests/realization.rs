@@ -1,0 +1,89 @@
+//! Integration: the fractional schedules the theory reasons about are
+//! physically realizable, and the practical quantum scheduler converges to
+//! them.
+
+use temporal_fairness_rr::prelude::*;
+use temporal_fairness_rr::simcore::mcnaughton::{delivered_work, verify_assignment, wrap_around};
+use temporal_fairness_rr::simcore::quantum::{simulate_quantum_rr, QuantumOptions};
+use temporal_fairness_rr::workload::traceio::{load_trace, save_trace};
+
+#[test]
+fn entire_rr_profile_realizes_on_physical_machines() {
+    let trace =
+        PoissonWorkload::new(50, 1.0, 3, SizeDist::Uniform { lo: 0.5, hi: 4.0 }, 77).generate();
+    let cfg = MachineConfig::with_speed(3, 1.5);
+    let mut rr = RoundRobin::new();
+    let s = simulate(&trace, &mut rr, cfg, SimOptions::with_profile()).unwrap();
+    let profile = s.profile.as_ref().unwrap();
+
+    // Each segment maps to a concrete 3-machine timetable delivering
+    // exactly the fractional work, with no job on two machines at once.
+    let mut realized = vec![0.0; trace.len()];
+    for seg in &profile.segments {
+        let asg = wrap_around(seg, cfg.m, cfg.speed).expect("feasible segment");
+        verify_assignment(seg, &asg).unwrap();
+        for (job, w) in delivered_work(&asg, cfg.speed) {
+            realized[job as usize] += w;
+        }
+    }
+    for j in trace.jobs() {
+        assert!(
+            (realized[j.id as usize] - j.size).abs() < 1e-6,
+            "job {}: realized {} of {}",
+            j.id,
+            realized[j.id as usize],
+            j.size
+        );
+    }
+}
+
+#[test]
+fn quantum_rr_converges_to_ideal_on_a_cluster() {
+    let trace =
+        PoissonWorkload::new(40, 0.8, 2, SizeDist::Exponential { mean: 2.0 }, 41).generate();
+    let cfg = MachineConfig::new(2);
+    let mut rr = RoundRobin::new();
+    let ideal = simulate(&trace, &mut rr, cfg, SimOptions::default()).unwrap();
+
+    let mut prev_err = f64::INFINITY;
+    for q in [1.0, 0.25, 0.05] {
+        let s = simulate_quantum_rr(&trace, cfg, QuantumOptions::new(q)).unwrap();
+        let err = ideal
+            .flow
+            .iter()
+            .zip(&s.flow)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(
+            err <= prev_err + 1e-9,
+            "error grew as quantum shrank: {err} > {prev_err}"
+        );
+        prev_err = err;
+    }
+    assert!(prev_err < 1.0, "fine-quantum error too large: {prev_err}");
+}
+
+#[test]
+fn trace_roundtrip_preserves_schedules_bit_for_bit() {
+    let trace = PoissonWorkload::new(
+        30,
+        0.9,
+        1,
+        SizeDist::Pareto {
+            alpha: 2.0,
+            min: 1.0,
+        },
+        9,
+    )
+    .generate();
+    let path = std::env::temp_dir().join(format!("tf-it-roundtrip-{}.json", std::process::id()));
+    save_trace(&trace, &path).unwrap();
+    let back = load_trace(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(trace, back);
+
+    let cfg = MachineConfig::new(1);
+    let a = simulate(&trace, &mut RoundRobin::new(), cfg, SimOptions::default()).unwrap();
+    let b = simulate(&back, &mut RoundRobin::new(), cfg, SimOptions::default()).unwrap();
+    assert_eq!(a.completion, b.completion);
+}
