@@ -73,7 +73,7 @@ fn bench_mcnaughton(c: &mut Criterion) {
     let profile = sched.profile.unwrap();
     g.bench_function("realize_full_profile", |b| {
         b.iter(|| {
-            for seg in &profile.segments {
+            for seg in profile.segments() {
                 black_box(wrap_around(seg, cfg.m, cfg.speed).unwrap());
             }
         })

@@ -1,0 +1,332 @@
+//! The PR-gating performance benches: engine throughput with and without
+//! profile recording, the pre-optimization engine as a same-machine
+//! baseline, and `lk_lower_bound`. Results land in `BENCH_1.json` at the
+//! repo root so before/after numbers are machine-comparable.
+//!
+//! Run with `cargo bench -p tf-bench --bench perf`. Set `BENCH_MEASURE_MS`
+//! / `BENCH_WARMUP_MS` for a quick smoke pass.
+
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::io::Write as _;
+use std::time::Duration;
+use tf_bench::{bench_trace, bench_trace_integral};
+use tf_lowerbound::lk_lower_bound;
+use tf_policies::Policy;
+use tf_simcore::alloc::check_rates;
+use tf_simcore::{
+    simulate, AliveJob, MachineConfig, Profile, RateAllocator, Schedule, Segment, SimError,
+    SimOptions, Trace, ABS_EPS, REL_EPS,
+};
+
+/// The engine's hot loop as it stood before the incremental-alive-set
+/// optimization: per-event `views` rebuild, `Vec::remove` completion
+/// sweep, and one `Vec<(u32, f64)>` allocation per recorded segment. Kept
+/// verbatim (modulo the `Profile` constructor) so the speedup reported in
+/// `BENCH_1.json` measures the optimization, not an easier strawman.
+fn baseline_simulate(
+    trace: &Trace,
+    policy: &mut dyn RateAllocator,
+    cfg: MachineConfig,
+    opts: SimOptions,
+) -> Result<Schedule, SimError> {
+    struct AliveState {
+        job: usize,
+        remaining: f64,
+        attained: f64,
+    }
+
+    cfg.validate()?;
+    policy.reset();
+
+    let n = trace.len();
+    let jobs = trace.jobs();
+    let mut completion = vec![f64::NAN; n];
+    let mut flow = vec![f64::NAN; n];
+    let mut segments: Vec<Segment> = Vec::new();
+
+    let event_budget = {
+        let n64 = n as u64;
+        4096 + 64 * n64 * n64.max(1)
+    };
+
+    let mut alive: Vec<AliveState> = Vec::new();
+    let mut next_arrival = 0usize;
+    let mut time = 0.0_f64;
+    let mut events: u64 = 0;
+
+    let mut views: Vec<AliveJob> = Vec::new();
+    let mut rates: Vec<f64> = Vec::new();
+
+    loop {
+        while next_arrival < n && jobs[next_arrival].arrival <= time {
+            alive.push(AliveState {
+                job: next_arrival,
+                remaining: jobs[next_arrival].size,
+                attained: 0.0,
+            });
+            next_arrival += 1;
+            events += 1;
+        }
+
+        if alive.is_empty() {
+            if next_arrival >= n {
+                break;
+            }
+            time = jobs[next_arrival].arrival;
+            continue;
+        }
+
+        if events > event_budget {
+            return Err(SimError::EventBudgetExhausted { events });
+        }
+
+        views.clear();
+        views.extend(alive.iter().map(|a| {
+            let j = &jobs[a.job];
+            AliveJob {
+                id: j.id,
+                arrival: j.arrival,
+                size: j.size,
+                weight: j.weight,
+                remaining: a.remaining,
+                attained: a.attained,
+                seq: j.id,
+            }
+        }));
+
+        rates.clear();
+        rates.resize(alive.len(), 0.0);
+        policy.allocate(time, &views, &cfg, &mut rates);
+        check_rates(&views, &cfg, &rates, REL_EPS)?;
+        for r in rates.iter_mut() {
+            *r = r.clamp(0.0, cfg.job_cap());
+        }
+
+        let mut dt = f64::INFINITY;
+        let mut arrival_at = None;
+        if next_arrival < n {
+            let d = jobs[next_arrival].arrival - time;
+            if d < dt {
+                dt = d;
+                arrival_at = Some(jobs[next_arrival].arrival);
+            }
+        }
+        for (a, &r) in alive.iter().zip(&rates) {
+            if r > ABS_EPS {
+                let d = a.remaining / r;
+                if d < dt {
+                    dt = d;
+                    arrival_at = None;
+                }
+            }
+        }
+        if let Some(rev) = policy.review_in(time, &views, &cfg) {
+            let rev = rev.max(ABS_EPS);
+            if rev < dt {
+                dt = rev;
+                arrival_at = None;
+            }
+        }
+
+        if !dt.is_finite() {
+            return Err(SimError::Stalled {
+                time,
+                alive: alive.len(),
+            });
+        }
+
+        if opts.record_profile && dt > 0.0 {
+            let seg_rates: Vec<(u32, f64)> =
+                views.iter().zip(&rates).map(|(v, &r)| (v.id, r)).collect();
+            segments.push(Segment {
+                t0: time,
+                t1: time + dt,
+                rates: seg_rates,
+            });
+        }
+        for (a, &r) in alive.iter_mut().zip(&rates) {
+            let w = r * dt;
+            a.attained += w;
+            a.remaining -= w;
+        }
+        time = match arrival_at {
+            Some(at) => at,
+            None => time + dt,
+        };
+        if opts.record_profile {
+            if let Some(s) = segments.last_mut() {
+                s.t1 = s.t1.max(time);
+            }
+        }
+        events += 1;
+
+        let mut i = 0;
+        while i < alive.len() {
+            let a = &alive[i];
+            let j = &jobs[a.job];
+            if a.remaining <= j.size * REL_EPS + ABS_EPS {
+                completion[a.job] = time;
+                flow[a.job] = time - j.arrival;
+                alive.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    let profile = if opts.record_profile {
+        let mut p = Profile::from_segments(segments, cfg.m, cfg.speed);
+        p.coalesce(ABS_EPS);
+        Some(p)
+    } else {
+        None
+    };
+
+    Ok(Schedule {
+        policy: policy.name().to_string(),
+        cfg,
+        completion,
+        flow,
+        profile,
+        events,
+        stats: Default::default(),
+    })
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("perf/engine");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    for &n in &[100usize, 1000] {
+        let trace = bench_trace(n, 11);
+        for (mode, opts) in [
+            ("profile_off", SimOptions::default()),
+            ("profile_on", SimOptions::with_profile()),
+        ] {
+            g.bench_with_input(BenchmarkId::new(mode, n), &trace, |b, t| {
+                b.iter(|| {
+                    let mut alloc = Policy::Rr.make();
+                    black_box(simulate(t, alloc.as_mut(), MachineConfig::new(1), opts).unwrap())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_engine_baseline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("perf/engine_baseline");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    for &n in &[100usize, 1000] {
+        let trace = bench_trace(n, 11);
+        for (mode, opts) in [
+            ("profile_off", SimOptions::default()),
+            ("profile_on", SimOptions::with_profile()),
+        ] {
+            g.bench_with_input(BenchmarkId::new(mode, n), &trace, |b, t| {
+                b.iter(|| {
+                    let mut alloc = Policy::Rr.make();
+                    black_box(
+                        baseline_simulate(t, alloc.as_mut(), MachineConfig::new(1), opts).unwrap(),
+                    )
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_lower_bound(c: &mut Criterion) {
+    let mut g = c.benchmark_group("perf/lower_bound");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    g.sample_size(10);
+    for &n in &[40usize, 80] {
+        let trace = bench_trace_integral(n, 19);
+        g.bench_with_input(BenchmarkId::new("lk_k2_m2", n), &trace, |b, t| {
+            b.iter(|| black_box(lk_lower_bound(t, 2, 2)))
+        });
+    }
+    g.finish();
+}
+
+/// Cross-check that the baseline port is faithful: both engines must
+/// produce identical flow vectors before their timings are comparable.
+fn assert_baseline_matches() {
+    let trace = bench_trace(1000, 11);
+    let mut a = Policy::Rr.make();
+    let mut b = Policy::Rr.make();
+    let new = simulate(
+        &trace,
+        a.as_mut(),
+        MachineConfig::new(1),
+        SimOptions::with_profile(),
+    )
+    .unwrap();
+    let old = baseline_simulate(
+        &trace,
+        b.as_mut(),
+        MachineConfig::new(1),
+        SimOptions::with_profile(),
+    )
+    .unwrap();
+    assert_eq!(new.flow, old.flow, "baseline port diverged from engine");
+    assert_eq!(new.profile, old.profile, "baseline profile diverged");
+}
+
+fn mean_of(results: &[criterion::BenchResult], group: &str, bench: &str) -> Option<f64> {
+    results
+        .iter()
+        .find(|r| r.group == group && r.bench == bench)
+        .map(|r| r.mean_ns)
+}
+
+fn write_bench1(results: &[criterion::BenchResult]) {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = format!("{root}/BENCH_1.json");
+    let mut out = String::from("{\n  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"group\": {:?}, \"bench\": {:?}, \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"iters\": {}}}{}\n",
+            r.group,
+            r.bench,
+            r.mean_ns,
+            r.median_ns,
+            r.min_ns,
+            r.iters,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"engine_speedup_vs_baseline\": {\n");
+    let mut lines = Vec::new();
+    for bench in [
+        "profile_off/100",
+        "profile_off/1000",
+        "profile_on/100",
+        "profile_on/1000",
+    ] {
+        if let (Some(new), Some(old)) = (
+            mean_of(results, "perf/engine", bench),
+            mean_of(results, "perf/engine_baseline", bench),
+        ) {
+            lines.push(format!("    {:?}: {:.3}", bench, old / new));
+        }
+    }
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n  }\n}\n");
+    let mut f = std::fs::File::create(&path).expect("create BENCH_1.json");
+    f.write_all(out.as_bytes()).expect("write BENCH_1.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    assert_baseline_matches();
+    let mut c = Criterion::default();
+    bench_engine(&mut c);
+    bench_engine_baseline(&mut c);
+    bench_lower_bound(&mut c);
+    c.flush_json();
+    write_bench1(c.results());
+}

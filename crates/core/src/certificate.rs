@@ -5,7 +5,7 @@ use crate::duals::{build_duals, DualAssignment};
 use crate::{eta, gamma};
 use serde::{Deserialize, Serialize};
 use tf_policies::RoundRobin;
-use tf_simcore::{simulate, MachineConfig, Schedule, SimError, SimOptions, Trace};
+use tf_simcore::{simulate, MachineConfig, Schedule, SimError, SimOptions, SimStats, Trace};
 
 /// A per-instance certificate of the paper's Theorem 1 pipeline.
 ///
@@ -46,6 +46,9 @@ pub struct Certificate {
     pub implied_ratio_bound: f64,
     /// Number of jobs in the instance.
     pub n: usize,
+    /// Engine counters from the certifying RR run (step breakdown, peak
+    /// alive set, allocator time).
+    pub sim: SimStats,
 }
 
 impl Certificate {
@@ -76,7 +79,7 @@ pub fn verify_theorem1_at_speed(
         trace,
         &mut RoundRobin::new(),
         cfg,
-        SimOptions::with_profile(),
+        SimOptions::with_profile().timed(),
     )?;
     Ok(certify_schedule(trace, &sched, k, eps))
 }
@@ -102,6 +105,7 @@ pub fn certify_schedule(trace: &Trace, sched: &Schedule, k: u32, eps: f64) -> Ce
         report,
         implied_ratio_bound: (4.0 * g / (3.0 * eps)).powf(1.0 / f64::from(k)),
         n: trace.len(),
+        sim: sched.stats,
     }
 }
 

@@ -138,7 +138,7 @@ pub fn lemma1_pairing_check(trace: &Trace, sched: &Schedule, k: u32) -> PointChe
         return out;
     };
     let m = sched.cfg.m;
-    for seg in &profile.segments {
+    for seg in profile.segments() {
         let n = seg.rates.len();
         if n < m || n == 0 {
             continue; // Lemma 1's pairing only covers overloaded times
@@ -246,7 +246,7 @@ pub fn check_duals(
                 // Split the overloaded part of α_j by B(t) membership.
                 let mut part_out = 0.0; // (4): j' ∉ B(t)
                 let mut part_in = 0.0; // (5): j' ∈ B(t)
-                for seg in &profile.segments {
+                for seg in profile.segments() {
                     if seg.t1 <= j.arrival || seg.t0 >= cj || seg.rates.len() < duals.m {
                         continue;
                     }
@@ -255,7 +255,7 @@ pub fn check_duals(
                         continue;
                     }
                     let inv_n = 1.0 / seg.rates.len() as f64;
-                    for &(jp, _) in &seg.rates {
+                    for &(jp, _) in seg.rates {
                         if jp > j.id {
                             break; // sorted by id = arrival order
                         }

@@ -143,7 +143,7 @@ pub fn build_duals(trace: &Trace, sched: &Schedule, k: u32, eps: f64) -> DualAss
     let mut alpha = vec![0.0f64; n];
     let kf = f64::from(k);
     let _ = kf;
-    for seg in &profile.segments {
+    for seg in profile.segments() {
         let nt = seg.rates.len();
         if nt == 0 {
             continue;
@@ -154,14 +154,14 @@ pub fn build_duals(trace: &Trace, sched: &Schedule, k: u32, eps: f64) -> DualAss
             // (profile rates are sorted by job id = arrival order).
             let inv_n = 1.0 / nt as f64;
             let mut prefix = 0.0;
-            for &(id, _) in &seg.rates {
+            for &(id, _) in seg.rates {
                 let r = trace.job(id).arrival;
                 let delta = ipow(seg.t1 - r, k) - ipow(seg.t0 - r, k);
                 prefix += delta;
                 alpha[id as usize] += prefix * inv_n;
             }
         } else {
-            for &(id, _) in &seg.rates {
+            for &(id, _) in seg.rates {
                 let r = trace.job(id).arrival;
                 alpha[id as usize] += ipow(seg.t1 - r, k) - ipow(seg.t0 - r, k);
             }

@@ -48,7 +48,9 @@ pub mod checks;
 pub mod duals;
 pub mod primal;
 
-pub use certificate::{min_certified_speed, verify_theorem1, verify_theorem1_at_speed, Certificate};
+pub use certificate::{
+    min_certified_speed, verify_theorem1, verify_theorem1_at_speed, Certificate,
+};
 pub use checks::{lemma1_pairing_check, CheckReport, LemmaCheck, PointChecks};
 pub use duals::{BetaFn, DualAssignment};
 pub use primal::primal_cost;

@@ -31,8 +31,8 @@ fn ipow(x: f64, k: i32) -> f64 {
 pub fn primal_cost(trace: &Trace, profile: &Profile, k: u32, eps: f64) -> f64 {
     let g = gamma(k, eps);
     let mut total = 0.0;
-    for seg in &profile.segments {
-        for &(id, rate) in &seg.rates {
+    for seg in profile.segments() {
+        for &(id, rate) in seg.rates {
             if rate <= 0.0 {
                 continue;
             }

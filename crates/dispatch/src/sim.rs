@@ -3,7 +3,9 @@
 
 use crate::rules::DispatchRule;
 use tf_policies::Policy;
-use tf_simcore::{simulate, MachineConfig, Schedule, SimError, SimOptions, Trace, TraceBuilder};
+use tf_simcore::{
+    simulate, MachineConfig, Schedule, SimError, SimOptions, SimStats, Trace, TraceBuilder,
+};
 
 /// Result of a dispatch simulation.
 #[derive(Debug, Clone)]
@@ -88,6 +90,7 @@ pub fn simulate_dispatch(
         flow,
         profile: None,
         events,
+        stats: SimStats::default(),
     };
     Ok(DispatchOutcome {
         schedule,

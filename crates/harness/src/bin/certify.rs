@@ -75,6 +75,17 @@ fn main() {
             std::process::exit(2);
         }
     };
+    eprintln!(
+        "sim: {} steps ({} arrival, {} completion, {} review, {} adaptive), peak alive {}, {} segments, allocate {:.3} ms",
+        cert.sim.steps(),
+        cert.sim.arrival_steps,
+        cert.sim.completion_steps,
+        cert.sim.review_steps,
+        cert.sim.adaptive_steps,
+        cert.sim.peak_alive,
+        cert.sim.segments_recorded,
+        cert.sim.alloc_secs() * 1e3,
+    );
     let json = if pretty {
         serde_json::to_string_pretty(&cert)
     } else {

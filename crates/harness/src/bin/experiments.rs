@@ -1,7 +1,7 @@
 //! CLI entry point: run experiments and print/persist their tables.
 //!
 //! ```text
-//! experiments [e1 e2 ... | all] [--quick] [--format text|md|csv] [--out DIR]
+//! experiments [e1 e2 ... | all] [--quick] [--no-cache] [--format text|md|csv] [--out DIR]
 //! ```
 
 use std::io::Write;
@@ -17,9 +17,14 @@ enum Format {
 }
 
 fn usage() -> ! {
+    let ids = all_ids();
     eprintln!(
-        "usage: experiments [e1 e2 ... | all] [--quick] [--format text|md|csv] [--out DIR]\n\
-         Runs the E1-E13 experiment suite (see DESIGN.md) and prints the tables."
+        "usage: experiments [{first} {second} ... | all] [--quick] [--no-cache] [--format text|md|csv] [--out DIR]\n\
+         Runs the {first}-{last} experiment suite (see DESIGN.md) and prints the tables.\n\
+         --no-cache  recompute lower bounds instead of reading results/cache/",
+        first = ids.first().unwrap_or(&"e1"),
+        second = ids.get(1).unwrap_or(&"e2"),
+        last = ids.last().unwrap_or(&"e1"),
     );
     std::process::exit(2);
 }
@@ -34,6 +39,7 @@ fn main() {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => effort = Effort::Quick,
+            "--no-cache" => tf_harness::lbcache::set_enabled(false),
             "--format" => {
                 format = match args.next().as_deref() {
                     Some("text") => Format::Text,

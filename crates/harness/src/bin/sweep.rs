@@ -19,7 +19,7 @@
 use tf_harness::sweep::{run_sweep, SweepConfig};
 
 fn usage() -> ! {
-    eprintln!("usage: sweep <config.json> [--format text|md|csv]");
+    eprintln!("usage: sweep <config.json> [--format text|md|csv] [--no-cache]");
     std::process::exit(2);
 }
 
@@ -30,6 +30,7 @@ fn main() {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--format" => format = args.next().unwrap_or_else(|| usage()),
+            "--no-cache" => tf_harness::lbcache::set_enabled(false),
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
             other => path = Some(other.to_string()),

@@ -13,7 +13,7 @@
 use super::Effort;
 use crate::corpus::random_corpus;
 use crate::ratio::{default_baselines, empirical_ratio};
-use crate::table::{fnum, Table};
+use crate::table::{fnum, stats_cells, Table};
 use rayon::prelude::*;
 use tf_core::{eta, gamma};
 use tf_policies::Policy;
@@ -31,11 +31,14 @@ pub fn e1(effort: Effort) -> Vec<Table> {
             "ratio>=",
             "ratio<=",
             "theory bound",
+            "steps",
+            "peak alive",
+            "alloc ms",
         ],
     );
     let baselines = default_baselines();
 
-    let mut cells: Vec<(u32, usize, String, f64, f64)> = Vec::new();
+    let mut cells: Vec<(u32, usize, String, f64, f64, tf_simcore::SimStats)> = Vec::new();
     for k in [1u32, 2, 3] {
         for m in [1usize, 4] {
             let corpus = random_corpus(effort.n(), 0.9, m, 100 + u64::from(k));
@@ -44,15 +47,22 @@ pub fn e1(effort: Effort) -> Vec<Table> {
                 .par_iter()
                 .map(|inst| {
                     let r = empirical_ratio(&inst.trace, Policy::Rr, m, speed, k, &baselines);
-                    (k, m, inst.name.clone(), r.ratio_vs_best, r.ratio_vs_lb)
+                    (
+                        k,
+                        m,
+                        inst.name.clone(),
+                        r.ratio_vs_best,
+                        r.ratio_vs_lb,
+                        r.stats,
+                    )
                 })
                 .collect();
             cells.extend(results);
         }
     }
-    for (k, m, name, lo, hi) in cells {
+    for (k, m, name, lo, hi, stats) in cells {
         let bound = (4.0 * gamma(k, 0.1) / (3.0 * 0.1)).powf(1.0 / f64::from(k));
-        table.push_row(vec![
+        let mut row = vec![
             k.to_string(),
             m.to_string(),
             fnum(eta(k, eps)),
@@ -60,10 +70,15 @@ pub fn e1(effort: Effort) -> Vec<Table> {
             fnum(lo),
             fnum(hi),
             fnum(bound),
-        ]);
+        ];
+        row.extend(stats_cells(&stats));
+        table.push_row(row);
     }
     table.note("ratio>= is vs the best speed-1 baseline (lower estimate); ratio<= is vs the certified LP lower bound (upper estimate). The true competitive ratio on each instance lies between them.");
     table.note("theory bound = (4*gamma/(3*eps))^(1/k), gamma = k(k/eps)^(k-1) — the constant Theorem 1 actually proves.");
+    table.note(
+        "steps/peak alive/alloc ms are engine counters from the evaluated RR run (SimStats).",
+    );
     vec![table]
 }
 

@@ -12,9 +12,10 @@
 use super::Effort;
 use crate::corpus::random_corpus;
 use crate::ratio::{default_baselines, empirical_ratio};
-use crate::table::{fnum, Table};
+use crate::table::{fnum, stats_cells, Table};
 use rayon::prelude::*;
 use tf_policies::Policy;
+use tf_simcore::SimStats;
 
 /// Run E2.
 pub fn e2(effort: Effort) -> Vec<Table> {
@@ -23,7 +24,16 @@ pub fn e2(effort: Effort) -> Vec<Table> {
     let rhos = [0.6, 0.8, 0.9, 1.0, 1.2];
     let mut table = Table::new(
         "E2: RR at speed 4.4 for the l2 norm across utilizations",
-        &["m", "rho", "mean ratio>= (±std)", "max ratio>=", "max ratio<="],
+        &[
+            "m",
+            "rho",
+            "mean ratio>= (±std)",
+            "max ratio>=",
+            "max ratio<=",
+            "steps",
+            "peak alive",
+            "alloc ms",
+        ],
     );
     let baselines = default_baselines();
     let seeds = match effort {
@@ -41,40 +51,41 @@ pub fn e2(effort: Effort) -> Vec<Table> {
                 let mut means = Vec::new();
                 let mut lo_max: f64 = 0.0;
                 let mut hi_max: f64 = 0.0;
+                let mut stats = SimStats::default();
                 for seed in 0..seeds {
-                    let corpus = random_corpus(
-                        effort.n(),
-                        rho,
-                        m,
-                        200 + (rho * 100.0) as u64 + 977 * seed,
-                    );
+                    let corpus =
+                        random_corpus(effort.n(), rho, m, 200 + (rho * 100.0) as u64 + 977 * seed);
                     let mut lo_sum = 0.0;
                     for inst in &corpus {
                         let r = empirical_ratio(&inst.trace, Policy::Rr, m, speed, k, &baselines);
                         lo_sum += r.ratio_vs_best;
                         lo_max = lo_max.max(r.ratio_vs_best);
                         hi_max = hi_max.max(r.ratio_vs_lb);
+                        stats.absorb(&r.stats);
                     }
                     means.push(lo_sum / corpus.len() as f64);
                 }
                 let rep = crate::replicate::Replicates::from_values(&means);
-                (rho, rep, lo_max, hi_max)
+                (rho, rep, lo_max, hi_max, stats)
             })
             .collect();
-        for (rho, rep, lo_max, hi_max) in rows {
-            table.push_row(vec![
+        for (rho, rep, lo_max, hi_max, stats) in rows {
+            let mut row = vec![
                 m.to_string(),
                 fnum(rho),
                 rep.display(),
                 fnum(lo_max),
                 fnum(hi_max),
-            ]);
+            ];
+            row.extend(stats_cells(&stats));
+            table.push_row(row);
         }
     }
     table.note(format!(
         "Aggregates over the 4-distribution random corpus at each utilization, replicated across {seeds} seeds (mean ± sample std of the per-corpus mean)."
     ));
     table.note("Expected: bounded constants at every load — the O(1) of Theorem 1 for k=2.");
+    table.note("steps/alloc ms aggregate the evaluated RR runs in the row; peak alive is the row maximum (SimStats).");
     vec![table]
 }
 

@@ -118,7 +118,13 @@ pub fn e10(effort: Effort) -> Vec<Table> {
     // ---- Table C: per-instance minimal certified speed ---------------------
     let mut minimal = Table::new(
         "E10c: per-instance minimal speed at which the dual construction certifies (k=2, eps=0.05)",
-        &["instance", "n", "min certified speed", "eta", "slack factor"],
+        &[
+            "instance",
+            "n",
+            "min certified speed",
+            "eta",
+            "slack factor",
+        ],
     );
     let rows: Vec<_> = corpus
         .par_iter()

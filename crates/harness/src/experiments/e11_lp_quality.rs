@@ -13,9 +13,10 @@
 
 use super::Effort;
 use crate::corpus::random_corpus;
+use crate::lbcache::cached_lk_lower_bound;
 use crate::table::{fnum, Table};
 use rayon::prelude::*;
-use tf_lowerbound::{lk_lower_bound, lp_relaxation_value};
+use tf_lowerbound::lp_relaxation_value;
 use tf_policies::Policy;
 use tf_simcore::{simulate, MachineConfig, SimOptions, Trace};
 
@@ -69,7 +70,7 @@ pub fn e11(effort: Effort) -> Vec<Table> {
         let rows: Vec<_> = corpus
             .par_iter()
             .map(|inst| {
-                let lb = lk_lower_bound(&inst.trace, m, 2);
+                let lb = cached_lk_lower_bound(&inst.trace, m, 2);
                 let best = [Policy::Srpt, Policy::Sjf, Policy::Setf, Policy::Rr]
                     .iter()
                     .map(|p| {

@@ -49,7 +49,13 @@ pub fn e13(effort: Effort) -> Vec<Table> {
             .unwrap();
             let p = s.profile.as_ref().unwrap();
             let occ = tf_metrics::occupancy_stats(p).expect("non-empty profile");
-            (m, n, r.ratio_vs_best, r.ratio_vs_lb, occ.overloaded_fraction)
+            (
+                m,
+                n,
+                r.ratio_vs_best,
+                r.ratio_vs_lb,
+                occ.overloaded_fraction,
+            )
         })
         .collect();
     for (m, n, lo, hi, frac) in rows {

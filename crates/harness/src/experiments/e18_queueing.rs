@@ -122,7 +122,14 @@ pub fn e18(effort: Effort) -> Vec<Table> {
     // small jobs slowdown near 1 and charging the large ones.
     let mut slow = Table::new(
         "E18b: conditional slowdown by size quartile (exp sizes, rho=0.7)",
-        &["policy", "q1 (small)", "q2", "q3", "q4 (large)", "PS theory"],
+        &[
+            "policy",
+            "q1 (small)",
+            "q2",
+            "q3",
+            "q4 (large)",
+            "PS theory",
+        ],
     );
     let rho = 0.7;
     let dist = SizeDist::Exponential { mean: 1.0 };

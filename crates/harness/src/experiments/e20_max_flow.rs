@@ -42,7 +42,13 @@ pub fn e20(effort: Effort) -> Vec<Table> {
         "E20: maximum (l-infinity) flow — true ratios to FCFS (exact OPT on m=1)",
         &["instance", "speed", "RR", "SRPT", "SJF", "SETF", "MLFQ"],
     );
-    let policies = [Policy::Rr, Policy::Srpt, Policy::Sjf, Policy::Setf, Policy::Mlfq];
+    let policies = [
+        Policy::Rr,
+        Policy::Srpt,
+        Policy::Sjf,
+        Policy::Setf,
+        Policy::Mlfq,
+    ];
 
     let mut instances = random_corpus(effort.n(), 0.9, 1, 2000);
     let (long, stream) = match effort {

@@ -1,4 +1,4 @@
-//! Experiment implementations E1–E13. See the crate docs and DESIGN.md for
+//! Experiment implementations E1–E20. See the crate docs and DESIGN.md for
 //! the claim-to-experiment mapping.
 
 mod e01_theorem1;
@@ -73,45 +73,64 @@ impl Effort {
     }
 }
 
-/// Run an experiment by id (`"e1"`..`"e13"`, case-insensitive). Returns
+type ExperimentFn = fn(Effort) -> Vec<Table>;
+
+/// The experiment registry in presentation order. [`run_experiment`] and
+/// [`all_ids`] both derive from this table, so the dispatcher and the id
+/// list cannot drift apart (an earlier revision listed e1–e19 here but
+/// dispatched e20 too, silently dropping it from `all` runs).
+const REGISTRY: &[(&str, ExperimentFn)] = &[
+    ("e1", e1),
+    ("e2", e2),
+    ("e3", e3),
+    ("e4", e4),
+    ("e5", e5),
+    ("e6", e6),
+    ("e7", e7),
+    ("e8", e8),
+    ("e9", e9),
+    ("e10", e10),
+    ("e11", e11),
+    ("e12", e12),
+    ("e13", e13),
+    ("e14", e14),
+    ("e15", e15),
+    ("e16", e16),
+    ("e17", e17),
+    ("e18", e18),
+    ("e19", e19),
+    ("e20", e20),
+];
+
+/// Run an experiment by id (`"e1"`..`"e20"`, case-insensitive). Returns
 /// `None` for unknown ids.
 pub fn run_experiment(id: &str, effort: Effort) -> Option<Vec<Table>> {
-    Some(match id.to_ascii_lowercase().as_str() {
-        "e1" => e1(effort),
-        "e2" => e2(effort),
-        "e3" => e3(effort),
-        "e4" => e4(effort),
-        "e5" => e5(effort),
-        "e6" => e6(effort),
-        "e7" => e7(effort),
-        "e8" => e8(effort),
-        "e9" => e9(effort),
-        "e10" => e10(effort),
-        "e11" => e11(effort),
-        "e12" => e12(effort),
-        "e13" => e13(effort),
-        "e14" => e14(effort),
-        "e15" => e15(effort),
-        "e16" => e16(effort),
-        "e17" => e17(effort),
-        "e18" => e18(effort),
-        "e19" => e19(effort),
-        "e20" => e20(effort),
-        _ => return None,
-    })
+    let id = id.to_ascii_lowercase();
+    REGISTRY
+        .iter()
+        .find(|(name, _)| *name == id)
+        .map(|(_, f)| f(effort))
 }
 
 /// All experiment ids in order.
 pub fn all_ids() -> Vec<&'static str> {
-    vec![
-        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-        "e15", "e16", "e17", "e18", "e19",
-    ]
+    REGISTRY.iter().map(|(name, _)| *name).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The registry covers e1..e20 contiguously with unique ids — the
+    /// shape regression that once dropped "e20" from `all` runs.
+    #[test]
+    fn registry_is_contiguous_and_unique() {
+        let ids = all_ids();
+        assert_eq!(ids.len(), 20);
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(*id, format!("e{}", i + 1));
+        }
+    }
 
     #[test]
     fn unknown_id_is_none() {

@@ -83,7 +83,9 @@ pub fn true_ratio(trace: &Trace, policy: Policy, cfg: &HuntConfig) -> Option<f64
     if trace.is_empty() {
         return None;
     }
-    let limits = ExactLimits { max_states: 150_000 };
+    let limits = ExactLimits {
+        max_states: 150_000,
+    };
     let opt = exact_slotted_opt(trace, cfg.m, cfg.k, limits)?.power_sum;
     if opt <= 0.0 {
         return None;

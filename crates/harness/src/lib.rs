@@ -36,9 +36,10 @@
 pub mod corpus;
 pub mod experiments;
 pub mod hunt;
-pub mod sweep;
+pub mod lbcache;
 pub mod ratio;
 pub mod replicate;
+pub mod sweep;
 pub mod table;
 
 pub use experiments::{run_experiment, Effort};

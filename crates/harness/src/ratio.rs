@@ -11,10 +11,10 @@
 //! The true competitive ratio on the instance lies inside
 //! `[ratio_vs_best, ratio_vs_lb]`.
 
+use crate::lbcache::cached_lk_lower_bound;
 use serde::{Deserialize, Serialize};
-use tf_lowerbound::lk_lower_bound;
 use tf_policies::Policy;
-use tf_simcore::{simulate, MachineConfig, SimOptions, Trace};
+use tf_simcore::{simulate, MachineConfig, SimOptions, SimStats, Trace};
 
 /// A bracketed empirical competitive ratio for one (instance, policy,
 /// speed, k) point.
@@ -32,6 +32,9 @@ pub struct RatioEstimate {
     pub ratio_vs_lb: f64,
     /// Lower estimate of the norm ratio: `(alg/best)^{1/k}`.
     pub ratio_vs_best: f64,
+    /// Engine counters from the evaluated policy's run (not the
+    /// baselines'): step breakdown, peak alive set, allocator time.
+    pub stats: SimStats,
 }
 
 /// The default baseline set for OPT upper bounds: the clairvoyant
@@ -60,12 +63,12 @@ pub fn empirical_ratio(
         trace,
         alloc.as_mut(),
         MachineConfig::with_speed(m, speed),
-        SimOptions::default(),
+        SimOptions::default().timed(),
     )
     .expect("simulation of a registry policy on a valid trace");
     let alg_power_sum = alg.flow_power_sum(kf);
 
-    let lb = lk_lower_bound(trace, m, k);
+    let lb = cached_lk_lower_bound(trace, m, k);
 
     let mut best_power_sum = f64::INFINITY;
     let mut best_policy = String::new();
@@ -101,6 +104,7 @@ pub fn empirical_ratio(
         } else {
             f64::NAN
         },
+        stats: alg.stats,
     }
 }
 

@@ -61,7 +61,11 @@ impl SweepConfig {
 
     /// Number of grid points.
     pub fn points(&self) -> usize {
-        self.instances.len() * self.policies.len() * self.speeds.len() * self.ks.len() * self.ms.len()
+        self.instances.len()
+            * self.policies.len()
+            * self.speeds.len()
+            * self.ks.len()
+            * self.ms.len()
     }
 }
 
@@ -71,7 +75,12 @@ fn materialize(inst: &SweepInstance, m: usize) -> Result<(String, Trace), String
             let t = tf_workload::traceio::load_trace(path).map_err(|e| format!("{path}: {e}"))?;
             Ok((path.clone(), t))
         }
-        SweepInstance::Poisson { n, rho, sizes, seed } => {
+        SweepInstance::Poisson {
+            n,
+            rho,
+            sizes,
+            seed,
+        } => {
             let t = integral_poisson(*n, *rho, m, *sizes, *seed);
             Ok((format!("poisson-{}-n{n}-rho{rho}", sizes.label()), t))
         }
@@ -84,7 +93,9 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<Table, String> {
     let baselines = default_baselines();
     let mut table = Table::new(
         "sweep",
-        &["instance", "policy", "m", "speed", "k", "alg^k", "LB", "best", "ratio>=", "ratio<="],
+        &[
+            "instance", "policy", "m", "speed", "k", "alg^k", "LB", "best", "ratio>=", "ratio<=",
+        ],
     );
 
     // Materialize instances per machine count (Poisson load depends on m).
@@ -122,7 +133,10 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<Table, String> {
     for row in rows {
         table.push_row(row);
     }
-    table.note(format!("{} grid points; baselines at speed 1: SRPT/SJF/SETF/RR.", cfg.points()));
+    table.note(format!(
+        "{} grid points; baselines at speed 1: SRPT/SJF/SETF/RR.",
+        cfg.points()
+    ));
     Ok(table)
 }
 
@@ -178,7 +192,9 @@ mod tests {
         let path = std::env::temp_dir().join(format!("tf-sweep-{}.json", std::process::id()));
         tf_workload::traceio::save_trace(&trace, &path).unwrap();
         let cfg = SweepConfig {
-            instances: vec![SweepInstance::TraceFile { path: path.to_string_lossy().into() }],
+            instances: vec![SweepInstance::TraceFile {
+                path: path.to_string_lossy().into(),
+            }],
             policies: vec!["rr".into()],
             speeds: vec![1.0],
             ks: vec![2],

@@ -1,6 +1,7 @@
 //! Plain-text / markdown / CSV tables for experiment output.
 
 use serde::{Deserialize, Serialize};
+use tf_simcore::SimStats;
 
 /// A rendered experiment result: title, column headers, string rows, and
 /// free-form notes (methodology, caveats).
@@ -113,6 +114,21 @@ impl Table {
     }
 }
 
+/// Headers for the standard engine-stats columns appended to experiment
+/// tables; [`stats_cells`] produces the matching cells. Keeping one shared
+/// definition means every table spells the columns the same way.
+pub const STATS_HEADERS: [&str; 3] = ["steps", "peak alive", "alloc ms"];
+
+/// Render one run's (or an aggregate's) [`SimStats`] as cells matching
+/// [`STATS_HEADERS`].
+pub fn stats_cells(s: &SimStats) -> Vec<String> {
+    vec![
+        s.steps().to_string(),
+        s.peak_alive.to_string(),
+        fnum(s.alloc_secs() * 1e3),
+    ]
+}
+
 /// Format a float with 4 significant digits — compact but comparable.
 pub fn fnum(x: f64) -> String {
     if x == 0.0 {
@@ -160,6 +176,22 @@ mod tests {
         let s = sample().to_csv();
         assert!(s.contains("\"y,z\""));
         assert!(s.starts_with("a,b\n"));
+    }
+
+    #[test]
+    fn stats_cells_match_headers() {
+        let s = SimStats {
+            arrival_steps: 2,
+            completion_steps: 3,
+            peak_alive: 7,
+            alloc_ns: 1_500_000,
+            ..Default::default()
+        };
+        let cells = stats_cells(&s);
+        assert_eq!(cells.len(), STATS_HEADERS.len());
+        assert_eq!(cells[0], "5");
+        assert_eq!(cells[1], "7");
+        assert_eq!(cells[2], "1.500");
     }
 
     #[test]

@@ -402,7 +402,12 @@ mod tests {
                 g.add_edge(s, 1 + ji, p, 0.0);
                 for slot in (j.arrival as usize)..horizon {
                     let age = slot as f64 - j.arrival;
-                    g.add_edge(1 + ji, 1 + n + slot, 1, (age * age + j.size * j.size) / j.size);
+                    g.add_edge(
+                        1 + ji,
+                        1 + n + slot,
+                        1,
+                        (age * age + j.size * j.size) / j.size,
+                    );
                 }
             }
             for slot in 0..horizon {

@@ -95,8 +95,8 @@ impl FairnessSeries {
 pub fn job_starvation(profile: &Profile, n_jobs: usize) -> Vec<f64> {
     let mut worst = vec![0.0f64; n_jobs];
     let mut streak = vec![0.0f64; n_jobs];
-    for seg in &profile.segments {
-        for &(id, rate) in &seg.rates {
+    for seg in profile.segments() {
+        for &(id, rate) in seg.rates {
             let i = id as usize;
             if i >= n_jobs {
                 continue;
@@ -115,8 +115,7 @@ pub fn job_starvation(profile: &Profile, n_jobs: usize) -> Vec<f64> {
 /// Compute the instantaneous fairness series of a recorded profile.
 pub fn instantaneous_fairness(profile: &Profile) -> FairnessSeries {
     let points = profile
-        .segments
-        .iter()
+        .segments()
         .map(|seg| {
             let rates: Vec<f64> = seg.rates.iter().map(|&(_, r)| r).collect();
             FairnessPoint {
@@ -158,15 +157,15 @@ mod tests {
 
     #[test]
     fn series_from_profile() {
-        let p = Profile {
-            segments: vec![
+        let p = Profile::from_segments(
+            vec![
                 seg(0.0, 1.0, &[(0, 0.5), (1, 0.5)]), // fair
                 seg(1.0, 3.0, &[(0, 1.0), (1, 0.0)]), // starving job 1
                 seg(3.0, 4.0, &[(1, 1.0)]),           // single job: skipped
             ],
-            m: 1,
-            speed: 1.0,
-        };
+            1,
+            1.0,
+        );
         let s = instantaneous_fairness(&p);
         assert_eq!(s.points.len(), 3);
         assert_eq!(s.points[0].jain, 1.0);
@@ -212,16 +211,16 @@ mod tests {
 
     #[test]
     fn job_starvation_tracks_longest_zero_streak() {
-        let p = Profile {
-            segments: vec![
+        let p = Profile::from_segments(
+            vec![
                 seg(0.0, 1.0, &[(0, 1.0), (1, 0.0)]),
                 seg(1.0, 3.0, &[(0, 1.0), (1, 0.0)]), // streak continues: 3
                 seg(3.0, 4.0, &[(0, 0.0), (1, 1.0)]), // job1 breaks; job0 starves 1
                 seg(4.0, 5.0, &[(1, 0.0)]),           // job1 starves again: 1
             ],
-            m: 1,
-            speed: 1.0,
-        };
+            1,
+            1.0,
+        );
         let s = job_starvation(&p, 2);
         assert!((s[0] - 1.0).abs() < 1e-12);
         assert!((s[1] - 3.0).abs() < 1e-12);

@@ -26,7 +26,7 @@ pub struct OccupancyStats {
 /// Compute occupancy statistics from a profile. Returns `None` for an
 /// empty profile.
 pub fn occupancy_stats(profile: &Profile) -> Option<OccupancyStats> {
-    let first = profile.segments.first()?;
+    let first = profile.first()?;
     let mut busy_time = 0.0;
     let mut alive_time_weighted = 0.0;
     let mut overloaded_time = 0.0;
@@ -36,7 +36,7 @@ pub fn occupancy_stats(profile: &Profile) -> Option<OccupancyStats> {
     let mut current_period = 0.0f64;
     let mut prev_end = first.t0;
 
-    for seg in &profile.segments {
+    for seg in profile.segments() {
         let d = seg.duration();
         busy_time += d;
         alive_time_weighted += seg.n_alive() as f64 * d;
@@ -69,7 +69,7 @@ pub fn occupancy_stats(profile: &Profile) -> Option<OccupancyStats> {
 /// The alive-count trajectory as `(t, n_t)` step points (one per segment
 /// start), for plotting or export.
 pub fn alive_series(profile: &Profile) -> Vec<(f64, usize)> {
-    profile.segments.iter().map(|s| (s.t0, s.n_alive())).collect()
+    profile.segments().map(|s| (s.t0, s.n_alive())).collect()
 }
 
 #[cfg(test)]
@@ -87,11 +87,11 @@ mod tests {
 
     #[test]
     fn stats_with_gap() {
-        let p = Profile {
-            segments: vec![seg(0.0, 2.0, 2), seg(2.0, 3.0, 1), seg(5.0, 6.0, 3)],
-            m: 2,
-            speed: 1.0,
-        };
+        let p = Profile::from_segments(
+            vec![seg(0.0, 2.0, 2), seg(2.0, 3.0, 1), seg(5.0, 6.0, 3)],
+            2,
+            1.0,
+        );
         let s = occupancy_stats(&p).unwrap();
         assert_eq!(s.busy_time, 4.0);
         assert_eq!(s.busy_periods, 2);
@@ -105,22 +105,14 @@ mod tests {
 
     #[test]
     fn empty_profile() {
-        let p = Profile {
-            segments: vec![],
-            m: 1,
-            speed: 1.0,
-        };
+        let p = Profile::new(1, 1.0);
         assert!(occupancy_stats(&p).is_none());
         assert!(alive_series(&p).is_empty());
     }
 
     #[test]
     fn series_matches_segments() {
-        let p = Profile {
-            segments: vec![seg(0.0, 1.0, 1), seg(1.0, 2.0, 4)],
-            m: 1,
-            speed: 1.0,
-        };
+        let p = Profile::from_segments(vec![seg(0.0, 1.0, 1), seg(1.0, 2.0, 4)], 1, 1.0);
         assert_eq!(alive_series(&p), vec![(0.0, 1), (1.0, 4)]);
     }
 
@@ -143,7 +135,13 @@ mod tests {
             }
         }
         let t = Trace::from_pairs([(0.0, 1.0), (0.0, 1.0), (10.0, 2.0)]).unwrap();
-        let s = simulate(&t, &mut Rr, MachineConfig::new(1), SimOptions::with_profile()).unwrap();
+        let s = simulate(
+            &t,
+            &mut Rr,
+            MachineConfig::new(1),
+            SimOptions::with_profile(),
+        )
+        .unwrap();
         let st = occupancy_stats(s.profile.as_ref().unwrap()).unwrap();
         assert_eq!(st.busy_periods, 2);
         assert_eq!(st.peak_alive, 2);

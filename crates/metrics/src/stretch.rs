@@ -79,6 +79,7 @@ mod tests {
                 .collect(),
             profile: None,
             events: 0,
+            stats: Default::default(),
         }
     }
 

@@ -9,10 +9,12 @@
 
 use crate::alloc::{check_rates, AliveJob, MachineConfig, RateAllocator};
 use crate::error::SimError;
-use crate::profile::{Profile, Segment};
+use crate::profile::Profile;
 use crate::schedule::Schedule;
+use crate::stats::SimStats;
 use crate::trace::Trace;
 use crate::{ABS_EPS, REL_EPS};
+use std::time::Instant;
 
 /// Engine knobs. `SimOptions::default()` is right for almost all uses.
 #[derive(Debug, Clone, Copy, Default)]
@@ -26,6 +28,11 @@ pub struct SimOptions {
     /// Hard cap on engine events as runaway protection. `None` picks a
     /// generous bound from the instance size.
     pub max_events: Option<u64>,
+    /// Measure wall-clock time spent in the policy's `allocate` into
+    /// [`SimStats::alloc_ns`]. Off by default: the two clock reads per
+    /// event cost more than a whole event on small alive sets, so only
+    /// diagnostic paths (harness tables, certificates) opt in.
+    pub time_alloc: bool,
 }
 
 impl SimOptions {
@@ -35,6 +42,12 @@ impl SimOptions {
             record_profile: true,
             ..Default::default()
         }
+    }
+
+    /// Enable allocator wall-clock timing (see [`SimOptions::time_alloc`]).
+    pub fn timed(mut self) -> Self {
+        self.time_alloc = true;
+        self
     }
 }
 
@@ -46,12 +59,6 @@ enum StepReason {
     Completion,
     Review,
     AdaptiveStep,
-}
-
-struct AliveState {
-    job: usize, // index into trace.jobs()
-    remaining: f64,
-    attained: f64,
 }
 
 /// Simulate `policy` on `trace` under `cfg`.
@@ -73,7 +80,8 @@ pub fn simulate(
     let jobs = trace.jobs();
     let mut completion = vec![f64::NAN; n];
     let mut flow = vec![f64::NAN; n];
-    let mut segments: Vec<Segment> = Vec::new();
+    let mut profile = opts.record_profile.then(|| Profile::new(cfg.m, cfg.speed));
+    let mut stats = SimStats::default();
 
     let continuous = policy.continuous();
     let max_step = if continuous {
@@ -99,26 +107,38 @@ pub fn simulate(
         }
     });
 
-    let mut alive: Vec<AliveState> = Vec::new();
+    // The alive set doubles as the policy's view: arrivals append, steps
+    // update `remaining`/`attained` in place, and completions compact it
+    // with a single order-preserving `retain` pass. Job ids equal trace
+    // indices, so no separate index bookkeeping is needed.
+    let mut alive: Vec<AliveJob> = Vec::new();
     let mut next_arrival = 0usize; // index into jobs
     let mut time = 0.0_f64;
     let mut events: u64 = 0;
     let mut zero_steps_in_a_row = 0u32;
 
-    // Reusable buffers.
-    let mut views: Vec<AliveJob> = Vec::new();
+    // Reusable scratch, sized once per high-water mark.
     let mut rates: Vec<f64> = Vec::new();
 
     loop {
         // Admit all jobs that have arrived by `time`.
         while next_arrival < n && jobs[next_arrival].arrival <= time {
-            alive.push(AliveState {
-                job: next_arrival,
-                remaining: jobs[next_arrival].size,
+            let j = &jobs[next_arrival];
+            alive.push(AliveJob {
+                id: j.id,
+                arrival: j.arrival,
+                size: j.size,
+                weight: j.weight,
+                remaining: j.size,
                 attained: 0.0,
+                seq: j.id,
             });
             next_arrival += 1;
             events += 1;
+            stats.jobs_admitted += 1;
+        }
+        if alive.len() > stats.peak_alive {
+            stats.peak_alive = alive.len(); // alive only grows on admission
         }
 
         if alive.is_empty() {
@@ -133,26 +153,14 @@ pub fn simulate(
             return Err(SimError::EventBudgetExhausted { events });
         }
 
-        // `alive` is sorted by job index (arrival order) because arrivals
-        // are admitted in trace order and completions preserve order.
-        views.clear();
-        views.extend(alive.iter().map(|a| {
-            let j = &jobs[a.job];
-            AliveJob {
-                id: j.id,
-                arrival: j.arrival,
-                size: j.size,
-                weight: j.weight,
-                remaining: a.remaining,
-                attained: a.attained,
-                seq: j.id,
-            }
-        }));
-
         rates.clear();
         rates.resize(alive.len(), 0.0);
-        policy.allocate(time, &views, &cfg, &mut rates);
-        check_rates(&views, &cfg, &rates, REL_EPS)?;
+        let alloc_started = opts.time_alloc.then(Instant::now);
+        policy.allocate(time, &alive, &cfg, &mut rates);
+        if let Some(t0) = alloc_started {
+            stats.alloc_ns += t0.elapsed().as_nanos() as u64;
+        }
+        check_rates(&alive, &cfg, &rates, REL_EPS)?;
         // Clamp tolerated overshoot so downstream stays exactly feasible.
         for r in rates.iter_mut() {
             *r = r.clamp(0.0, cfg.job_cap());
@@ -177,7 +185,7 @@ pub fn simulate(
                 }
             }
         }
-        if let Some(rev) = policy.review_in(time, &views, &cfg) {
+        if let Some(rev) = policy.review_in(time, &alive, &cfg) {
             // A review in the past or at `now` would spin; insist on a
             // minimal positive advance.
             let rev = rev.max(ABS_EPS);
@@ -212,58 +220,68 @@ pub fn simulate(
             zero_steps_in_a_row = 0;
         }
 
-        // Advance.
-        if opts.record_profile && dt > 0.0 {
-            let seg_rates: Vec<(u32, f64)> =
-                views.iter().zip(&rates).map(|(v, &r)| (v.id, r)).collect();
-            segments.push(Segment {
-                t0: time,
-                t1: time + dt,
-                rates: seg_rates,
-            });
+        // Advance: record the segment (arena append, no per-segment
+        // allocation), deliver work, and detect completions in one pass.
+        if dt > 0.0 {
+            if let Some(p) = profile.as_mut() {
+                p.push(
+                    time,
+                    time + dt,
+                    alive.iter().zip(&rates).map(|(a, &r)| (a.id, r)),
+                );
+                stats.segments_recorded += 1;
+            }
         }
+        let mut any_done = false;
         for (a, &r) in alive.iter_mut().zip(&rates) {
             let w = r * dt;
             a.attained += w;
             a.remaining -= w;
+            any_done |= a.remaining <= a.size * REL_EPS + ABS_EPS;
         }
+        let step_end = time + dt;
         time = match reason {
             StepReason::Arrival(at) => at, // snap exactly onto the arrival
-            _ => time + dt,
+            _ => step_end,
         };
-        if opts.record_profile {
-            if let Some(s) = segments.last_mut() {
-                s.t1 = s.t1.max(time); // keep profile contiguous after snapping
-            }
+        if let Some(p) = profile.as_mut() {
+            // Snapping moves `time` off `t0 + dt` by at most one rounding
+            // step of the arrival instant (dt was computed as `at − t0`):
+            // stretching the last segment to cover it is floating-point
+            // noise, never unaccounted work.
+            debug_assert!(
+                time - step_end <= ABS_EPS + REL_EPS * time.abs(),
+                "arrival snap stretched the profile by {} at t={time}",
+                time - step_end
+            );
+            p.stretch_last_end(time); // keep profile contiguous after snapping
         }
         events += 1;
+        match reason {
+            StepReason::Arrival(_) => stats.arrival_steps += 1,
+            StepReason::Completion => stats.completion_steps += 1,
+            StepReason::Review => stats.review_steps += 1,
+            StepReason::AdaptiveStep => stats.adaptive_steps += 1,
+        }
 
-        // Complete jobs whose remaining work has (numerically) vanished.
-        let mut i = 0;
-        while i < alive.len() {
-            let a = &alive[i];
-            let j = &jobs[a.job];
-            if a.remaining <= j.size * REL_EPS + ABS_EPS {
-                completion[a.job] = time;
-                flow[a.job] = time - j.arrival;
-                alive.remove(i);
-            } else {
-                i += 1;
-            }
+        // Complete jobs whose remaining work has (numerically) vanished:
+        // one order-preserving compaction, however many finish at once.
+        if any_done {
+            alive.retain(|a| {
+                if a.remaining <= a.size * REL_EPS + ABS_EPS {
+                    completion[a.id as usize] = time;
+                    flow[a.id as usize] = time - a.arrival;
+                    false
+                } else {
+                    true
+                }
+            });
         }
     }
 
-    let profile = if opts.record_profile {
-        let mut p = Profile {
-            segments,
-            m: cfg.m,
-            speed: cfg.speed,
-        };
+    if let Some(p) = profile.as_mut() {
         p.coalesce(ABS_EPS);
-        Some(p)
-    } else {
-        None
-    };
+    }
 
     Ok(Schedule {
         policy: policy.name().to_string(),
@@ -272,6 +290,7 @@ pub fn simulate(
         flow,
         profile,
         events,
+        stats,
     })
 }
 
@@ -428,9 +447,9 @@ mod tests {
         )
         .unwrap();
         let p = s.profile.as_ref().unwrap();
-        assert_eq!(p.segments.len(), 2);
-        assert_eq!(p.segments[0].rates, vec![(0, 0.5), (1, 0.5)]);
-        assert_eq!(p.segments[1].rates, vec![(1, 1.0)]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.segment(0).rates, [(0, 0.5), (1, 0.5)]);
+        assert_eq!(p.segment(1).rates, [(1, 1.0)]);
         assert!((p.total_work() - 3.0).abs() < 1e-9);
         assert!((p.work_of(0) - 1.0).abs() < 1e-9);
         assert!((p.work_of(1) - 2.0).abs() < 1e-9);

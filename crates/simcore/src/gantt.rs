@@ -25,7 +25,7 @@ pub fn job_glyph(id: u32) -> char {
 ///
 /// Returns an empty string for an empty profile.
 pub fn render_gantt(profile: &Profile, width: usize) -> String {
-    let Some(first) = profile.segments.first() else {
+    let Some(first) = profile.first() else {
         return String::new();
     };
     let t0 = first.t0;
@@ -37,6 +37,9 @@ pub fn render_gantt(profile: &Profile, width: usize) -> String {
     let m = profile.m;
     let mut rows = vec![vec![IDLE; width]; m];
 
+    // Indexing by `col` across multiple rows at once; an iterator rewrite
+    // would obscure the row/column structure.
+    #[allow(clippy::needless_range_loop)]
     for col in 0..width {
         let t = t0 + span * (col as f64 + 0.5) / width as f64;
         let Some(seg) = profile.segment_at(t) else {
@@ -140,11 +143,7 @@ mod tests {
 
     #[test]
     fn empty_profile_renders_empty() {
-        let p = Profile {
-            segments: vec![],
-            m: 1,
-            speed: 1.0,
-        };
+        let p = Profile::new(1, 1.0);
         assert_eq!(render_gantt(&p, 10), "");
     }
 }

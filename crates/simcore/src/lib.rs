@@ -43,6 +43,7 @@ pub mod mcnaughton;
 pub mod profile;
 pub mod quantum;
 pub mod schedule;
+pub mod stats;
 pub mod trace;
 pub mod validate;
 
@@ -50,8 +51,9 @@ pub use alloc::{AliveJob, MachineConfig, RateAllocator};
 pub use engine::{simulate, SimOptions};
 pub use error::SimError;
 pub use job::{Job, JobId};
-pub use profile::{Profile, Segment};
+pub use profile::{Profile, Segment, SegmentRef};
 pub use schedule::Schedule;
+pub use stats::SimStats;
 pub use trace::{Trace, TraceBuilder};
 
 /// Relative tolerance used throughout the simulator for floating-point

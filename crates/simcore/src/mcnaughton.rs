@@ -10,7 +10,7 @@
 //! jobs — McNaughton's classical wrap-around argument.
 
 use crate::job::JobId;
-use crate::profile::Segment;
+use crate::profile::SegmentRef;
 
 /// A contiguous run of one job on one machine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,14 +38,14 @@ pub struct MachineAssignment {
 /// sum to at most `m·speed`. Jobs with zero rate are skipped.
 ///
 /// Returns `None` if the preconditions are violated beyond tolerance.
-pub fn wrap_around(seg: &Segment, m: usize, speed: f64) -> Option<MachineAssignment> {
+pub fn wrap_around(seg: SegmentRef<'_>, m: usize, speed: f64) -> Option<MachineAssignment> {
     let d = seg.duration();
     let tol = 1e-9 * d.max(1.0);
     let mut slots: Vec<Vec<MachineSlot>> = vec![Vec::new(); m];
     // `cursor` is the fill position on the current machine, relative to t0.
     let mut machine = 0usize;
     let mut cursor = 0.0_f64;
-    for &(job, rate) in &seg.rates {
+    for &(job, rate) in seg.rates {
         if rate <= 0.0 {
             continue;
         }
@@ -85,7 +85,7 @@ pub fn wrap_around(seg: &Segment, m: usize, speed: f64) -> Option<MachineAssignm
 /// Check the wrap-around invariants on an assignment: within each machine,
 /// slots are disjoint and inside the segment; and no job runs on two
 /// machines at overlapping times.
-pub fn verify_assignment(seg: &Segment, asg: &MachineAssignment) -> Result<(), String> {
+pub fn verify_assignment(seg: SegmentRef<'_>, asg: &MachineAssignment) -> Result<(), String> {
     let tol = 1e-9 * seg.duration().max(1.0);
     for (mi, mslots) in asg.slots.iter().enumerate() {
         let mut prev_end = seg.t0 - tol;
@@ -140,6 +140,8 @@ pub fn delivered_work(
 mod tests {
     use super::*;
 
+    use crate::profile::Segment;
+
     fn seg(t0: f64, t1: f64, rates: &[(JobId, f64)]) -> Segment {
         Segment {
             t0,
@@ -151,8 +153,8 @@ mod tests {
     #[test]
     fn single_job_full_machine() {
         let s = seg(0.0, 2.0, &[(0, 1.0)]);
-        let a = wrap_around(&s, 1, 1.0).unwrap();
-        verify_assignment(&s, &a).unwrap();
+        let a = wrap_around(s.as_ref(), 1, 1.0).unwrap();
+        verify_assignment(s.as_ref(), &a).unwrap();
         assert_eq!(
             a.slots[0],
             vec![MachineSlot {
@@ -168,8 +170,8 @@ mod tests {
         // RR with n=3, m=2: each rate 2/3 over duration 3 → 2 busy-units per
         // job, 6 total = exactly 2 machines × 3.
         let s = seg(0.0, 3.0, &[(0, 2.0 / 3.0), (1, 2.0 / 3.0), (2, 2.0 / 3.0)]);
-        let a = wrap_around(&s, 2, 1.0).unwrap();
-        verify_assignment(&s, &a).unwrap();
+        let a = wrap_around(s.as_ref(), 2, 1.0).unwrap();
+        verify_assignment(s.as_ref(), &a).unwrap();
         let w = delivered_work(&a, 1.0);
         for j in 0..3u32 {
             assert!((w[&j] - 2.0).abs() < 1e-9, "job {j}: {}", w[&j]);
@@ -183,8 +185,8 @@ mod tests {
     fn respects_speed_scaling() {
         // Speed 2: a rate-1.0 job only needs half the wall-clock.
         let s = seg(0.0, 4.0, &[(0, 1.0), (1, 1.0)]);
-        let a = wrap_around(&s, 1, 2.0).unwrap();
-        verify_assignment(&s, &a).unwrap();
+        let a = wrap_around(s.as_ref(), 1, 2.0).unwrap();
+        verify_assignment(s.as_ref(), &a).unwrap();
         let w = delivered_work(&a, 2.0);
         assert!((w[&0] - 4.0).abs() < 1e-9);
         assert!((w[&1] - 4.0).abs() < 1e-9);
@@ -193,8 +195,8 @@ mod tests {
     #[test]
     fn zero_rate_jobs_are_skipped() {
         let s = seg(0.0, 1.0, &[(0, 1.0), (1, 0.0)]);
-        let a = wrap_around(&s, 1, 1.0).unwrap();
-        verify_assignment(&s, &a).unwrap();
+        let a = wrap_around(s.as_ref(), 1, 1.0).unwrap();
+        verify_assignment(s.as_ref(), &a).unwrap();
         assert!(!delivered_work(&a, 1.0).contains_key(&1));
     }
 
@@ -202,10 +204,10 @@ mod tests {
     fn infeasible_rates_are_rejected() {
         // Per-job cap violated.
         let s = seg(0.0, 1.0, &[(0, 1.5)]);
-        assert!(wrap_around(&s, 2, 1.0).is_none());
+        assert!(wrap_around(s.as_ref(), 2, 1.0).is_none());
         // Total cap violated.
         let s = seg(0.0, 1.0, &[(0, 1.0), (1, 1.0), (2, 1.0)]);
-        assert!(wrap_around(&s, 2, 1.0).is_none());
+        assert!(wrap_around(s.as_ref(), 2, 1.0).is_none());
     }
 
     #[test]
@@ -226,7 +228,7 @@ mod tests {
                 }],
             ],
         };
-        assert!(verify_assignment(&s, &bad).is_err());
+        assert!(verify_assignment(s.as_ref(), &bad).is_err());
         // Overlap within one machine.
         let bad = MachineAssignment {
             slots: vec![vec![
@@ -242,6 +244,6 @@ mod tests {
                 },
             ]],
         };
-        assert!(verify_assignment(&s, &bad).is_err());
+        assert!(verify_assignment(s.as_ref(), &bad).is_err());
     }
 }

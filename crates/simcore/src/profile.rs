@@ -5,12 +5,21 @@
 //! analysis (the dual-fitting machinery in `tf-core`, the schedule
 //! validator, fairness time series) consumes profiles rather than
 //! re-simulating.
+//!
+//! Internally the per-segment `(job, rate)` lists live in one flat arena
+//! shared by all segments, so recording a segment is an arena append
+//! rather than a fresh `Vec` allocation — the engine records one segment
+//! per event, and per-event allocation dominated profiling cost before
+//! this layout. Segments are exposed as borrowed [`SegmentRef`] views;
+//! the owned [`Segment`] remains as a convenience for construction in
+//! tests and for single-segment utilities (McNaughton realization).
 
 use crate::job::JobId;
 use serde::{Deserialize, Serialize};
 
-/// One maximal interval `[t0, t1)` during which the alive set and all rates
-/// are constant.
+/// One maximal interval `[t0, t1)` during which the alive set and all
+/// rates are constant — the *owned* form, used to build profiles by hand
+/// ([`Profile::from_segments`]) and as input to single-segment utilities.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Segment {
     /// Segment start time.
@@ -24,6 +33,59 @@ pub struct Segment {
 }
 
 impl Segment {
+    /// Borrowed view of this segment.
+    #[inline]
+    pub fn as_ref(&self) -> SegmentRef<'_> {
+        SegmentRef {
+            t0: self.t0,
+            t1: self.t1,
+            rates: &self.rates,
+        }
+    }
+
+    /// Segment length `t1 − t0`.
+    #[inline]
+    pub fn duration(&self) -> f64 {
+        self.as_ref().duration()
+    }
+
+    /// Number of alive jobs `n_t` in this segment.
+    #[inline]
+    pub fn n_alive(&self) -> usize {
+        self.as_ref().n_alive()
+    }
+
+    /// Whether the segment is *overloaded* in the paper's sense
+    /// (`|A(t)| ≥ m`, all machines busy under RR).
+    #[inline]
+    pub fn overloaded(&self, m: usize) -> bool {
+        self.as_ref().overloaded(m)
+    }
+
+    /// Rate of `job` in this segment, or `None` if it is not alive here.
+    pub fn rate_of(&self, job: JobId) -> Option<f64> {
+        self.as_ref().rate_of(job)
+    }
+
+    /// Total processing rate in this segment.
+    pub fn total_rate(&self) -> f64 {
+        self.as_ref().total_rate()
+    }
+}
+
+/// Borrowed view of one profile segment: times plus a slice into the
+/// profile's rate arena. `Copy`, so iteration hands these out by value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentRef<'a> {
+    /// Segment start time.
+    pub t0: f64,
+    /// Segment end time (`> t0`).
+    pub t1: f64,
+    /// `(job, rate)` per alive job, sorted by job id (= arrival order).
+    pub rates: &'a [(JobId, f64)],
+}
+
+impl SegmentRef<'_> {
     /// Segment length `t1 − t0`.
     #[inline]
     pub fn duration(&self) -> f64 {
@@ -55,14 +117,40 @@ impl Segment {
     pub fn total_rate(&self) -> f64 {
         self.rates.iter().map(|&(_, r)| r).sum()
     }
+
+    /// Owned copy of this segment.
+    pub fn to_owned(&self) -> Segment {
+        Segment {
+            t0: self.t0,
+            t1: self.t1,
+            rates: self.rates.to_vec(),
+        }
+    }
+}
+
+/// Index entry of one segment: its times and its slice of the arena.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Span {
+    t0: f64,
+    t1: f64,
+    /// First entry in the arena.
+    start: usize,
+    /// Number of arena entries (= alive jobs).
+    len: usize,
 }
 
 /// The complete piecewise-constant execution record of one simulation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Segments are contiguous and ordered: `segment(i).t1 == segment(i+1).t0`
+/// except across idle gaps (no alive jobs), which are omitted. Access them
+/// through [`Profile::segments`] / [`Profile::segment`]; the backing
+/// storage is a flat arena, not per-segment vectors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Profile {
-    /// Contiguous, ordered segments; `segments[i].t1 == segments[i+1].t0`
-    /// except across idle gaps (no alive jobs), which are omitted.
-    pub segments: Vec<Segment>,
+    /// Per-segment index into `arena`.
+    spans: Vec<Span>,
+    /// All segments' `(job, rate)` entries, back to back.
+    arena: Vec<(JobId, f64)>,
     /// Machine count the schedule ran on.
     pub m: usize,
     /// Machine speed the schedule ran at.
@@ -70,27 +158,121 @@ pub struct Profile {
 }
 
 impl Profile {
+    /// An empty profile for the given machine environment.
+    pub fn new(m: usize, speed: f64) -> Self {
+        Profile {
+            spans: Vec::new(),
+            arena: Vec::new(),
+            m,
+            speed,
+        }
+    }
+
+    /// Build a profile from owned segments (test/bench convenience; the
+    /// engine records directly into the arena via [`Profile::push`]).
+    pub fn from_segments(segments: Vec<Segment>, m: usize, speed: f64) -> Self {
+        let mut p = Profile::new(m, speed);
+        for s in segments {
+            p.push(s.t0, s.t1, s.rates);
+        }
+        p
+    }
+
+    /// Append a segment: `(job, rate)` entries go into the shared arena,
+    /// so the only per-call cost is an amortized slice append.
+    pub fn push(&mut self, t0: f64, t1: f64, rates: impl IntoIterator<Item = (JobId, f64)>) {
+        let start = self.arena.len();
+        self.arena.extend(rates);
+        self.spans.push(Span {
+            t0,
+            t1,
+            start,
+            len: self.arena.len() - start,
+        });
+    }
+
+    /// Extend the last segment's end to `t` if `t` is beyond it. The
+    /// engine uses this to keep the profile contiguous after snapping time
+    /// exactly onto an arrival instant; the adjustment is floating-point
+    /// noise by construction (asserted at the call site).
+    pub fn stretch_last_end(&mut self, t: f64) {
+        if let Some(s) = self.spans.last_mut() {
+            s.t1 = s.t1.max(t);
+        }
+    }
+
+    /// Number of segments.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True iff the profile has no segments.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The `i`-th segment.
+    ///
+    /// # Panics
+    /// If `i >= self.len()`.
+    #[inline]
+    pub fn segment(&self, i: usize) -> SegmentRef<'_> {
+        let s = &self.spans[i];
+        SegmentRef {
+            t0: s.t0,
+            t1: s.t1,
+            rates: &self.arena[s.start..s.start + s.len],
+        }
+    }
+
+    /// Iterate over all segments in time order.
+    pub fn segments(&self) -> Segments<'_> {
+        Segments {
+            profile: self,
+            front: 0,
+            back: self.spans.len(),
+        }
+    }
+
+    /// The first segment, if any.
+    pub fn first(&self) -> Option<SegmentRef<'_>> {
+        (!self.is_empty()).then(|| self.segment(0))
+    }
+
+    /// The last segment, if any.
+    pub fn last(&self) -> Option<SegmentRef<'_>> {
+        self.len().checked_sub(1).map(|i| self.segment(i))
+    }
+
+    /// Mutable access to the `i`-th segment's `(job, rate)` entries —
+    /// for tests that tamper with recorded profiles to exercise
+    /// validators. Not used by the engine.
+    pub fn rates_mut(&mut self, i: usize) -> &mut [(JobId, f64)] {
+        let s = &self.spans[i];
+        &mut self.arena[s.start..s.start + s.len]
+    }
+
     /// Total work processed across all segments (`Σ rate·duration`).
     pub fn total_work(&self) -> f64 {
-        self.segments
-            .iter()
-            .map(|s| s.total_rate() * s.duration())
-            .sum()
+        self.segments().map(|s| s.total_rate() * s.duration()).sum()
     }
 
     /// Work received by `job` over the whole profile.
     pub fn work_of(&self, job: JobId) -> f64 {
-        self.segments
-            .iter()
+        self.segments()
             .filter_map(|s| s.rate_of(job).map(|r| r * s.duration()))
             .sum()
     }
 
     /// The segment covering time `t` (segments are half-open `[t0, t1)`),
     /// or `None` during idle gaps / outside the horizon.
-    pub fn segment_at(&self, t: f64) -> Option<&Segment> {
-        let i = self.segments.partition_point(|s| s.t1 <= t);
-        self.segments.get(i).filter(|s| s.t0 <= t && t < s.t1)
+    pub fn segment_at(&self, t: f64) -> Option<SegmentRef<'_>> {
+        let i = self.spans.partition_point(|s| s.t1 <= t);
+        (i < self.spans.len())
+            .then(|| self.segment(i))
+            .filter(|s| s.t0 <= t && t < s.t1)
     }
 
     /// Number of alive jobs at time `t` (0 during idle gaps).
@@ -100,35 +282,42 @@ impl Profile {
 
     /// End of the last segment (makespan), or 0 for an empty profile.
     pub fn end(&self) -> f64 {
-        self.segments.last().map_or(0.0, |s| s.t1)
+        self.spans.last().map_or(0.0, |s| s.t1)
     }
 
     /// Merge adjacent segments with identical alive sets and rates;
     /// the engine already emits maximal segments for piecewise-constant
     /// policies, but adaptive stepping of continuous policies produces many
     /// splittable neighbors. `rate_tol` is the absolute per-job tolerance
-    /// for "identical".
+    /// for "identical". Compacts the arena as a side effect.
     pub fn coalesce(&mut self, rate_tol: f64) {
-        let mut out: Vec<Segment> = Vec::with_capacity(self.segments.len());
-        for seg in self.segments.drain(..) {
-            match out.last_mut() {
-                Some(last)
-                    if last.t1 == seg.t0
-                        && last.rates.len() == seg.rates.len()
-                        && last
-                            .rates
-                            .iter()
-                            .zip(&seg.rates)
-                            .all(|(&(i1, r1), &(i2, r2))| {
-                                i1 == i2 && (r1 - r2).abs() <= rate_tol
-                            }) =>
-                {
-                    last.t1 = seg.t1;
-                }
-                _ => out.push(seg),
+        let mut spans: Vec<Span> = Vec::with_capacity(self.spans.len());
+        let mut arena: Vec<(JobId, f64)> = Vec::with_capacity(self.arena.len());
+        for s in &self.spans {
+            let rates = &self.arena[s.start..s.start + s.len];
+            let mergeable = spans.last().is_some_and(|last: &Span| {
+                last.t1 == s.t0
+                    && last.len == s.len
+                    && arena[last.start..last.start + last.len]
+                        .iter()
+                        .zip(rates)
+                        .all(|(&(i1, r1), &(i2, r2))| i1 == i2 && (r1 - r2).abs() <= rate_tol)
+            });
+            if mergeable {
+                spans.last_mut().unwrap().t1 = s.t1;
+            } else {
+                let start = arena.len();
+                arena.extend_from_slice(rates);
+                spans.push(Span {
+                    t0: s.t0,
+                    t1: s.t1,
+                    start,
+                    len: s.len,
+                });
             }
         }
-        self.segments = out;
+        self.spans = spans;
+        self.arena = arena;
     }
 
     /// Per-job alive interval `[r_j, C_j]` inferred from the profile:
@@ -137,7 +326,7 @@ impl Profile {
     pub fn alive_interval(&self, job: JobId) -> Option<(f64, f64)> {
         let mut first = None;
         let mut last = None;
-        for s in &self.segments {
+        for s in self.segments() {
             if s.rate_of(job).is_some() {
                 if first.is_none() {
                     first = Some(s.t0);
@@ -148,6 +337,52 @@ impl Profile {
         Some((first?, last?))
     }
 }
+
+/// Equality is over the *logical* segments, independent of arena layout
+/// (coalescing or hand-construction may pack the arena differently).
+impl PartialEq for Profile {
+    fn eq(&self, other: &Self) -> bool {
+        self.m == other.m
+            && self.speed == other.speed
+            && self.len() == other.len()
+            && self.segments().zip(other.segments()).all(|(a, b)| a == b)
+    }
+}
+
+/// Iterator over a profile's segments (see [`Profile::segments`]).
+pub struct Segments<'a> {
+    profile: &'a Profile,
+    front: usize,
+    back: usize,
+}
+
+impl<'a> Iterator for Segments<'a> {
+    type Item = SegmentRef<'a>;
+
+    fn next(&mut self) -> Option<SegmentRef<'a>> {
+        (self.front < self.back).then(|| {
+            let s = self.profile.segment(self.front);
+            self.front += 1;
+            s
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.back - self.front;
+        (n, Some(n))
+    }
+}
+
+impl DoubleEndedIterator for Segments<'_> {
+    fn next_back(&mut self) -> Option<Self::Item> {
+        (self.front < self.back).then(|| {
+            self.back -= 1;
+            self.profile.segment(self.back)
+        })
+    }
+}
+
+impl ExactSizeIterator for Segments<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -162,11 +397,7 @@ mod tests {
     }
 
     fn profile(segs: Vec<Segment>) -> Profile {
-        Profile {
-            segments: segs,
-            m: 1,
-            speed: 1.0,
-        }
+        Profile::from_segments(segs, 1, 1.0)
     }
 
     #[test]
@@ -180,6 +411,9 @@ mod tests {
         assert_eq!(s.total_rate(), 0.75);
         assert!(s.overloaded(2));
         assert!(!s.overloaded(3));
+        // The borrowed view agrees with the owned segment.
+        let r = s.as_ref();
+        assert_eq!(r.to_owned(), s);
     }
 
     #[test]
@@ -214,8 +448,10 @@ mod tests {
             seg(2.0, 3.0, &[(0, 1.0)]),
         ]);
         p.coalesce(1e-12);
-        assert_eq!(p.segments.len(), 2);
-        assert_eq!(p.segments[0].t1, 2.0);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.segment(0).t1, 2.0);
+        // Coalescing compacted the arena: 2 + 1 entries remain.
+        assert_eq!(p.segments().map(|s| s.n_alive()).sum::<usize>(), 3);
     }
 
     #[test]
@@ -226,7 +462,7 @@ mod tests {
             seg(3.0, 4.0, &[(0, 0.6)]), // different rate: no merge
         ]);
         p.coalesce(1e-12);
-        assert_eq!(p.segments.len(), 3);
+        assert_eq!(p.len(), 3);
     }
 
     #[test]
@@ -238,5 +474,57 @@ mod tests {
         assert_eq!(p.alive_interval(1), Some((0.0, 2.0)));
         assert_eq!(p.alive_interval(0), Some((0.0, 1.0)));
         assert_eq!(p.alive_interval(7), None);
+    }
+
+    #[test]
+    fn push_and_iterate() {
+        let mut p = Profile::new(2, 1.5);
+        p.push(0.0, 1.0, [(0, 1.0), (1, 0.5)]);
+        p.push(1.0, 2.5, [(1, 1.0)]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.segments().len(), 2);
+        let segs: Vec<_> = p.segments().collect();
+        assert_eq!(segs[0].rates, [(0, 1.0), (1, 0.5)]);
+        assert_eq!(segs[1].rates, [(1, 1.0)]);
+        // Reverse iteration sees the same segments.
+        let rev: Vec<_> = p.segments().rev().collect();
+        assert_eq!(rev[0], segs[1]);
+        assert_eq!(rev[1], segs[0]);
+        assert_eq!(p.first().unwrap(), segs[0]);
+        assert_eq!(p.last().unwrap(), segs[1]);
+    }
+
+    #[test]
+    fn stretch_last_end_only_grows() {
+        let mut p = Profile::new(1, 1.0);
+        p.stretch_last_end(5.0); // no segments: no-op
+        assert!(p.is_empty());
+        p.push(0.0, 1.0, [(0, 1.0)]);
+        p.stretch_last_end(0.5); // earlier than t1: no-op
+        assert_eq!(p.last().unwrap().t1, 1.0);
+        p.stretch_last_end(1.25);
+        assert_eq!(p.last().unwrap().t1, 1.25);
+    }
+
+    #[test]
+    fn logical_equality_ignores_arena_layout() {
+        let a = profile(vec![seg(0.0, 1.0, &[(0, 0.5)]), seg(1.0, 2.0, &[(0, 0.5)])]);
+        let mut b = a.clone();
+        b.coalesce(0.0); // no merge possible? identical rates — merges!
+        assert_ne!(a, b); // merged: different logical segments
+        let mut c = a.clone();
+        c.coalesce(-1.0); // negative tolerance: nothing merges, layout same
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = profile(vec![
+            seg(0.0, 1.5, &[(0, 0.25), (1, 0.75)]),
+            seg(1.5, 2.0, &[(1, 1.0)]),
+        ]);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Profile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
     }
 }

@@ -19,6 +19,7 @@
 use crate::alloc::MachineConfig;
 use crate::error::SimError;
 use crate::schedule::Schedule;
+use crate::stats::SimStats;
 use crate::trace::Trace;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
@@ -176,6 +177,7 @@ pub fn simulate_quantum_rr(
         flow,
         profile: None,
         events,
+        stats: SimStats::default(),
     })
 }
 
@@ -257,6 +259,7 @@ pub fn simulate_drr(trace: &Trace, cfg: MachineConfig, quantum: f64) -> Result<S
         flow,
         profile: None,
         events,
+        stats: SimStats::default(),
     })
 }
 

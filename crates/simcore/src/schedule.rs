@@ -2,6 +2,7 @@
 
 use crate::alloc::MachineConfig;
 use crate::profile::Profile;
+use crate::stats::SimStats;
 use serde::{Deserialize, Serialize};
 
 /// The result of simulating one policy on one trace.
@@ -21,6 +22,9 @@ pub struct Schedule {
     /// Number of engine events processed (arrivals, completions, reviews,
     /// adaptive steps) — a cost/diagnostic metric.
     pub events: u64,
+    /// Per-run observability counters (event breakdown by step reason,
+    /// policy time, peak alive set, segments recorded).
+    pub stats: SimStats,
 }
 
 impl Schedule {
@@ -78,6 +82,7 @@ mod tests {
             flow: flows.to_vec(),
             profile: None,
             events: 0,
+            stats: SimStats::default(),
         }
     }
 

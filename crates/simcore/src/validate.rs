@@ -96,7 +96,7 @@ fn validate_profile_against(
     let rtol = rel_tol * cap.max(1.0);
 
     let mut prev_end: Option<f64> = None;
-    for (si, seg) in profile.segments.iter().enumerate() {
+    for (si, seg) in profile.segments().enumerate() {
         if seg.t1 <= seg.t0 {
             rep.issues
                 .push(format!("segment {si}: non-positive duration"));
@@ -112,7 +112,7 @@ fn validate_profile_against(
         prev_end = Some(seg.t1);
 
         let mut total = 0.0;
-        for &(id, r) in &seg.rates {
+        for &(id, r) in seg.rates {
             if !(0.0 - rtol..=cap + rtol).contains(&r) {
                 rep.issues
                     .push(format!("segment {si}: job {id} rate {r} outside [0,{cap}]"));
@@ -227,7 +227,7 @@ mod tests {
             SimOptions::with_profile(),
         )
         .unwrap();
-        s.profile.as_mut().unwrap().segments[0].rates[0].1 = 5.0;
+        s.profile.as_mut().unwrap().rates_mut(0)[0].1 = 5.0;
         let rep = validate_schedule(&t, &s, 1e-7);
         assert!(rep.issues.iter().any(|i| i.contains("outside [0,")));
     }

@@ -1,0 +1,220 @@
+//! Engine edge cases: degenerate job sizes, exact event ties, abusive
+//! review hints, event-budget accounting, and the arrival-snap profile
+//! stretch. These pin behaviours the unit tests exercise only implicitly.
+
+use tf_simcore::{
+    simulate, AliveJob, MachineConfig, RateAllocator, SimError, SimOptions, Trace, ABS_EPS,
+};
+
+/// Processor sharing (ideal RR): the paper's policy, reimplemented locally
+/// so these tests don't depend on the policies crate.
+struct Rr;
+
+impl RateAllocator for Rr {
+    fn name(&self) -> &'static str {
+        "RR"
+    }
+    fn allocate(&mut self, _now: f64, alive: &[AliveJob], cfg: &MachineConfig, rates: &mut [f64]) {
+        let share = (cfg.total_cap() / alive.len() as f64).min(cfg.job_cap());
+        rates.fill(share);
+    }
+}
+
+/// A policy that always asks to be reviewed "now" — the degenerate hint
+/// the engine must clamp to a minimal positive advance.
+struct ZeroReview;
+
+impl RateAllocator for ZeroReview {
+    fn name(&self) -> &'static str {
+        "ZeroReview"
+    }
+    fn allocate(&mut self, _now: f64, alive: &[AliveJob], cfg: &MachineConfig, rates: &mut [f64]) {
+        let share = (cfg.total_cap() / alive.len() as f64).min(cfg.job_cap());
+        rates.fill(share);
+    }
+    fn review_in(&self, _now: f64, _alive: &[AliveJob], _cfg: &MachineConfig) -> Option<f64> {
+        Some(0.0)
+    }
+}
+
+/// Like [`ZeroReview`] but only for the first call — afterwards it behaves
+/// event-driven, so the run must succeed after one clamped micro-step.
+struct ZeroReviewOnce {
+    fired: std::cell::Cell<bool>,
+}
+
+impl RateAllocator for ZeroReviewOnce {
+    fn name(&self) -> &'static str {
+        "ZeroReviewOnce"
+    }
+    fn allocate(&mut self, _now: f64, alive: &[AliveJob], cfg: &MachineConfig, rates: &mut [f64]) {
+        let share = (cfg.total_cap() / alive.len() as f64).min(cfg.job_cap());
+        rates.fill(share);
+    }
+    fn review_in(&self, _now: f64, _alive: &[AliveJob], _cfg: &MachineConfig) -> Option<f64> {
+        if self.fired.replace(true) {
+            None
+        } else {
+            Some(0.0)
+        }
+    }
+    fn reset(&mut self) {
+        self.fired.set(false);
+    }
+}
+
+#[test]
+fn zero_size_jobs_are_rejected_at_trace_construction() {
+    assert!(matches!(
+        Trace::from_pairs([(0.0, 0.0)]),
+        Err(SimError::BadJobSize { .. })
+    ));
+    assert!(matches!(
+        Trace::from_pairs([(0.0, 1.0), (1.0, -2.0)]),
+        Err(SimError::BadJobSize { .. })
+    ));
+}
+
+#[test]
+fn tiny_jobs_complete_without_event_blowup() {
+    // Sizes near ABS_EPS stress the completion threshold
+    // `remaining ≤ size·REL_EPS + ABS_EPS`: each job must finish in O(1)
+    // events, not spin the zero-step guard.
+    let t = Trace::from_pairs([(0.0, 1e-9), (0.0, 1.0), (0.5, 1e-12)]).unwrap();
+    let s = simulate(&t, &mut Rr, MachineConfig::new(1), SimOptions::default()).unwrap();
+    assert!(s.completion.iter().all(|c| c.is_finite()));
+    assert!(s.flow.iter().all(|&f| f >= 0.0));
+    assert!(s.events < 64, "tiny jobs caused {} events", s.events);
+}
+
+#[test]
+fn exact_completion_arrival_tie_is_one_step() {
+    // Job 0 completes at t=2.0 exactly when job 1 arrives: the engine
+    // takes the tied event in one step, admits the arrival at the snapped
+    // instant, and never runs both jobs concurrently.
+    let t = Trace::from_pairs([(0.0, 2.0), (2.0, 1.0)]).unwrap();
+    let s = simulate(&t, &mut Rr, MachineConfig::new(1), SimOptions::default()).unwrap();
+    assert_eq!(s.completion[0], 2.0);
+    assert_eq!(s.completion[1], 3.0);
+    assert_eq!(s.flow, vec![2.0, 1.0]);
+    assert_eq!(s.stats.peak_alive, 1, "jobs overlapped on an exact tie");
+}
+
+#[test]
+fn simultaneous_completions_resolve_in_one_compaction() {
+    // Four identical jobs under RR all hit zero remaining at once.
+    let t = Trace::from_pairs([(0.0, 1.0), (0.0, 1.0), (0.0, 1.0), (0.0, 1.0)]).unwrap();
+    let s = simulate(&t, &mut Rr, MachineConfig::new(1), SimOptions::default()).unwrap();
+    for c in &s.completion {
+        assert!((c - 4.0).abs() < 1e-9, "{:?}", s.completion);
+    }
+    // 4 admissions + 1 shared completion step.
+    assert_eq!(s.stats.jobs_admitted, 4);
+    assert_eq!(s.stats.completion_steps, 1);
+}
+
+#[test]
+fn zero_review_hint_is_clamped_not_spun() {
+    // A policy demanding review "now" forever cannot make the engine hang:
+    // each step is clamped to a positive advance and the event budget
+    // eventually trips deterministically.
+    let t = Trace::from_pairs([(0.0, 1.0)]).unwrap();
+    let r = simulate(
+        &t,
+        &mut ZeroReview,
+        MachineConfig::new(1),
+        SimOptions {
+            max_events: Some(500),
+            ..Default::default()
+        },
+    );
+    assert!(
+        matches!(r, Err(SimError::EventBudgetExhausted { .. })),
+        "{r:?}"
+    );
+}
+
+#[test]
+fn one_zero_review_hint_costs_one_micro_step() {
+    let t = Trace::from_pairs([(0.0, 1.0)]).unwrap();
+    let mut p = ZeroReviewOnce {
+        fired: std::cell::Cell::new(false),
+    };
+    let s = simulate(&t, &mut p, MachineConfig::new(1), SimOptions::default()).unwrap();
+    assert!((s.completion[0] - 1.0).abs() < 1e-9);
+    assert_eq!(s.stats.review_steps, 1);
+    assert_eq!(s.stats.completion_steps, 1);
+}
+
+#[test]
+fn events_equal_admissions_plus_steps() {
+    // `Schedule::events` must reconcile exactly with the SimStats
+    // breakdown: every event is either an admission or a step.
+    let t = Trace::from_pairs([(0.0, 2.0), (0.5, 1.0), (1.0, 3.0), (4.0, 0.5)]).unwrap();
+    let s = simulate(&t, &mut Rr, MachineConfig::new(2), SimOptions::default()).unwrap();
+    assert_eq!(s.events, s.stats.jobs_admitted + s.stats.steps());
+    assert_eq!(s.stats.jobs_admitted, 4);
+    assert_eq!(s.stats.peak_alive, 3);
+    assert_eq!(s.stats.adaptive_steps, 0);
+    assert_eq!(s.stats.review_steps, 0);
+}
+
+#[test]
+fn event_budget_counts_admissions() {
+    // A budget smaller than the job count trips during admission, not
+    // after: the returned count must exceed the budget by at most the
+    // admissions of the current batch plus the tripping step.
+    let t = Trace::from_pairs([(0.0, 1.0), (0.0, 1.0), (0.0, 1.0), (0.0, 1.0)]).unwrap();
+    let r = simulate(
+        &t,
+        &mut Rr,
+        MachineConfig::new(1),
+        SimOptions {
+            max_events: Some(2),
+            ..Default::default()
+        },
+    );
+    match r {
+        Err(SimError::EventBudgetExhausted { events }) => assert_eq!(events, 4),
+        other => panic!("expected budget exhaustion, got {other:?}"),
+    }
+}
+
+/// Satellite (c): the arrival-snap path. Arrivals at instants that are
+/// floating-point near-ties with completion times force `time = at`
+/// snapping with a non-zero (but noise-sized) stretch of the last profile
+/// segment. Total recorded work must still equal the trace's total size —
+/// the stretch may only ever absorb rounding noise, not real work.
+#[test]
+fn arrival_snap_profile_accounts_all_work() {
+    // 0.1 is not representable: accumulated completions drift by ulps
+    // from the arrivals at k·0.1, creating adversarial near-ties.
+    let mut jobs = Vec::new();
+    for i in 0..50 {
+        jobs.push((0.1 * i as f64, 0.1));
+        if i % 3 == 0 {
+            jobs.push((0.1 * i as f64 + 1e-13, 0.05));
+        }
+    }
+    let t = Trace::from_pairs(jobs).unwrap();
+    let s = simulate(
+        &t,
+        &mut Rr,
+        MachineConfig::new(1),
+        SimOptions::with_profile(),
+    )
+    .unwrap();
+    let p = s.profile.as_ref().unwrap();
+    let recorded = p.total_work();
+    let expected = t.total_size();
+    assert!(
+        (recorded - expected).abs() <= 1e-9 * expected,
+        "profile work {recorded} vs trace size {expected}"
+    );
+    // Contiguity survives the snapping (within noise).
+    for (a, b) in p.segments().zip(p.segments().skip(1)) {
+        assert!(b.t0 >= a.t1 - ABS_EPS, "gap: {} -> {}", a.t1, b.t0);
+        assert!(b.t0 <= a.t1 + 1e-9, "overlap: {} -> {}", a.t1, b.t0);
+    }
+    assert!((p.end() - s.makespan()).abs() <= 1e-9);
+}

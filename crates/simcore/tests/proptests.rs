@@ -99,11 +99,11 @@ proptest! {
     fn rr_segments_are_realizable((t, cfg) in (arb_trace(), arb_cfg())) {
         let s = simulate(&t, &mut Rr, cfg, SimOptions::with_profile()).unwrap();
         let p = s.profile.unwrap();
-        for seg in &p.segments {
+        for seg in p.segments() {
             let a = wrap_around(seg, cfg.m, cfg.speed).expect("feasible segment");
             verify_assignment(seg, &a).unwrap();
             let w = delivered_work(&a, cfg.speed);
-            for &(id, r) in &seg.rates {
+            for &(id, r) in seg.rates {
                 let got = w.get(&id).copied().unwrap_or(0.0);
                 prop_assert!((got - r * seg.duration()).abs() < 1e-6);
             }

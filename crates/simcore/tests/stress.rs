@@ -35,7 +35,7 @@ fn extreme_size_ratio() {
 
 #[test]
 fn thousand_simultaneous_jobs() {
-    let t = Trace::from_pairs(std::iter::repeat((0.0, 1.0)).take(1000)).unwrap();
+    let t = Trace::from_pairs(std::iter::repeat_n((0.0, 1.0), 1000)).unwrap();
     let s = simulate(&t, &mut Rr, MachineConfig::new(1), SimOptions::default()).unwrap();
     for c in &s.completion {
         assert!((c - 1000.0).abs() < 1e-6, "{c}");
@@ -111,9 +111,9 @@ fn profile_segments_are_bounded_by_events() {
     )
     .unwrap();
     let p = s.profile.as_ref().unwrap();
-    assert!(p.segments.len() as u64 <= s.events);
+    assert!(p.len() as u64 <= s.events);
     // Contiguity within busy periods.
-    for w in p.segments.windows(2) {
-        assert!(w[1].t0 >= w[0].t1 - 1e-9);
+    for (a, b) in p.segments().zip(p.segments().skip(1)) {
+        assert!(b.t0 >= a.t1 - 1e-9);
     }
 }

@@ -28,7 +28,13 @@ fn main() {
         "\nworst certified l2 ratio found for RR at speed 1: {:.4} ({} instances evaluated)",
         res.ratio, res.evaluated
     );
-    println!("restart bests: {:?}", res.restart_ratios.iter().map(|r| (r * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!(
+        "restart bests: {:?}",
+        res.restart_ratios
+            .iter()
+            .map(|r| (r * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
     println!("\nthe mined instance (arrival, size):");
     for j in res.trace.jobs() {
         println!("  job {}: ({}, {})", j.id, j.arrival, j.size);
@@ -36,8 +42,13 @@ fn main() {
 
     // Show what RR does on it.
     let mut rr = RoundRobin::new();
-    let sched = simulate(&res.trace, &mut rr, MachineConfig::new(1), SimOptions::with_profile())
-        .unwrap();
+    let sched = simulate(
+        &res.trace,
+        &mut rr,
+        MachineConfig::new(1),
+        SimOptions::with_profile(),
+    )
+    .unwrap();
     println!("\nRR schedule (McNaughton view):");
     print!("{}", render_gantt(sched.profile.as_ref().unwrap(), 64));
 

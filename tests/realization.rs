@@ -19,7 +19,7 @@ fn entire_rr_profile_realizes_on_physical_machines() {
     // Each segment maps to a concrete 3-machine timetable delivering
     // exactly the fractional work, with no job on two machines at once.
     let mut realized = vec![0.0; trace.len()];
-    for seg in &profile.segments {
+    for seg in profile.segments() {
         let asg = wrap_around(seg, cfg.m, cfg.speed).expect("feasible segment");
         verify_assignment(seg, &asg).unwrap();
         for (job, w) in delivered_work(&asg, cfg.speed) {

@@ -1,0 +1,353 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the macro/builder surface (`criterion_group!`, `criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`) and measures wall-clock ns/iter with a warm-up phase and
+//! a fixed measurement window. No statistics beyond mean/median/min — this
+//! is a baseline-tracking tool, not a rigorous sampler.
+//!
+//! Set `BENCH_JSON_OUT=/path/file.json` to append one JSON record per
+//! benchmark: `{"group","bench","mean_ns","median_ns","min_ns","iters"}`.
+//! Set `BENCH_MEASURE_MS` / `BENCH_WARMUP_MS` to override every group's
+//! timing windows (useful for quick smoke runs).
+
+use std::fmt;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter as the label.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group name.
+    pub group: String,
+    /// Benchmark label within the group.
+    pub bench: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Median of the per-sample means.
+    pub median_ns: f64,
+    /// Fastest per-sample mean.
+    pub min_ns: f64,
+    /// Total iterations measured.
+    pub iters: u64,
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            warm_up: env_ms("BENCH_WARMUP_MS").unwrap_or(Duration::from_millis(300)),
+            measure: env_ms("BENCH_MEASURE_MS").unwrap_or(Duration::from_secs(1)),
+            sample_size: 20,
+        }
+    }
+
+    /// Run a benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl fmt::Display, f: F) {
+        let mut g = self.benchmark_group("");
+        g.bench_function(name.to_string(), f);
+        g.finish();
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Write JSON records to `BENCH_JSON_OUT` (append), if set.
+    pub fn flush_json(&self) {
+        let Ok(path) = std::env::var("BENCH_JSON_OUT") else {
+            return;
+        };
+        let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        else {
+            eprintln!("criterion stand-in: cannot open {path}");
+            return;
+        };
+        for r in &self.results {
+            let _ = writeln!(
+                f,
+                "{{\"group\":{:?},\"bench\":{:?},\"mean_ns\":{:.1},\"median_ns\":{:.1},\"min_ns\":{:.1},\"iters\":{}}}",
+                r.group, r.bench, r.mean_ns, r.median_ns, r.min_ns, r.iters
+            );
+        }
+    }
+}
+
+fn env_ms(var: &str) -> Option<Duration> {
+    std::env::var(var)
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(Duration::from_millis)
+}
+
+/// A group of related benchmarks sharing timing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measure: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the warm-up duration (ignored if `BENCH_WARMUP_MS` is set).
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        if env_ms("BENCH_WARMUP_MS").is_none() {
+            self.warm_up = d;
+        }
+        self
+    }
+
+    /// Set the measurement duration (ignored if `BENCH_MEASURE_MS` is set).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        if env_ms("BENCH_MEASURE_MS").is_none() {
+            self.measure = d;
+        }
+        self
+    }
+
+    /// Set the number of samples the window is split into.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declare throughput (accepted for compatibility; unused).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Measure a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.warm_up, self.measure, self.sample_size);
+        f(&mut b);
+        self.record(id.to_string(), &b);
+        self
+    }
+
+    /// Measure a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.warm_up, self.measure, self.sample_size);
+        f(&mut b, input);
+        self.record(id.to_string(), &b);
+        self
+    }
+
+    /// Finish the group (results are recorded incrementally; this is a
+    /// no-op kept for API compatibility).
+    pub fn finish(&mut self) {}
+
+    fn record(&mut self, bench: String, b: &Bencher) {
+        let r = BenchResult {
+            group: self.name.clone(),
+            bench,
+            mean_ns: b.mean_ns,
+            median_ns: b.median_ns,
+            min_ns: b.min_ns,
+            iters: b.iters,
+        };
+        let label = if r.group.is_empty() {
+            r.bench.clone()
+        } else {
+            format!("{}/{}", r.group, r.bench)
+        };
+        println!(
+            "bench {label:<50} {:>12.1} ns/iter (median {:.1}, min {:.1}, {} iters)",
+            r.mean_ns, r.median_ns, r.min_ns, r.iters
+        );
+        self.criterion.results.push(r);
+    }
+}
+
+/// Throughput declaration (compatibility shim).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Runs and times the benchmarked closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    sample_size: usize,
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(warm_up: Duration, measure: Duration, sample_size: usize) -> Self {
+        Bencher {
+            warm_up,
+            measure,
+            sample_size,
+            mean_ns: 0.0,
+            median_ns: 0.0,
+            min_ns: 0.0,
+            iters: 0,
+        }
+    }
+
+    /// Time `f`, splitting the measurement window into samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also estimates per-iteration cost for batch sizing.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        let sample_window = self.measure.as_secs_f64() / self.sample_size as f64;
+        let batch = ((sample_window / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let mut total_iters = 0u64;
+        let start = Instant::now();
+        while samples.len() < self.sample_size && start.elapsed() < 2 * self.measure {
+            let s0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = s0.elapsed().as_secs_f64();
+            samples.push(dt * 1e9 / batch as f64);
+            total_iters += batch;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = samples.len().max(1);
+        self.mean_ns = samples.iter().sum::<f64>() / n as f64;
+        self.median_ns = samples.get(n / 2).copied().unwrap_or(0.0);
+        self.min_ns = samples.first().copied().unwrap_or(0.0);
+        self.iters = total_iters;
+    }
+
+    /// `iter_batched` compatibility: setup runs outside the timed section
+    /// only approximately (per batch, not per iteration).
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        self.iter(|| routine(setup()));
+    }
+}
+
+/// Batch sizing hint (compatibility shim).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+}
+
+/// Define a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+            criterion.flush_json();
+        }
+    };
+}
+
+/// Define `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes harness flags (e.g. `--bench`); accept and
+            // ignore them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        std::env::remove_var("BENCH_JSON_OUT");
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("t");
+            g.warm_up_time(Duration::from_millis(5));
+            g.measurement_time(Duration::from_millis(20));
+            g.sample_size(5);
+            g.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+            g.finish();
+        }
+        assert_eq!(c.results().len(), 1);
+        let r = &c.results()[0];
+        assert!(r.mean_ns > 0.0);
+        assert!(r.iters > 0);
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("k2", 100).to_string(), "k2/100");
+        assert_eq!(BenchmarkId::from_parameter(0.5).to_string(), "0.5");
+    }
+}

@@ -1,0 +1,304 @@
+#![allow(clippy::all)]
+
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the small slice of the parallel-iterator API this workspace
+//! uses (`par_iter().map(..).collect()`, `flat_map`, `into_par_iter` on
+//! vectors and ranges) with order-preserving fork/join over
+//! `std::thread::scope`. Work is split into one contiguous chunk per
+//! available core; that matches the coarse-grained simulation workloads the
+//! harness parallelizes (each item is a full simulate()/LP solve).
+//!
+//! Everything is eager: `map` runs its closure in parallel immediately and
+//! the result wraps a `Vec`. Subsequent combinators are therefore cheap
+//! sequential adapters, which keeps the type surface tiny.
+
+use std::num::NonZeroUsize;
+
+fn n_threads(items: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(4);
+    cores.min(items).max(1)
+}
+
+/// Order-preserving parallel map consuming a vector.
+fn par_map_vec<T: Send, U: Send, F: Fn(T) -> U + Sync>(items: Vec<T>, f: &F) -> Vec<U> {
+    let n = items.len();
+    let threads = n_threads(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut rest = items;
+    while rest.len() > chunk {
+        let tail = rest.split_off(chunk);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    chunks.push(rest);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("rayon stand-in worker panicked"));
+        }
+        out
+    })
+}
+
+/// A not-yet-mapped borrowed parallel iterator.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Parallel map; runs eagerly.
+    pub fn map<U: Send, F: Fn(&'a T) -> U + Sync>(self, f: F) -> ParResult<U> {
+        // Cannot use par_map_slice: the closure wants the 'a lifetime.
+        let n = self.items.len();
+        let threads = n_threads(n);
+        let out = if threads <= 1 {
+            self.items.iter().map(f).collect()
+        } else {
+            let chunk = n.div_ceil(threads);
+            let f = &f;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .items
+                    .chunks(chunk)
+                    .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<U>>()))
+                    .collect();
+                let mut out = Vec::with_capacity(n);
+                for h in handles {
+                    out.extend(h.join().expect("rayon stand-in worker panicked"));
+                }
+                out
+            })
+        };
+        ParResult { items: out }
+    }
+
+    /// Parallel flat-map; runs eagerly, preserving order.
+    pub fn flat_map<U: Send, I, F>(self, f: F) -> ParResult<U>
+    where
+        I: IntoIterator<Item = U>,
+        F: Fn(&'a T) -> I + Sync,
+    {
+        let nested = self.map(|t| f(t).into_iter().collect::<Vec<U>>());
+        ParResult {
+            items: nested.items.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Filter by a predicate (sequential: predicates here are cheap).
+    pub fn filter<F: Fn(&&'a T) -> bool + Sync>(self, pred: F) -> ParResult<&'a T> {
+        ParResult {
+            items: self.items.iter().filter(|t| pred(t)).collect(),
+        }
+    }
+
+    /// Copy out the items (compatibility).
+    pub fn cloned(self) -> ParResult<T>
+    where
+        T: Clone + Send,
+    {
+        ParResult {
+            items: self.items.to_vec(),
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// An evaluated parallel computation: an ordered `Vec` with iterator-like
+/// adapters.
+pub struct ParResult<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParResult<T> {
+    /// Parallel map over the already-evaluated items.
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParResult<U> {
+        ParResult {
+            items: par_map_vec(self.items, &f),
+        }
+    }
+
+    /// Parallel flat-map over the already-evaluated items.
+    pub fn flat_map<U: Send, I, F>(self, f: F) -> ParResult<U>
+    where
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Sync,
+    {
+        let nested = par_map_vec(self.items, &|t| f(t).into_iter().collect::<Vec<U>>());
+        ParResult {
+            items: nested.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Sequential filter.
+    pub fn filter<F: Fn(&T) -> bool>(self, pred: F) -> ParResult<T> {
+        ParResult {
+            items: self.items.into_iter().filter(pred).collect(),
+        }
+    }
+
+    /// Collect into any `FromIterator` container.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sum the items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Fold-style reduction (sequential; identity taken once).
+    pub fn reduce<ID: FnOnce() -> T, OP: Fn(T, T) -> T>(self, identity: ID, op: OP) -> T {
+        self.items.into_iter().fold(identity(), op)
+    }
+
+    /// Minimum by a comparison function.
+    pub fn min_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(self, cmp: F) -> Option<T> {
+        self.items.into_iter().min_by(cmp)
+    }
+
+    /// Maximum by a comparison function.
+    pub fn max_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(self, cmp: F) -> Option<T> {
+        self.items.into_iter().max_by(cmp)
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Run a closure on every item (parallel).
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F)
+    where
+        T: Send,
+    {
+        par_map_vec(self.items, &|t| f(t));
+    }
+}
+
+/// `rayon::prelude` — import target for `use rayon::prelude::*`.
+pub mod prelude {
+    use super::{ParIter, ParResult};
+
+    /// Borrowed parallel iteration (`.par_iter()`).
+    pub trait IntoParallelRefIterator<'a> {
+        /// Borrowed item type.
+        type Item: 'a;
+        /// Start a parallel iterator over references.
+        fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a, const N: usize> IntoParallelRefIterator<'a> for [T; N] {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    /// Owned parallel iteration (`.into_par_iter()`).
+    pub trait IntoParallelIterator {
+        /// Owned item type.
+        type Item: Send;
+        /// Start a parallel iterator over owned items.
+        fn into_par_iter(self) -> ParResult<Self::Item>;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> ParResult<T> {
+            ParResult { items: self }
+        }
+    }
+
+    impl<T: Send, const N: usize> IntoParallelIterator for [T; N] {
+        type Item = T;
+        fn into_par_iter(self) -> ParResult<T> {
+            ParResult {
+                items: self.into_iter().collect(),
+            }
+        }
+    }
+
+    macro_rules! impl_range_into_par {
+        ($($t:ty),*) => {$(
+            impl IntoParallelIterator for std::ops::Range<$t> {
+                type Item = $t;
+                fn into_par_iter(self) -> ParResult<$t> {
+                    ParResult { items: self.collect() }
+                }
+            }
+        )*};
+    }
+    impl_range_into_par!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flat_map_and_owned() {
+        let out: Vec<u32> = vec![1u32, 2, 3]
+            .par_iter()
+            .flat_map(|&x| vec![x, 10 * x])
+            .collect();
+        assert_eq!(out, vec![1, 10, 2, 20, 3, 30]);
+        let sum: u64 = (0u64..100).into_par_iter().map(|x| x).sum();
+        assert_eq!(sum, 4950);
+    }
+
+    #[test]
+    fn nested_parallelism_works() {
+        let out: Vec<usize> = (0usize..8)
+            .into_par_iter()
+            .map(|i| {
+                let inner: Vec<usize> = (0usize..4)
+                    .into_par_iter()
+                    .map(move |j| i * 4 + j)
+                    .collect();
+                inner.into_iter().sum()
+            })
+            .collect();
+        assert_eq!(out.len(), 8);
+        assert_eq!(out[0], 0 + 1 + 2 + 3);
+    }
+}

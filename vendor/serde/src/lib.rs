@@ -1,0 +1,408 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde is a zero-copy visitor framework; this stand-in keeps the
+//! same *user-facing* surface (`Serialize`/`Deserialize` traits, derive
+//! macros re-exported under the same names) but routes everything through a
+//! simple owned [`Value`] tree. `serde_json` (also vendored) converts that
+//! tree to and from JSON text. This trades some speed for a tiny,
+//! dependency-free implementation that builds with no network access.
+//!
+//! Supported shapes — everything this workspace derives or persists:
+//! named-field structs, enums with unit / tuple / struct variants
+//! (externally tagged, like real serde), primitives, `String`, `Option`,
+//! `Vec`, fixed-size arrays, tuples, and maps with string keys.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An owned, JSON-shaped data tree: the serialization data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer too large for `i64`.
+    UInt(u64),
+    /// Floating point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object; insertion-ordered `(key, value)` pairs.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The entries of a map value, if this is one.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements of a sequence value, if this is one.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Look up `key` in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Linear map lookup helper used by derive-generated code.
+pub fn map_get<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Free-form error.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// A struct field was absent.
+    pub fn missing_field(name: &str) -> Self {
+        Error {
+            msg: format!("missing field `{name}`"),
+        }
+    }
+
+    /// Type mismatch while reading a value.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Error {
+            msg: format!("expected {what}, got {got:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible to a [`Value`] tree.
+pub trait Serialize {
+    /// Convert `self` into the data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from the data model.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// Re-export the derive macros under the trait names, like `serde`'s
+// `derive` feature does.
+#[cfg(feature = "serde_derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match *v {
+                    Value::Int(i) => Ok(i as $t),
+                    Value::UInt(u) => Ok(u as $t),
+                    Value::Float(f) if f.fract() == 0.0 => Ok(f as $t),
+                    _ => Err(Error::expected(stringify!($t), v)),
+                }
+            }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+macro_rules! impl_ser_uint_wide {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if *self as u64 <= i64::MAX as u64 {
+                    Value::Int(*self as i64)
+                } else {
+                    Value::UInt(*self as u64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match *v {
+                    Value::Int(i) if i >= 0 => Ok(i as $t),
+                    Value::UInt(u) => Ok(u as $t),
+                    Value::Float(f) if f.fract() == 0.0 && f >= 0.0 => Ok(f as $t),
+                    _ => Err(Error::expected(stringify!($t), v)),
+                }
+            }
+        }
+    )*};
+}
+impl_ser_uint_wide!(u64, usize);
+
+macro_rules! impl_ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Float(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match *v {
+                    Value::Float(f) => Ok(f as $t),
+                    Value::Int(i) => Ok(i as $t),
+                    Value::UInt(u) => Ok(u as $t),
+                    // serde_json writes non-finite floats as null.
+                    Value::Null => Ok(<$t>::NAN),
+                    _ => Err(Error::expected(stringify!($t), v)),
+                }
+            }
+        }
+    )*};
+}
+impl_ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            _ => Err(Error::expected("bool", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::expected("single-char string", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::expected("sequence", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Deserialize::from_value(v)?;
+        <[T; N]>::try_from(items)
+            .map_err(|items| Error::custom(format!("expected {N} elements, got {}", items.len())))
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let s = v.as_seq().ok_or_else(|| Error::expected("tuple sequence", v))?;
+                const LEN: usize = 0 $(+ { let _ = $n; 1 })+;
+                if s.len() != LEN {
+                    return Err(Error::custom(format!(
+                        "expected tuple of {LEN}, got {} elements", s.len())));
+                }
+                Ok(($($t::from_value(&s[$n])?,)+))
+            }
+        }
+    )*};
+}
+impl_ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_map()
+            .ok_or_else(|| Error::expected("map", v))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+/// Compatibility alias modules so `serde::ser::Serialize` /
+/// `serde::de::Deserialize` paths keep working.
+pub mod ser {
+    pub use super::{Error, Serialize};
+}
+
+/// See [`ser`].
+pub mod de {
+    pub use super::{Deserialize, Error};
+
+    /// Borrowed-deserialization alias; the stand-in model is owned, so this
+    /// is the same trait.
+    pub use super::Deserialize as DeserializeOwned;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(u32::from_value(&7u32.to_value()).unwrap(), 7);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+        let v: Vec<(u32, f64)> = vec![(1, 2.0), (3, 4.5)];
+        assert_eq!(Vec::<(u32, f64)>::from_value(&v.to_value()).unwrap(), v);
+    }
+
+    #[test]
+    fn nan_roundtrips_via_null() {
+        let v = f64::NAN.to_value();
+        // Value::Float(NaN) — serde_json layer maps it to null on write.
+        assert!(f64::from_value(&Value::Null).unwrap().is_nan());
+        match v {
+            Value::Float(f) => assert!(f.is_nan()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn map_lookup() {
+        let m = Value::Map(vec![("a".into(), Value::Int(1))]);
+        assert_eq!(m.get("a"), Some(&Value::Int(1)));
+        assert_eq!(m.get("b"), None);
+    }
+}

@@ -1,0 +1,369 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! value-tree traits. The parser is hand-rolled over `proc_macro` token
+//! trees (no `syn`/`quote` available offline) and supports exactly the
+//! shapes this workspace uses:
+//!
+//! * structs with named fields,
+//! * enums with unit, tuple, and named-field variants (externally tagged,
+//!   matching real serde's default JSON representation).
+//!
+//! Generic type parameters and `#[serde(...)]` attributes are rejected with
+//! a compile error rather than silently mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skip any `#[...]` attribute groups at the cursor.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < toks.len() {
+        match (&toks[i], &toks[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = toks.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Split a token slice on top-level commas (groups keep their own commas).
+fn split_commas(toks: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    for t in toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            other => cur.push(other.clone()),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Extract the field names of a named-field body (`{ a: T, b: U }`).
+fn parse_named_fields(body: &TokenStream) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    for piece in split_commas(&toks) {
+        let mut i = skip_attrs(&piece, 0);
+        i = skip_vis(&piece, i);
+        match piece.get(i) {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            Some(other) => return Err(format!("unexpected token in field position: {other}")),
+            None => continue,
+        }
+        match piece.get(i + 1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("field `{}` has no `:`", fields.last().unwrap())),
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: &TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    for piece in split_commas(&toks) {
+        let mut i = skip_attrs(&piece, 0);
+        i = skip_vis(&piece, i);
+        let name = match piece.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("unexpected token in variant position: {other}")),
+            None => continue,
+        };
+        i += 1;
+        let kind = match piece.get(i) {
+            None => VariantKind::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let elems: Vec<TokenTree> = g.stream().into_iter().collect();
+                VariantKind::Tuple(split_commas(&elems).len())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantKind::Struct(parse_named_fields(&g.stream())?)
+            }
+            Some(other) => return Err(format!("unexpected token after variant {name}: {other}")),
+        };
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&toks, 0);
+    i = skip_vis(&toks, i);
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    // `where` clauses are absent in this workspace; the next group is the body.
+    let body = match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            return Err(format!(
+                "vendored serde_derive does not support tuple struct `{name}`"
+            ));
+        }
+        other => return Err(format!("expected {{...}} body for {name}, got {other:?}")),
+    };
+    match kind.as_str() {
+        "struct" => Ok(Shape::Struct {
+            name,
+            fields: parse_named_fields(&body)?,
+        }),
+        "enum" => Ok(Shape::Enum {
+            name,
+            variants: parse_variants(&body)?,
+        }),
+        other => Err(format!("cannot derive for `{other}`")),
+    }
+}
+
+/// Derive `serde::Serialize` (vendored value-tree flavor).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in &fields {
+                pushes.push_str(&format!(
+                    "__m.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Map(__m)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Value::Map(vec![({vn:?}.to_string(), \
+                         ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    VariantKind::Tuple(k) => {
+                        let binds: Vec<String> = (0..*k).map(|j| format!("__f{j}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(vec![({vn:?}.to_string(), \
+                             ::serde::Value::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![\
+                             ({vn:?}.to_string(), ::serde::Value::Map(vec![{}]))]),\n",
+                            entries.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// Derive `serde::Deserialize` (vendored value-tree flavor).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(::serde::map_get(__m, {f:?})\
+                     .ok_or_else(|| ::serde::Error::missing_field({f:?}))?)?,\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __m = __v.as_map().ok_or_else(|| \
+                             ::serde::Error::expected(\"map for struct {name}\", __v))?;\n\
+                         Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("{vn:?} => Ok({name}::{vn}),\n"));
+                        // Also accept the {"Variant": null} form.
+                        tagged_arms.push_str(&format!("{vn:?} => Ok({name}::{vn}),\n"));
+                    }
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "{vn:?} => Ok({name}::{vn}(::serde::Deserialize::from_value(__payload)?)),\n"
+                    )),
+                    VariantKind::Tuple(k) => {
+                        let elems: Vec<String> = (0..*k)
+                            .map(|j| {
+                                format!("::serde::Deserialize::from_value(&__s[{j}])?")
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => {{\n\
+                                 let __s = __payload.as_seq().ok_or_else(|| \
+                                     ::serde::Error::expected(\"tuple payload\", __payload))?;\n\
+                                 if __s.len() != {k} {{ return Err(::serde::Error::custom(\
+                                     format!(\"variant {name}::{vn} expects {k} values, got {{}}\", __s.len()))); }}\n\
+                                 Ok({name}::{vn}({}))\n\
+                             }}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(::serde::map_get(__fm, {f:?})\
+                                     .ok_or_else(|| ::serde::Error::missing_field({f:?}))?)?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => {{\n\
+                                 let __fm = __payload.as_map().ok_or_else(|| \
+                                     ::serde::Error::expected(\"map payload\", __payload))?;\n\
+                                 Ok({name}::{vn} {{ {} }})\n\
+                             }}\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\
+                                 __other => Err(::serde::Error::custom(format!(\
+                                     \"unknown {name} variant {{__other:?}}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                                 let (__tag, __payload) = &__m[0];\n\
+                                 match __tag.as_str() {{\n\
+                                     {tagged_arms}\
+                                     __other => Err(::serde::Error::custom(format!(\
+                                         \"unknown {name} variant {{__other:?}}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             __other => Err(::serde::Error::expected(\"enum {name}\", __other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
