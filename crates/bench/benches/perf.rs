@@ -1,7 +1,10 @@
 //! The PR-gating performance benches: engine throughput with and without
 //! profile recording, the pre-optimization engine as a same-machine
-//! baseline, and `lk_lower_bound`. Results land in `BENCH_1.json` at the
-//! repo root so before/after numbers are machine-comparable.
+//! baseline, the arena-based `lk_lower_bound` next to the PR-1
+//! unit-augmenting SSP oracle, and one adversarial-hunt generation.
+//! Results land in `BENCH_2.json` at the repo root with speedup ratios
+//! against both the in-run SSP oracle and the committed `BENCH_1.json`
+//! record, so before/after numbers are machine-comparable.
 //!
 //! Run with `cargo bench -p tf-bench --bench perf`. Set `BENCH_MEASURE_MS`
 //! / `BENCH_WARMUP_MS` for a quick smoke pass.
@@ -11,7 +14,8 @@ use std::hint::black_box;
 use std::io::Write as _;
 use std::time::Duration;
 use tf_bench::{bench_trace, bench_trace_integral};
-use tf_lowerbound::lk_lower_bound;
+use tf_harness::hunt::{hunt, HuntConfig};
+use tf_lowerbound::{lk_lower_bound, lk_lower_bound_reference};
 use tf_policies::Policy;
 use tf_simcore::alloc::check_rates;
 use tf_simcore::{
@@ -243,12 +247,57 @@ fn bench_lower_bound(c: &mut Criterion) {
     g.warm_up_time(Duration::from_millis(300));
     g.measurement_time(Duration::from_secs(1));
     g.sample_size(10);
-    for &n in &[40usize, 80] {
+    // n = 160/320 were unreachable in the PR-1 suite (the SSP oracle
+    // needed ~100 ms at n = 80 already); they gate the multi-unit solver.
+    for &n in &[40usize, 80, 160, 320] {
         let trace = bench_trace_integral(n, 19);
         g.bench_with_input(BenchmarkId::new("lk_k2_m2", n), &trace, |b, t| {
             b.iter(|| black_box(lk_lower_bound(t, 2, 2)))
         });
     }
+    g.finish();
+}
+
+/// The unit-augmenting SSP solver on the same traces, as an in-run
+/// apples-to-apples baseline (same binary, same machine state). Note this
+/// oracle also benefits from the shared early-exit/capped-potential
+/// Dijkstra, so the full PR-1 delta is the `*_vs_bench1` ratio, not this
+/// one. Capped at n = 80: the oracle is O(flow) Dijkstra passes and large
+/// n gets slow per sample.
+fn bench_lower_bound_ssp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("perf/lower_bound_ssp");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    g.sample_size(10);
+    for &n in &[40usize, 80] {
+        let trace = bench_trace_integral(n, 19);
+        g.bench_with_input(BenchmarkId::new("lk_k2_m2", n), &trace, |b, t| {
+            b.iter(|| black_box(lk_lower_bound_reference(t, 2, 2)))
+        });
+    }
+    g.finish();
+}
+
+/// One full adversarial hunt (restarts x generations x batch candidate
+/// evaluations, each a simulate + exact slotted OPT): the harness-side
+/// fan-out path that PR 2 parallelized.
+fn bench_hunt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("perf/hunt");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    g.sample_size(10);
+    let cfg = HuntConfig {
+        steps: 10,
+        restarts: 1,
+        max_jobs: 6,
+        max_arrival: 8,
+        max_size: 4,
+        batch: 8,
+        ..Default::default()
+    };
+    g.bench_with_input(BenchmarkId::new("rr_generations", 10), &cfg, |b, cfg| {
+        b.iter(|| black_box(hunt(Policy::Rr, cfg)))
+    });
     g.finish();
 }
 
@@ -283,9 +332,37 @@ fn mean_of(results: &[criterion::BenchResult], group: &str, bench: &str) -> Opti
         .map(|r| r.mean_ns)
 }
 
-fn write_bench1(results: &[criterion::BenchResult]) {
+fn median_of(results: &[criterion::BenchResult], group: &str, bench: &str) -> Option<f64> {
+    results
+        .iter()
+        .find(|r| r.group == group && r.bench == bench)
+        .map(|r| r.median_ns)
+}
+
+/// Pull `median_ns` for (group, bench) out of the committed PR-1 record.
+/// `BENCH_1.json` is written one bench per line by the PR-1 version of
+/// this harness, so a line scan is enough — no JSON dependency needed.
+fn bench1_median(bench1: &str, group: &str, bench: &str) -> Option<f64> {
+    let group_tag = format!("\"group\": {group:?}");
+    let bench_tag = format!("\"bench\": {bench:?}");
+    for line in bench1.lines() {
+        if line.contains(&group_tag) && line.contains(&bench_tag) {
+            let rest = line.split("\"median_ns\": ").nth(1)?;
+            let num: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.')
+                .collect();
+            return num.parse().ok();
+        }
+    }
+    None
+}
+
+fn write_bench2(results: &[criterion::BenchResult]) {
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-    let path = format!("{root}/BENCH_1.json");
+    let path = format!("{root}/BENCH_2.json");
+    let bench1 = std::fs::read_to_string(format!("{root}/BENCH_1.json")).unwrap_or_default();
+
     let mut out = String::from("{\n  \"benches\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
@@ -299,6 +376,7 @@ fn write_bench1(results: &[criterion::BenchResult]) {
             if i + 1 < results.len() { "," } else { "" },
         ));
     }
+
     out.push_str("  ],\n  \"engine_speedup_vs_baseline\": {\n");
     let mut lines = Vec::new();
     for bench in [
@@ -315,9 +393,37 @@ fn write_bench1(results: &[criterion::BenchResult]) {
         }
     }
     out.push_str(&lines.join(",\n"));
+
+    // Same binary, same run: arena solver vs the PR-1 SSP oracle.
+    out.push_str("\n  },\n  \"lower_bound_speedup_vs_ssp\": {\n");
+    let mut lines = Vec::new();
+    for bench in ["lk_k2_m2/40", "lk_k2_m2/80"] {
+        if let (Some(new), Some(old)) = (
+            median_of(results, "perf/lower_bound", bench),
+            median_of(results, "perf/lower_bound_ssp", bench),
+        ) {
+            lines.push(format!("    {:?}: {:.3}", bench, old / new));
+        }
+    }
+    out.push_str(&lines.join(",\n"));
+
+    // Cross-PR: this run's medians vs the committed BENCH_1.json record
+    // (both measured on the gating machine).
+    out.push_str("\n  },\n  \"lower_bound_speedup_vs_bench1\": {\n");
+    let mut lines = Vec::new();
+    for bench in ["lk_k2_m2/40", "lk_k2_m2/80"] {
+        if let (Some(new), Some(old)) = (
+            median_of(results, "perf/lower_bound", bench),
+            bench1_median(&bench1, "perf/lower_bound", bench),
+        ) {
+            lines.push(format!("    {:?}: {:.3}", bench, old / new));
+        }
+    }
+    out.push_str(&lines.join(",\n"));
     out.push_str("\n  }\n}\n");
-    let mut f = std::fs::File::create(&path).expect("create BENCH_1.json");
-    f.write_all(out.as_bytes()).expect("write BENCH_1.json");
+
+    let mut f = std::fs::File::create(&path).expect("create BENCH_2.json");
+    f.write_all(out.as_bytes()).expect("write BENCH_2.json");
     println!("wrote {path}");
 }
 
@@ -327,6 +433,8 @@ fn main() {
     bench_engine(&mut c);
     bench_engine_baseline(&mut c);
     bench_lower_bound(&mut c);
+    bench_lower_bound_ssp(&mut c);
+    bench_hunt(&mut c);
     c.flush_json();
-    write_bench1(c.results());
+    write_bench2(c.results());
 }

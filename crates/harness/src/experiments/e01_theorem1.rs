@@ -12,9 +12,8 @@
 
 use super::Effort;
 use crate::corpus::random_corpus;
-use crate::ratio::{default_baselines, empirical_ratio};
+use crate::ratio::{default_baselines, empirical_ratios, RatioTask};
 use crate::table::{fnum, stats_cells, Table};
-use rayon::prelude::*;
 use tf_core::{eta, gamma};
 use tf_policies::Policy;
 
@@ -38,28 +37,33 @@ pub fn e1(effort: Effort) -> Vec<Table> {
     );
     let baselines = default_baselines();
 
-    let mut cells: Vec<(u32, usize, String, f64, f64, tf_simcore::SimStats)> = Vec::new();
+    // Flatten the whole (k, m, instance) grid into one fan-out: on many
+    // cores every lower-bound solve runs concurrently instead of only
+    // the 4 instances inside one (k, m) cell. Order-preserving collect
+    // keeps rows in the serial (k, m, instance) order.
+    let mut meta: Vec<(u32, usize, String)> = Vec::new();
+    let mut tasks: Vec<RatioTask> = Vec::new();
     for k in [1u32, 2, 3] {
         for m in [1usize, 4] {
             let corpus = random_corpus(effort.n(), 0.9, m, 100 + u64::from(k));
             let speed = eta(k, eps);
-            let results: Vec<_> = corpus
-                .par_iter()
-                .map(|inst| {
-                    let r = empirical_ratio(&inst.trace, Policy::Rr, m, speed, k, &baselines);
-                    (
-                        k,
-                        m,
-                        inst.name.clone(),
-                        r.ratio_vs_best,
-                        r.ratio_vs_lb,
-                        r.stats,
-                    )
-                })
-                .collect();
-            cells.extend(results);
+            for inst in corpus {
+                meta.push((k, m, inst.name.clone()));
+                tasks.push(RatioTask {
+                    trace: inst.trace,
+                    policy: Policy::Rr,
+                    m,
+                    speed,
+                    k,
+                });
+            }
         }
     }
+    let results = empirical_ratios(&tasks, &baselines);
+    let cells = meta
+        .into_iter()
+        .zip(results)
+        .map(|((k, m, name), r)| (k, m, name, r.ratio_vs_best, r.ratio_vs_lb, r.stats));
     for (k, m, name, lo, hi, stats) in cells {
         let bound = (4.0 * gamma(k, 0.1) / (3.0 * 0.1)).powf(1.0 / f64::from(k));
         let mut row = vec![

@@ -11,9 +11,8 @@
 
 use super::Effort;
 use crate::corpus::random_corpus;
-use crate::ratio::{default_baselines, empirical_ratio};
+use crate::ratio::{default_baselines, empirical_ratios, RatioTask};
 use crate::table::{fnum, stats_cells, Table};
-use rayon::prelude::*;
 use tf_policies::Policy;
 use tf_simcore::SimStats;
 
@@ -41,45 +40,62 @@ pub fn e2(effort: Effort) -> Vec<Table> {
         Effort::Full => 5,
     };
 
+    // Flatten every (m, rho, seed, instance) evaluation into one ordered
+    // fan-out — far more parallel slack than the old per-m rho sweep —
+    // then re-aggregate sequentially along the recorded layout. Results
+    // come back in task order, so rows are identical to the serial run.
+    let mut tasks: Vec<RatioTask> = Vec::new();
+    let mut layout: Vec<(usize, f64, Vec<usize>)> = Vec::new();
     for m in [1usize, 4] {
-        let rows: Vec<_> = rhos
-            .par_iter()
-            .map(|&rho| {
-                // Replicate the whole corpus across seeds so the mean
-                // carries sampling uncertainty, and track worst cases over
-                // every replicate.
-                let mut means = Vec::new();
-                let mut lo_max: f64 = 0.0;
-                let mut hi_max: f64 = 0.0;
-                let mut stats = SimStats::default();
-                for seed in 0..seeds {
-                    let corpus =
-                        random_corpus(effort.n(), rho, m, 200 + (rho * 100.0) as u64 + 977 * seed);
-                    let mut lo_sum = 0.0;
-                    for inst in &corpus {
-                        let r = empirical_ratio(&inst.trace, Policy::Rr, m, speed, k, &baselines);
-                        lo_sum += r.ratio_vs_best;
-                        lo_max = lo_max.max(r.ratio_vs_best);
-                        hi_max = hi_max.max(r.ratio_vs_lb);
-                        stats.absorb(&r.stats);
-                    }
-                    means.push(lo_sum / corpus.len() as f64);
+        for &rho in &rhos {
+            let mut counts = Vec::with_capacity(seeds as usize);
+            for seed in 0..seeds {
+                let corpus =
+                    random_corpus(effort.n(), rho, m, 200 + (rho * 100.0) as u64 + 977 * seed);
+                counts.push(corpus.len());
+                for inst in corpus {
+                    tasks.push(RatioTask {
+                        trace: inst.trace,
+                        policy: Policy::Rr,
+                        m,
+                        speed,
+                        k,
+                    });
                 }
-                let rep = crate::replicate::Replicates::from_values(&means);
-                (rho, rep, lo_max, hi_max, stats)
-            })
-            .collect();
-        for (rho, rep, lo_max, hi_max, stats) in rows {
-            let mut row = vec![
-                m.to_string(),
-                fnum(rho),
-                rep.display(),
-                fnum(lo_max),
-                fnum(hi_max),
-            ];
-            row.extend(stats_cells(&stats));
-            table.push_row(row);
+            }
+            layout.push((m, rho, counts));
         }
+    }
+    let mut results = empirical_ratios(&tasks, &baselines).into_iter();
+    for (m, rho, counts) in layout {
+        // Replicate the whole corpus across seeds so the mean carries
+        // sampling uncertainty, and track worst cases over every
+        // replicate.
+        let mut means = Vec::with_capacity(counts.len());
+        let mut lo_max: f64 = 0.0;
+        let mut hi_max: f64 = 0.0;
+        let mut stats = SimStats::default();
+        for count in counts {
+            let mut lo_sum = 0.0;
+            for _ in 0..count {
+                let r = results.next().expect("one result per task");
+                lo_sum += r.ratio_vs_best;
+                lo_max = lo_max.max(r.ratio_vs_best);
+                hi_max = hi_max.max(r.ratio_vs_lb);
+                stats.absorb(&r.stats);
+            }
+            means.push(lo_sum / count as f64);
+        }
+        let rep = crate::replicate::Replicates::from_values(&means);
+        let mut row = vec![
+            m.to_string(),
+            fnum(rho),
+            rep.display(),
+            fnum(lo_max),
+            fnum(hi_max),
+        ];
+        row.extend(stats_cells(&stats));
+        table.push_row(row);
     }
     table.note(format!(
         "Aggregates over the 4-distribution random corpus at each utilization, replicated across {seeds} seeds (mean ± sample std of the per-corpus mean)."

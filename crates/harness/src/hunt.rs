@@ -13,9 +13,18 @@
 //! Search moves: perturb one job's arrival or size, add a job, remove a
 //! job; accept strictly improving moves (hill climbing) with seeded
 //! restarts. All instances stay integral so the exact solver applies.
+//!
+//! The climb is **generation-based**: each step proposes a batch of
+//! [`HuntConfig::batch`] independent mutations and evaluates their
+//! certified ratios in parallel (the exact-OPT solve dominates, so this
+//! is where the cores go), then accepts the best strict improvement.
+//! Candidate RNGs are derived by index from a per-generation seed and
+//! the winner is the first index attaining the maximum, so results are
+//! byte-identical whatever the thread count.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use tf_lowerbound::{exact_slotted_opt, ExactLimits};
 use tf_policies::Policy;
 use tf_simcore::{simulate, MachineConfig, SimOptions, Trace, TraceBuilder};
@@ -35,10 +44,13 @@ pub struct HuntConfig {
     pub max_size: u16,
     /// Maximum arrival time (integral).
     pub max_arrival: u16,
-    /// Hill-climbing steps per restart.
+    /// Hill-climbing generations per restart.
     pub steps: usize,
     /// Number of random restarts.
     pub restarts: usize,
+    /// Candidate mutations proposed (and evaluated in parallel) per
+    /// generation; total evaluations ≈ `restarts × steps × batch`.
+    pub batch: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -54,6 +66,7 @@ impl Default for HuntConfig {
             max_arrival: 12,
             steps: 400,
             restarts: 6,
+            batch: 8,
             seed: 0xBADC0DE,
         }
     }
@@ -153,15 +166,30 @@ fn mutate(rng: &mut StdRng, jobs: &[(u16, u16)], cfg: &HuntConfig) -> Vec<(u16, 
     out
 }
 
+/// SplitMix64 finalizer: decorrelates per-candidate seeds derived by
+/// index from one generation seed.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Hill-climb for the worst certified ratio of `policy` under `cfg`.
+///
+/// Deterministic in `cfg.seed` regardless of how many threads evaluate
+/// each generation: candidates are seeded by index and the accepted
+/// winner is the first index attaining the generation's maximum ratio.
 pub fn hunt(policy: Policy, cfg: &HuntConfig) -> HuntResult {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let batch = cfg.batch.max(1);
+    let mut master = StdRng::seed_from_u64(cfg.seed);
     let mut best_jobs: Vec<(u16, u16)> = Vec::new();
     let mut best_ratio = 0.0f64;
     let mut restart_ratios = Vec::with_capacity(cfg.restarts);
     let mut evaluated = 0usize;
 
     for _ in 0..cfg.restarts {
+        let mut rng = StdRng::seed_from_u64(master.gen());
         let mut cur = random_instance(&mut rng, cfg);
         let mut cur_ratio = loop {
             evaluated += 1;
@@ -171,13 +199,34 @@ pub fn hunt(policy: Policy, cfg: &HuntConfig) -> HuntResult {
             cur = random_instance(&mut rng, cfg);
         };
         for _ in 0..cfg.steps {
-            let cand = mutate(&mut rng, &cur, cfg);
-            evaluated += 1;
-            if let Some(r) = true_ratio(&build(&cand), policy, cfg) {
-                if r > cur_ratio {
-                    cur_ratio = r;
-                    cur = cand;
+            // One sequential draw per generation keeps the seed chain
+            // identical whatever the evaluation parallelism below.
+            let gen_seed: u64 = rng.gen();
+            let cands: Vec<Vec<(u16, u16)>> = (0..batch)
+                .map(|i| {
+                    let mut crng =
+                        StdRng::seed_from_u64(splitmix64(gen_seed.wrapping_add(i as u64)));
+                    mutate(&mut crng, &cur, cfg)
+                })
+                .collect();
+            evaluated += batch;
+            // The expensive part — one exact-OPT solve per candidate —
+            // fans out across cores, order-preserving.
+            let ratios: Vec<Option<f64>> = cands
+                .par_iter()
+                .map(|c| true_ratio(&build(c), policy, cfg))
+                .collect();
+            let mut winner: Option<(usize, f64)> = None;
+            for (i, r) in ratios.iter().enumerate() {
+                if let Some(r) = *r {
+                    if r > cur_ratio && winner.is_none_or(|(_, w)| r > w) {
+                        winner = Some((i, r));
+                    }
                 }
+            }
+            if let Some((i, r)) = winner {
+                cur_ratio = r;
+                cur.clone_from(&cands[i]);
             }
         }
         restart_ratios.push(cur_ratio);

@@ -16,13 +16,17 @@
 //! to a cache miss — the cache can never make a run fail.
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use tf_lowerbound::{lk_lower_bound, LowerBound};
 use tf_simcore::Trace;
 
 /// Version tag mixed into every cache key. Bump when the lower-bound
 /// solver's output could change for the same input.
-pub const SOLVER_VERSION: u32 = 1;
+///
+/// v2: arena-based multi-unit MCMF solver with per-job horizon pruning
+/// (same optima up to f64 rounding, but rounding may differ in the last
+/// ulps, so old entries must not be reused).
+pub const SOLVER_VERSION: u32 = 2;
 
 static ENABLED: AtomicBool = AtomicBool::new(true);
 
@@ -82,17 +86,35 @@ pub fn cached_lk_lower_bound(trace: &Trace, m: usize, k: u32) -> LowerBound {
         }
     }
     let lb = lk_lower_bound(trace, m, k);
-    if std::fs::create_dir_all(cache_dir()).is_ok() {
-        if let Ok(json) = serde_json::to_string(&lb) {
-            // Write-then-rename so concurrent rayon workers never observe
-            // a torn entry; collisions on the same key write equal bytes.
-            let tmp = path.with_extension(format!("tmp{}", std::process::id()));
-            if std::fs::write(&tmp, json).is_ok() {
-                let _ = std::fs::rename(&tmp, &path);
-            }
-        }
-    }
+    store(&path, &lb);
     lb
+}
+
+/// Monotone discriminator for temp-file names: the pid alone is not
+/// unique within a process, and two rayon workers computing the same key
+/// concurrently would otherwise write the *same* temp path — one's
+/// `rename` can then move the other's half-written file into place.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Write-to-temp + atomic rename. Each writer gets a private temp path
+/// (pid + per-process counter), so concurrent writers of one key race
+/// only on the final rename — and both rename complete, equal-bytes
+/// files.
+fn store(path: &std::path::Path, lb: &LowerBound) {
+    if std::fs::create_dir_all(cache_dir()).is_err() {
+        return;
+    }
+    let Ok(json) = serde_json::to_string(lb) else {
+        return;
+    };
+    let tmp = path.with_extension(format!(
+        "tmp{}-{}",
+        std::process::id(),
+        TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    if std::fs::write(&tmp, json).is_ok() && std::fs::rename(&tmp, path).is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
 }
 
 #[cfg(test)]
@@ -125,12 +147,58 @@ mod tests {
         assert_eq!(direct, warm);
     }
 
+    /// Serializes the tests that toggle the process-global `ENABLED`
+    /// flag against the one that requires the cache to stay on.
+    static ENABLED_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn disabled_cache_bypasses_disk() {
+        let _guard = ENABLED_LOCK.lock().unwrap();
         set_enabled(false);
         let t = trace();
         assert!(!enabled());
         assert_eq!(cached_lk_lower_bound(&t, 1, 1), lk_lower_bound(&t, 1, 1));
         set_enabled(true);
+    }
+
+    #[test]
+    fn concurrent_writers_never_tear_an_entry() {
+        let _guard = ENABLED_LOCK.lock().unwrap();
+        if !enabled() {
+            return; // TF_LB_CACHE=0 in the environment: nothing to test
+        }
+        // A trace no other test uses, so this test owns its cache entry.
+        let t = Trace::from_pairs([(0.0, 4.0), (1.0, 2.0), (3.0, 3.0), (3.0, 1.0), (6.0, 2.0)])
+            .unwrap();
+        let (m, k) = (2usize, 2u32);
+        let path = cache_dir().join(format!("lb-{}.json", key(&t, m, k)));
+        let expect = lk_lower_bound(&t, m, k);
+
+        // Both threads start cold on the same key and race the full
+        // miss → solve → store path, repeatedly.
+        for round in 0..10 {
+            let _ = std::fs::remove_file(&path);
+            let barrier = std::sync::Barrier::new(2);
+            let results: Vec<LowerBound> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..2)
+                    .map(|_| {
+                        let (t, barrier) = (&t, &barrier);
+                        s.spawn(move || {
+                            barrier.wait();
+                            cached_lk_lower_bound(t, m, k)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for r in &results {
+                assert_eq!(*r, expect, "round {round}");
+            }
+            // The entry on disk must be complete and correct — never a
+            // torn mix of the two writers.
+            let text = std::fs::read_to_string(&path).expect("entry written");
+            let on_disk: LowerBound = serde_json::from_str(&text).expect("entry parses");
+            assert_eq!(on_disk, expect, "round {round}");
+        }
     }
 }

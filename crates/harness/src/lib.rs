@@ -43,5 +43,5 @@ pub mod sweep;
 pub mod table;
 
 pub use experiments::{run_experiment, Effort};
-pub use ratio::{empirical_ratio, min_speed_for_ratio, RatioEstimate};
+pub use ratio::{empirical_ratio, empirical_ratios, min_speed_for_ratio, RatioEstimate, RatioTask};
 pub use table::Table;

@@ -12,6 +12,7 @@
 //! `[ratio_vs_best, ratio_vs_lb]`.
 
 use crate::lbcache::cached_lk_lower_bound;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use tf_policies::Policy;
 use tf_simcore::{simulate, MachineConfig, SimOptions, SimStats, Trace};
@@ -108,6 +109,37 @@ pub fn empirical_ratio(
     }
 }
 
+/// One (trace, policy, m, speed, k) evaluation for the batched fan-out
+/// [`empirical_ratios`]. Owning the trace keeps the task `Send` without
+/// lifetime gymnastics at the experiment layer.
+#[derive(Debug, Clone)]
+pub struct RatioTask {
+    /// The instance to evaluate.
+    pub trace: Trace,
+    /// The policy under test.
+    pub policy: Policy,
+    /// Machine count.
+    pub m: usize,
+    /// Policy speed (OPT runs at 1).
+    pub speed: f64,
+    /// Norm exponent.
+    pub k: u32,
+}
+
+/// Evaluate a batch of ratio points in parallel, preserving task order.
+///
+/// Each task's lower-bound solve (the expensive part) runs on its own
+/// worker with a thread-local LP arena; the `lbcache` writers are
+/// rename-atomic, so concurrent tasks sharing a `(trace, m, k)` key are
+/// safe. Output index `i` is always task `i`, whatever the thread count
+/// — experiment tables stay byte-identical.
+pub fn empirical_ratios(tasks: &[RatioTask], baselines: &[Policy]) -> Vec<RatioEstimate> {
+    tasks
+        .par_iter()
+        .map(|t| empirical_ratio(&t.trace, t.policy, t.m, t.speed, t.k, baselines))
+        .collect()
+}
+
 /// `Σ F^k` of one policy at one speed (no lower bound, no baselines) —
 /// the cheap building block for sweeps that reuse a baseline.
 pub fn policy_power_sum(trace: &Trace, policy: Policy, m: usize, speed: f64, k: u32) -> f64 {
@@ -197,6 +229,44 @@ mod tests {
         let slow = empirical_ratio(&t, Policy::Rr, 1, 1.0, 2, &default_baselines());
         let fast = empirical_ratio(&t, Policy::Rr, 1, 4.0, 2, &default_baselines());
         assert!(fast.ratio_vs_best <= slow.ratio_vs_best + 1e-9);
+    }
+
+    #[test]
+    fn batched_ratios_match_serial_calls_in_order() {
+        let t = trace();
+        let tasks: Vec<RatioTask> = [
+            (1usize, 1.0f64, 1u32),
+            (2, 2.0, 2),
+            (1, 3.0, 2),
+            (2, 1.0, 1),
+        ]
+        .iter()
+        .map(|&(m, speed, k)| RatioTask {
+            trace: t.clone(),
+            policy: Policy::Rr,
+            m,
+            speed,
+            k,
+        })
+        .collect();
+        let batch = empirical_ratios(&tasks, &default_baselines());
+        assert_eq!(batch.len(), tasks.len());
+        for (task, got) in tasks.iter().zip(&batch) {
+            let want = empirical_ratio(
+                &task.trace,
+                task.policy,
+                task.m,
+                task.speed,
+                task.k,
+                &default_baselines(),
+            );
+            assert_eq!(got.alg_power_sum, want.alg_power_sum);
+            assert_eq!(got.lower_bound, want.lower_bound);
+            assert_eq!(got.best_power_sum, want.best_power_sum);
+            assert_eq!(got.best_policy, want.best_policy);
+            assert_eq!(got.ratio_vs_lb, want.ratio_vs_lb);
+            assert_eq!(got.ratio_vs_best, want.ratio_vs_best);
+        }
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Determinism under parallelism: every rayon-style fan-out in the
+//! harness must be order-preserving and seed-driven, so the *same* bytes
+//! come out whether the pool has 1 thread or many.
+//!
+//! Timing cells ("alloc ms") are masked before comparison — they are the
+//! one intentionally non-deterministic column in experiment tables.
+
+use std::sync::Mutex;
+use tf_harness::hunt::{hunt, HuntConfig};
+use tf_harness::{run_experiment, Effort, Table};
+use tf_policies::Policy;
+
+/// The thread override and the lbcache switch are process-global;
+/// serialize the tests that flip them.
+static GLOBAL_KNOBS: Mutex<()> = Mutex::new(());
+
+/// Render tables to text with every timing column masked.
+fn masked_text(tables: &[Table]) -> String {
+    let mut out = String::new();
+    for t in tables {
+        let timing_cols: Vec<usize> = t
+            .headers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, h)| (h == "alloc ms").then_some(i))
+            .collect();
+        out.push_str(&t.title);
+        out.push('\n');
+        out.push_str(&t.headers.join("|"));
+        out.push('\n');
+        for row in &t.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    if timing_cols.contains(&i) {
+                        "<t>".to_string()
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect();
+            out.push_str(&cells.join("|"));
+            out.push('\n');
+        }
+        for n in &t.notes {
+            out.push_str(n);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[test]
+fn hunt_is_byte_identical_across_thread_counts() {
+    let _guard = GLOBAL_KNOBS.lock().unwrap();
+    let cfg = HuntConfig {
+        steps: 25,
+        restarts: 2,
+        max_jobs: 6,
+        max_arrival: 8,
+        max_size: 4,
+        batch: 5,
+        ..Default::default()
+    };
+
+    let mut runs = Vec::new();
+    for threads in [1usize, 4] {
+        let prev = rayon::set_thread_override(threads);
+        let res = hunt(Policy::Rr, &cfg);
+        rayon::set_thread_override(prev);
+        runs.push(res);
+    }
+
+    let (one, many) = (&runs[0], &runs[1]);
+    assert_eq!(one.ratio.to_bits(), many.ratio.to_bits());
+    assert_eq!(one.evaluated, many.evaluated);
+    assert_eq!(one.restart_ratios.len(), many.restart_ratios.len());
+    for (a, b) in one.restart_ratios.iter().zip(&many.restart_ratios) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    let jobs = |r: &tf_harness::hunt::HuntResult| -> Vec<(u64, u64)> {
+        r.trace
+            .jobs()
+            .iter()
+            .map(|j| (j.arrival.to_bits(), j.size.to_bits()))
+            .collect()
+    };
+    assert_eq!(jobs(one), jobs(many));
+}
+
+#[test]
+fn e1_quick_tables_are_byte_identical_across_thread_counts() {
+    let _guard = GLOBAL_KNOBS.lock().unwrap();
+    // Bypass the on-disk cache: both runs must exercise the full solver
+    // path, and a warm cache would mask order bugs anyway.
+    tf_harness::lbcache::set_enabled(false);
+
+    let mut texts = Vec::new();
+    for threads in [1usize, 4] {
+        let prev = rayon::set_thread_override(threads);
+        let tables = run_experiment("e1", Effort::Quick).expect("e1 exists");
+        rayon::set_thread_override(prev);
+        texts.push(masked_text(&tables));
+    }
+    tf_harness::lbcache::set_enabled(true);
+
+    assert!(!texts[0].is_empty());
+    assert_eq!(
+        texts[0], texts[1],
+        "e1 tables differ between 1-thread and 4-thread runs"
+    );
+}

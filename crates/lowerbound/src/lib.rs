@@ -38,8 +38,10 @@ pub use bounds::{size_bound, srpt_super_machine_bound};
 pub use exact::{exact_slotted_opt, ExactLimits, ExactResult};
 pub use lp::{
     lp_relaxation_solution, lp_relaxation_value, lp_relaxation_value_at_horizon,
-    lp_relaxation_value_weighted, LpSchedule, LpSolution,
+    lp_relaxation_value_certified, lp_relaxation_value_reference, lp_relaxation_value_weighted,
+    LpSchedule, LpSolution, LpSolver,
 };
+pub use mcmf::{FlowResult, McmfGraph, MinCostFlow};
 
 use serde::{Deserialize, Serialize};
 use tf_simcore::Trace;
@@ -94,6 +96,39 @@ pub fn lk_lower_bound(trace: &Trace, m: usize, k: u32) -> LowerBound {
 
     if trace.is_integral(1e-9) && !trace.is_empty() {
         let lp = lp_relaxation_value(trace, m, k);
+        best.lp_raw = lp.objective;
+        let half = lp.objective / 2.0;
+        if half > best.value {
+            best.value = half;
+            best.kind = BoundKind::Lp;
+        }
+    }
+
+    if k == 1 {
+        let srpt = srpt_super_machine_bound(trace, m);
+        if srpt > best.value {
+            best.value = srpt;
+            best.kind = BoundKind::SrptSuperMachine;
+        }
+    }
+    best
+}
+
+/// [`lk_lower_bound`] computed through the PR-1 reference LP solver
+/// ([`lp_relaxation_value_reference`]). A test oracle: slower, but its
+/// solve path is the one the optimized solver is property-tested
+/// against, so disagreements localize to the solver rewrite.
+pub fn lk_lower_bound_reference(trace: &Trace, m: usize, k: u32) -> LowerBound {
+    let kf = f64::from(k);
+    let size = size_bound(trace, kf);
+    let mut best = LowerBound {
+        value: size,
+        kind: BoundKind::Size,
+        lp_raw: 0.0,
+    };
+
+    if trace.is_integral(1e-9) && !trace.is_empty() {
+        let lp = lp_relaxation_value_reference(trace, m, k, false);
         best.lp_raw = lp.objective;
         let half = lp.objective / 2.0;
         if half > best.value {

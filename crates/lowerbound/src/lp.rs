@@ -20,9 +20,19 @@
 //! All capacities are integers, so the LP is a transportation polytope
 //! with integral vertices; the min-cost flow solver returns its exact
 //! optimum.
+//!
+//! Two solve paths exist. The hot path is [`LpSolver`] — a reusable
+//! arena around [`McmfGraph`] with **per-job horizon pruning** (job `j`
+//! only gets arcs to slots below `r_j + p_j + ⌈W_j/m⌉ + 1`, where `W_j`
+//! is the other jobs' total work — see `docs/SOLVER.md` for the exchange
+//! argument) — the free functions route through one thread-local
+//! instance so sweeps stop reallocating. The reference path
+//! ([`lp_relaxation_value_reference`]) keeps the PR-1 successive-
+//! shortest-paths build verbatim as a property-test oracle.
 
-use crate::mcmf::MinCostFlow;
+use crate::mcmf::{McmfGraph, MinCostFlow};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use tf_policies::Fcfs;
 use tf_simcore::{simulate, MachineConfig, SimOptions, Trace};
 
@@ -97,6 +107,210 @@ impl LpSchedule {
     }
 }
 
+/// Per-job slot horizon (exclusive): `min(H, r_j + p_j + ⌈W_j/m⌉ + 1)`
+/// where `W_j` is the total work of the *other* jobs.
+///
+/// Soundness (exchange argument, `docs/SOLVER.md`): take an integral
+/// optimal solution and reroute job `j`'s units greedily to the earliest
+/// slots with spare capacity — costs are nondecreasing in `t`, so this
+/// never increases the objective and never moves any other job. In the
+/// window starting at `r_j`, a slot is unavailable to `j` only if `j`
+/// already uses it (≤ p_j slots) or other jobs fill all `m` units
+/// (≤ ⌊W_j/m⌋ slots), so all of `j`'s work fits below the bound. Arcs at
+/// or beyond it can be dropped without changing the LP optimum.
+fn job_horizon(global: u64, r: u64, p: i64, others_work: i64, m: usize) -> u64 {
+    let spill = (others_work + m as i64 - 1) / m as i64;
+    global.min(r + p as u64 + spill as u64 + 1)
+}
+
+/// Reusable LP-relaxation solver: one [`McmfGraph`] arena plus edge-id
+/// scratch, so sweeps solving many instances (e1/e11/e13, the
+/// `min_speed_for_ratio` bisection) stop reallocating per call. The free
+/// functions in this module route through a shared thread-local
+/// instance; hold your own `LpSolver` only for tight loops where even
+/// the thread-local lookup matters.
+#[derive(Debug, Default)]
+pub struct LpSolver {
+    graph: McmfGraph,
+    edge_ids: Vec<Vec<(u64, usize)>>,
+}
+
+/// Node layout + supply of a built LP network.
+struct BuiltLp {
+    total_supply: i64,
+    source: usize,
+    sink: usize,
+}
+
+impl LpSolver {
+    /// A fresh arena (allocates lazily on first solve).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build the transportation network for `trace` into the arena.
+    /// When `record` is set, per-job `(slot, edge_id)` pairs land in
+    /// `self.edge_ids` for assignment extraction.
+    fn build(
+        &mut self,
+        trace: &Trace,
+        m: usize,
+        k: u32,
+        weighted: bool,
+        horizon: u64,
+        record: bool,
+    ) -> BuiltLp {
+        let n = trace.len();
+        let slots = horizon as usize;
+        // Nodes: source, jobs, slots, sink.
+        let source = 0usize;
+        let job0 = 1usize;
+        let slot0 = job0 + n;
+        let sink = slot0 + slots;
+        self.graph.reset(sink + 1);
+        if record {
+            self.edge_ids.clear();
+            self.edge_ids.resize_with(n, Vec::new);
+        }
+        let total_work: i64 = trace.jobs().iter().map(|j| j.size.round() as i64).sum();
+        let mut total_supply: i64 = 0;
+        for (ji, j) in trace.jobs().iter().enumerate() {
+            let p = j.size.round() as i64;
+            let r = j.arrival.round() as u64;
+            total_supply += p;
+            self.graph.add_edge(source, job0 + ji, p, 0.0);
+            let pk = ipow(j.size, k);
+            let w = if weighted { j.weight } else { 1.0 };
+            let h_j = job_horizon(horizon, r, p, total_work - p, m);
+            for t in r..h_j {
+                let age = (t - r) as f64;
+                let cost = w * (ipow(age, k) + pk) / j.size;
+                let id = self.graph.add_edge(job0 + ji, slot0 + t as usize, 1, cost);
+                if record {
+                    self.edge_ids[ji].push((t, id));
+                }
+            }
+        }
+        for t in 0..slots {
+            self.graph.add_edge(slot0 + t, sink, m as i64, 0.0);
+        }
+        BuiltLp {
+            total_supply,
+            source,
+            sink,
+        }
+    }
+
+    /// As [`lp_relaxation_value_at_horizon`], on this arena.
+    pub fn value_at_horizon(
+        &mut self,
+        trace: &Trace,
+        m: usize,
+        k: u32,
+        weighted: bool,
+        horizon_override: Option<u64>,
+    ) -> LpSolution {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(
+            trace.is_integral(1e-9),
+            "LP relaxation needs integral traces"
+        );
+        assert!(m >= 1);
+        if trace.is_empty() {
+            return LpSolution {
+                objective: 0.0,
+                horizon: 0,
+                routed: 0,
+            };
+        }
+        let tight = tight_horizon(trace, m);
+        let horizon = match horizon_override {
+            Some(h) => {
+                assert!(h >= tight, "horizon override below the feasible minimum");
+                h
+            }
+            None => tight,
+        };
+        let b = self.build(trace, m, k, weighted, horizon, false);
+        let r = self.graph.solve(b.source, b.sink, b.total_supply);
+        debug_assert_eq!(r.flow, b.total_supply, "horizon too small for feasibility");
+        LpSolution {
+            objective: r.cost,
+            horizon,
+            routed: r.flow,
+        }
+    }
+
+    /// Solve and then audit the flow with the independent negative-cycle
+    /// certificate; panics if certification fails. Speed never costs
+    /// certification: this is the optimized path plus the audit.
+    pub fn certified_value(
+        &mut self,
+        trace: &Trace,
+        m: usize,
+        k: u32,
+        weighted: bool,
+    ) -> LpSolution {
+        let s = self.value_at_horizon(trace, m, k, weighted, None);
+        if !trace.is_empty() {
+            let tol = 1e-9 * (1.0 + s.objective.abs());
+            assert!(
+                self.graph.verify_optimal(tol),
+                "optimized LP solve left a negative residual cycle"
+            );
+        }
+        s
+    }
+
+    /// As [`lp_relaxation_solution`], on this arena.
+    pub fn schedule(&mut self, trace: &Trace, m: usize, k: u32) -> LpSchedule {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(
+            trace.is_integral(1e-9),
+            "LP relaxation needs integral traces"
+        );
+        assert!(m >= 1);
+        let n = trace.len();
+        if n == 0 {
+            return LpSchedule {
+                assignments: vec![],
+                completion: vec![],
+                objective: 0.0,
+            };
+        }
+        let horizon = tight_horizon(trace, m);
+        let b = self.build(trace, m, k, false, horizon, true);
+        let res = self.graph.solve(b.source, b.sink, b.total_supply);
+        debug_assert_eq!(res.flow, b.total_supply);
+
+        let mut assignments = Vec::with_capacity(n);
+        let mut completion = Vec::with_capacity(n);
+        for ids in &self.edge_ids {
+            let mut a: Vec<(u64, i64)> = ids
+                .iter()
+                .filter_map(|&(t, id)| {
+                    let f = self.graph.flow_on(id);
+                    (f > 0).then_some((t, f))
+                })
+                .collect();
+            a.sort_by_key(|&(t, _)| t);
+            completion.push(a.last().map_or(0.0, |&(t, _)| (t + 1) as f64));
+            assignments.push(a);
+        }
+        LpSchedule {
+            assignments,
+            completion,
+            objective: res.cost,
+        }
+    }
+}
+
+thread_local! {
+    /// One arena per thread: the rayon fan-outs in the harness each get
+    /// their own, so no locking on the hot path.
+    static SHARED_SOLVER: RefCell<LpSolver> = RefCell::new(LpSolver::new());
+}
+
 /// Solve the LP and extract the optimal assignment — the "fractional
 /// OPT" schedule the paper's relaxation describes. Useful for inspecting
 /// how the relaxation beats every integral schedule (E11) and for
@@ -105,68 +319,7 @@ impl LpSchedule {
 /// # Panics
 /// As [`lp_relaxation_value`].
 pub fn lp_relaxation_solution(trace: &Trace, m: usize, k: u32) -> LpSchedule {
-    assert!(k >= 1, "k must be at least 1");
-    assert!(
-        trace.is_integral(1e-9),
-        "LP relaxation needs integral traces"
-    );
-    assert!(m >= 1);
-    let n = trace.len();
-    if n == 0 {
-        return LpSchedule {
-            assignments: vec![],
-            completion: vec![],
-            objective: 0.0,
-        };
-    }
-    let horizon = tight_horizon(trace, m);
-    let slots = horizon as usize;
-    let source = 0usize;
-    let job0 = 1usize;
-    let slot0 = job0 + n;
-    let sink = slot0 + slots;
-    let mut g = MinCostFlow::new(sink + 1);
-
-    let mut total_supply: i64 = 0;
-    let mut edge_ids: Vec<Vec<(u64, usize)>> = vec![Vec::new(); n];
-    for (ji, j) in trace.jobs().iter().enumerate() {
-        let p = j.size.round() as i64;
-        let r = j.arrival.round() as u64;
-        total_supply += p;
-        g.add_edge(source, job0 + ji, p, 0.0);
-        let pk = ipow(j.size, k);
-        for t in r..horizon {
-            let age = (t - r) as f64;
-            let cost = (ipow(age, k) + pk) / j.size;
-            let id = g.add_edge(job0 + ji, slot0 + t as usize, 1, cost);
-            edge_ids[ji].push((t, id));
-        }
-    }
-    for t in 0..slots {
-        g.add_edge(slot0 + t, sink, m as i64, 0.0);
-    }
-    let res = g.solve(source, sink, total_supply);
-    debug_assert_eq!(res.flow, total_supply);
-
-    let mut assignments = Vec::with_capacity(n);
-    let mut completion = Vec::with_capacity(n);
-    for ids in &edge_ids {
-        let mut a: Vec<(u64, i64)> = ids
-            .iter()
-            .filter_map(|&(t, id)| {
-                let f = g.flow_on(id);
-                (f > 0).then_some((t, f))
-            })
-            .collect();
-        a.sort_by_key(|&(t, _)| t);
-        completion.push(a.last().map_or(0.0, |&(t, _)| (t + 1) as f64));
-        assignments.push(a);
-    }
-    LpSchedule {
-        assignments,
-        completion,
-        objective: res.cost,
-    }
+    SHARED_SOLVER.with(|s| s.borrow_mut().schedule(trace, m, k))
 }
 
 /// Solve the LP relaxation for an integral trace on `m` unit-speed
@@ -202,6 +355,32 @@ pub fn lp_relaxation_value_at_horizon(
     weighted: bool,
     horizon_override: Option<u64>,
 ) -> LpSolution {
+    SHARED_SOLVER.with(|s| {
+        s.borrow_mut()
+            .value_at_horizon(trace, m, k, weighted, horizon_override)
+    })
+}
+
+/// As [`lp_relaxation_value_weighted`], plus the independent
+/// negative-cycle audit of the solved network (panics on failure).
+pub fn lp_relaxation_value_certified(
+    trace: &Trace,
+    m: usize,
+    k: u32,
+    weighted: bool,
+) -> LpSolution {
+    SHARED_SOLVER.with(|s| s.borrow_mut().certified_value(trace, m, k, weighted))
+}
+
+/// The PR-1 solve path, kept verbatim as a test oracle: one-unit
+/// successive shortest paths on [`MinCostFlow`], global tight horizon,
+/// no per-job pruning. Property tests pin the optimized path to this.
+pub fn lp_relaxation_value_reference(
+    trace: &Trace,
+    m: usize,
+    k: u32,
+    weighted: bool,
+) -> LpSolution {
     assert!(k >= 1, "k must be at least 1");
     assert!(
         trace.is_integral(1e-9),
@@ -216,14 +395,7 @@ pub fn lp_relaxation_value_at_horizon(
         };
     }
 
-    let tight = tight_horizon(trace, m);
-    let horizon = match horizon_override {
-        Some(h) => {
-            assert!(h >= tight, "horizon override below the feasible minimum");
-            h
-        }
-        None => tight,
-    };
+    let horizon = tight_horizon(trace, m);
     let n = trace.len();
     let slots = horizon as usize;
 
@@ -448,6 +620,81 @@ mod tests {
                 .map(|j| j.weight * flows[j.id as usize].powf(k))
                 .sum()
         }
+    }
+
+    #[test]
+    fn optimized_matches_reference_oracle() {
+        // Hand-picked shapes with contention, gaps, and late arrivals.
+        for pairs in [
+            vec![(0.0, 1.0)],
+            vec![(0.0, 3.0), (1.0, 1.0), (2.0, 2.0), (2.0, 1.0)],
+            vec![(0.0, 1.0), (0.0, 1.0), (0.0, 1.0), (9.0, 2.0)],
+            vec![(0.0, 5.0), (0.0, 5.0), (3.0, 1.0), (7.0, 2.0), (7.0, 2.0)],
+        ] {
+            let t = Trace::from_pairs(pairs).unwrap();
+            for m in [1usize, 2, 4] {
+                for k in [1u32, 2, 3] {
+                    let fast = lp_relaxation_value(&t, m, k);
+                    let slow = lp_relaxation_value_reference(&t, m, k, false);
+                    assert_eq!(fast.routed, slow.routed, "m={m} k={k}");
+                    assert!(
+                        (fast.objective - slow.objective).abs()
+                            <= 1e-6 * (1.0 + slow.objective.abs()),
+                        "m={m} k={k}: optimized {} vs reference {}",
+                        fast.objective,
+                        slow.objective
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn certified_value_matches_and_passes_audit() {
+        let t = Trace::from_pairs([(0.0, 2.0), (1.0, 1.0), (1.0, 3.0)]).unwrap();
+        for (m, k) in [(1usize, 1u32), (2, 2), (1, 3)] {
+            let plain = lp_relaxation_value(&t, m, k);
+            let certified = lp_relaxation_value_certified(&t, m, k, false);
+            assert_eq!(plain, certified, "m={m} k={k}");
+        }
+        // Empty trace: no network to audit, still fine.
+        let empty = Trace::from_pairs(std::iter::empty()).unwrap();
+        assert_eq!(lp_relaxation_value_certified(&empty, 1, 2, false).routed, 0);
+    }
+
+    #[test]
+    fn per_job_pruning_is_lossless_under_skew() {
+        // One huge early job stretches the global horizon far past what a
+        // tiny late job needs; the pruned network must agree with the
+        // unpruned reference anyway.
+        let t = Trace::from_pairs([(0.0, 12.0), (20.0, 1.0), (21.0, 1.0)]).unwrap();
+        for m in [1usize, 2] {
+            for k in [1u32, 2] {
+                let fast = lp_relaxation_value(&t, m, k);
+                let slow = lp_relaxation_value_reference(&t, m, k, false);
+                assert!(
+                    (fast.objective - slow.objective).abs() < 1e-9 * (1.0 + slow.objective),
+                    "m={m} k={k}: {} vs {}",
+                    fast.objective,
+                    slow.objective
+                );
+                assert_eq!(fast.routed, slow.routed);
+            }
+        }
+    }
+
+    #[test]
+    fn dedicated_arena_reuse_matches_shared_path() {
+        let mut solver = LpSolver::new();
+        let a = Trace::from_pairs([(0.0, 2.0), (0.0, 1.0)]).unwrap();
+        let b = Trace::from_pairs([(0.0, 1.0), (3.0, 4.0), (3.0, 1.0)]).unwrap();
+        for t in [&a, &b, &a] {
+            let via_arena = solver.value_at_horizon(t, 2, 2, false, None);
+            let via_free = lp_relaxation_value(t, 2, 2);
+            assert_eq!(via_arena, via_free);
+        }
+        let sched = solver.schedule(&b, 1, 1);
+        assert!((sched.objective - lp_relaxation_solution(&b, 1, 1).objective).abs() < 1e-9);
     }
 
     #[test]

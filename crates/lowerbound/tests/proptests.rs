@@ -56,6 +56,37 @@ proptest! {
             "tight {} vs loose {}", tight.objective, loose.objective);
     }
 
+    /// Solver equivalence: the optimized arena solver (early-exit
+    /// Dijkstra, multi-unit blocking phases, per-job pruning) matches the
+    /// PR-1 successive-shortest-paths oracle on random traces across
+    /// k ∈ {1,2,3}, m ∈ {1,2,4}, and its flow passes the independent
+    /// negative-cycle certificate.
+    #[test]
+    fn optimized_lp_matches_ssp_oracle_and_certifies(t in arb_integral_trace()) {
+        use tf_lowerbound::{lp_relaxation_value_certified, lp_relaxation_value_reference};
+        for m in [1usize, 2, 4] {
+            for k in [1u32, 2, 3] {
+                let fast = lp_relaxation_value_certified(&t, m, k, false);
+                let slow = lp_relaxation_value_reference(&t, m, k, false);
+                prop_assert_eq!(fast.routed, slow.routed, "m={} k={}", m, k);
+                prop_assert!(
+                    (fast.objective - slow.objective).abs() <= 1e-6 * (1.0 + slow.objective.abs()),
+                    "m={} k={}: optimized {} vs oracle {}", m, k, fast.objective, slow.objective);
+            }
+        }
+    }
+
+    /// End-to-end: the combined bound through the optimized path equals
+    /// the bound through the reference path (same winning component).
+    #[test]
+    fn lower_bound_matches_reference_pipeline(t in arb_integral_trace(), m in 1usize..4, k in 1u32..4) {
+        use tf_lowerbound::lk_lower_bound_reference;
+        let fast = lk_lower_bound(&t, m, k);
+        let slow = lk_lower_bound_reference(&t, m, k);
+        prop_assert!((fast.value - slow.value).abs() <= 1e-6 * (1.0 + slow.value.abs()),
+            "m={} k={}: {} vs {}", m, k, fast.value, slow.value);
+    }
+
     /// More machines never increase the bound (capacity only helps OPT).
     #[test]
     fn bound_monotone_in_machines(t in arb_integral_trace(), k in 1u32..4) {

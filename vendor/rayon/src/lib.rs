@@ -14,11 +14,39 @@
 //! sequential adapters, which keeps the type surface tiny.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide thread-count override; 0 means "use available cores".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Force the pool width for subsequent parallel calls (0 restores the
+/// auto-detected width). Returns the previous override so callers can
+/// scope it. Real rayon configures this through `ThreadPoolBuilder`; the
+/// stand-in only needs it for determinism tests that compare 1-thread
+/// against many-thread runs.
+pub fn set_thread_override(n: usize) -> usize {
+    THREAD_OVERRIDE.swap(n, Ordering::SeqCst)
+}
 
 fn n_threads(items: usize) -> usize {
-    let cores = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(4);
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    let cores = if forced > 0 {
+        forced
+    } else if let Ok(n) = std::env::var("RAYON_NUM_THREADS") {
+        // Same env knob real rayon honors.
+        n.parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(4)
+            })
+    } else {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(4)
+    };
     cores.min(items).max(1)
 }
 
@@ -284,6 +312,18 @@ mod tests {
         assert_eq!(out, vec![1, 10, 2, 20, 3, 30]);
         let sum: u64 = (0u64..100).into_par_iter().map(|x| x).sum();
         assert_eq!(sum, 4950);
+    }
+
+    #[test]
+    fn thread_override_preserves_order() {
+        let v: Vec<u64> = (0..257).collect();
+        let seq: Vec<u64> = v.iter().map(|&x| x * 3 + 1).collect();
+        for forced in [1usize, 2, 7] {
+            let prev = super::set_thread_override(forced);
+            let out: Vec<u64> = v.par_iter().map(|&x| x * 3 + 1).collect();
+            super::set_thread_override(prev);
+            assert_eq!(out, seq, "forced={forced}");
+        }
     }
 
     #[test]
