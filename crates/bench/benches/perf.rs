@@ -2,9 +2,12 @@
 //! profile recording, the pre-optimization engine as a same-machine
 //! baseline, the arena-based `lk_lower_bound` next to the PR-1
 //! unit-augmenting SSP oracle, and one adversarial-hunt generation.
-//! Results land in `BENCH_2.json` at the repo root with speedup ratios
-//! against both the in-run SSP oracle and the committed `BENCH_1.json`
-//! record, so before/after numbers are machine-comparable.
+//! Results land in `BENCH_3.json` at the repo root with speedup ratios
+//! against the in-run SSP oracle and the committed `BENCH_1.json` and
+//! `BENCH_2.json` records (both kept untouched as historical baselines),
+//! so before/after numbers are machine-comparable. The `*_vs_bench2`
+//! ratios gate the tf-obs tracing layer: with tracing off they must stay
+//! within 2 % of the pre-instrumentation record.
 //!
 //! Run with `cargo bench -p tf-bench --bench perf`. Set `BENCH_MEASURE_MS`
 //! / `BENCH_WARMUP_MS` for a quick smoke pass.
@@ -339,13 +342,14 @@ fn median_of(results: &[criterion::BenchResult], group: &str, bench: &str) -> Op
         .map(|r| r.median_ns)
 }
 
-/// Pull `median_ns` for (group, bench) out of the committed PR-1 record.
-/// `BENCH_1.json` is written one bench per line by the PR-1 version of
-/// this harness, so a line scan is enough — no JSON dependency needed.
-fn bench1_median(bench1: &str, group: &str, bench: &str) -> Option<f64> {
+/// Pull `median_ns` for (group, bench) out of a committed record.
+/// `BENCH_1.json`/`BENCH_2.json` are written one bench per line by prior
+/// versions of this harness, so a line scan is enough — no JSON
+/// dependency needed.
+fn committed_median(record: &str, group: &str, bench: &str) -> Option<f64> {
     let group_tag = format!("\"group\": {group:?}");
     let bench_tag = format!("\"bench\": {bench:?}");
-    for line in bench1.lines() {
+    for line in record.lines() {
         if line.contains(&group_tag) && line.contains(&bench_tag) {
             let rest = line.split("\"median_ns\": ").nth(1)?;
             let num: String = rest
@@ -358,10 +362,11 @@ fn bench1_median(bench1: &str, group: &str, bench: &str) -> Option<f64> {
     None
 }
 
-fn write_bench2(results: &[criterion::BenchResult]) {
+fn write_bench3(results: &[criterion::BenchResult]) {
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-    let path = format!("{root}/BENCH_2.json");
+    let path = format!("{root}/BENCH_3.json");
     let bench1 = std::fs::read_to_string(format!("{root}/BENCH_1.json")).unwrap_or_default();
+    let bench2 = std::fs::read_to_string(format!("{root}/BENCH_2.json")).unwrap_or_default();
 
     let mut out = String::from("{\n  \"benches\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -414,16 +419,69 @@ fn write_bench2(results: &[criterion::BenchResult]) {
     for bench in ["lk_k2_m2/40", "lk_k2_m2/80"] {
         if let (Some(new), Some(old)) = (
             median_of(results, "perf/lower_bound", bench),
-            bench1_median(&bench1, "perf/lower_bound", bench),
+            committed_median(&bench1, "perf/lower_bound", bench),
         ) {
             lines.push(format!("    {:?}: {:.3}", bench, old / new));
         }
     }
     out.push_str(&lines.join(",\n"));
+
+    // The tf-obs gate: this run's medians vs the committed BENCH_2.json
+    // record, taken just before the tracing layer landed. Ratios are
+    // old/new, so 1.0 means no change. Read them against
+    // machine_drift_vs_bench2 below: BENCH_2 was recorded in a different
+    // container session, so the instrumented ratios only indicate real
+    // overhead to the extent they fall below the drift of the unchanged
+    // reference code measured the same way.
+    out.push_str("\n  },\n  \"speedup_vs_bench2\": {\n");
+    let mut lines = Vec::new();
+    for (group, bench) in [
+        ("perf/engine", "profile_off/100"),
+        ("perf/engine", "profile_off/1000"),
+        ("perf/engine", "profile_on/100"),
+        ("perf/engine", "profile_on/1000"),
+        ("perf/lower_bound", "lk_k2_m2/40"),
+        ("perf/lower_bound", "lk_k2_m2/80"),
+        ("perf/lower_bound", "lk_k2_m2/160"),
+        ("perf/lower_bound", "lk_k2_m2/320"),
+        ("perf/hunt", "rr_generations/10"),
+    ] {
+        if let (Some(new), Some(old)) = (
+            median_of(results, group, bench),
+            committed_median(&bench2, group, bench),
+        ) {
+            lines.push(format!("    \"{group}/{bench}\": {:.3}", old / new));
+        }
+    }
+    out.push_str(&lines.join(",\n"));
+
+    // Machine-drift control: the same old/new ratio for bench targets whose
+    // code has not changed since BENCH_2 (the frozen pre-optimization engine
+    // loop and the unit-SSP oracle, neither of which contains a tf-obs
+    // probe). Any deviation from 1.0 here is measurement/machine drift, and
+    // bounds how finely speedup_vs_bench2 can be read.
+    out.push_str("\n  },\n  \"machine_drift_vs_bench2\": {\n");
+    let mut lines = Vec::new();
+    for (group, bench) in [
+        ("perf/engine_baseline", "profile_off/100"),
+        ("perf/engine_baseline", "profile_off/1000"),
+        ("perf/engine_baseline", "profile_on/100"),
+        ("perf/engine_baseline", "profile_on/1000"),
+        ("perf/lower_bound_ssp", "lk_k2_m2/40"),
+        ("perf/lower_bound_ssp", "lk_k2_m2/80"),
+    ] {
+        if let (Some(new), Some(old)) = (
+            median_of(results, group, bench),
+            committed_median(&bench2, group, bench),
+        ) {
+            lines.push(format!("    \"{group}/{bench}\": {:.3}", old / new));
+        }
+    }
+    out.push_str(&lines.join(",\n"));
     out.push_str("\n  }\n}\n");
 
-    let mut f = std::fs::File::create(&path).expect("create BENCH_2.json");
-    f.write_all(out.as_bytes()).expect("write BENCH_2.json");
+    let mut f = std::fs::File::create(&path).expect("create BENCH_3.json");
+    f.write_all(out.as_bytes()).expect("write BENCH_3.json");
     println!("wrote {path}");
 }
 
@@ -436,5 +494,5 @@ fn main() {
     bench_lower_bound_ssp(&mut c);
     bench_hunt(&mut c);
     c.flush_json();
-    write_bench2(c.results());
+    write_bench3(c.results());
 }

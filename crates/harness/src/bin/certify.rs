@@ -2,18 +2,27 @@
 //!
 //! ```text
 //! certify <trace.json> [--m M] [--k K] [--eps E] [--speed S] [--pretty]
+//!         [--threads N] [--trace PATH]
 //! ```
 //!
 //! Reads a JSON trace (as written by `tf_workload::traceio::save_trace`),
 //! runs RR at the prescribed speed `2k(1+10ε)` (or `--speed`), builds the
 //! Section 3.2 dual variables, checks every inequality, and prints the
 //! certificate as JSON on stdout. Exit code 0 iff certified.
+//!
+//! With `TF_TRACE` set (`jsonl`/`chrome`), the run is traced (default
+//! path `certify.jsonl` / `certify.trace.json`, overridable with
+//! `--trace`) and the merged counter registry — engine counters plus
+//! min-cost-flow solver counters — is printed to stderr.
 
 use tf_core::{verify_theorem1_at_speed, Certificate};
+use tf_harness::RunCtx;
 use tf_workload::traceio::load_trace;
 
 fn usage() -> ! {
-    eprintln!("usage: certify <trace.json> [--m M] [--k K] [--eps E] [--speed S] [--pretty]");
+    eprintln!(
+        "usage: certify <trace.json> [--m M] [--k K] [--eps E] [--speed S] [--pretty] [--threads N] [--trace PATH]"
+    );
     std::process::exit(2);
 }
 
@@ -24,6 +33,8 @@ fn main() {
     let mut eps = 0.05f64;
     let mut speed: Option<f64> = None;
     let mut pretty = false;
+    let mut ctx = RunCtx::full();
+    let mut trace_path: Option<std::path::PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -54,11 +65,29 @@ fn main() {
                 )
             }
             "--pretty" => pretty = true,
+            "--threads" => {
+                ctx.threads = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--trace" => {
+                trace_path = Some(std::path::PathBuf::from(
+                    args.next().unwrap_or_else(|| usage()),
+                ))
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
             other => path = Some(other.to_string()),
         }
     }
+    ctx.trace = tf_obs::SinkSpec::from_env(trace_path, "certify").unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    ctx.apply();
+
     let Some(path) = path else { usage() };
     let trace = match load_trace(&path) {
         Ok(t) => t,
@@ -68,11 +97,14 @@ fn main() {
         }
     };
     let speed = speed.unwrap_or_else(|| tf_core::eta(k, eps));
-    let cert: Certificate = match verify_theorem1_at_speed(&trace, m, k, eps, speed) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("simulation failed: {e}");
-            std::process::exit(2);
+    let cert: Certificate = {
+        let _span = tf_obs::span!("harness", "certify");
+        match verify_theorem1_at_speed(&trace, m, k, eps, speed) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("simulation failed: {e}");
+                std::process::exit(2);
+            }
         }
     };
     eprintln!(
@@ -86,6 +118,21 @@ fn main() {
         cert.sim.segments_recorded,
         cert.sim.alloc_secs() * 1e3,
     );
+    if !ctx.trace.is_off() {
+        // One flat registry over every layer the run touched: engine
+        // step/alloc counters, MCMF solver work, and lb-cache traffic.
+        let mut reg = cert.sim.registry();
+        reg.merge(&tf_lowerbound::last_solve_stats().registry());
+        reg.merge(&tf_harness::lbcache::registry());
+        for (key, value) in reg.iter() {
+            eprintln!("counter {key} = {value}");
+        }
+        match tf_obs::flush() {
+            Ok(Some(p)) => eprintln!("trace written to {}", p.display()),
+            Ok(None) => {}
+            Err(e) => eprintln!("trace write failed: {e}"),
+        }
+    }
     let json = if pretty {
         serde_json::to_string_pretty(&cert)
     } else {

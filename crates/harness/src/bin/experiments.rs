@@ -1,13 +1,21 @@
 //! CLI entry point: run experiments and print/persist their tables.
 //!
 //! ```text
-//! experiments [e1 e2 ... | all] [--quick] [--no-cache] [--format text|md|csv] [--out DIR]
+//! experiments [e1 e2 ... | all] [--quick] [--no-cache] [--format text|md|csv]
+//!             [--out DIR] [--threads N] [--trace PATH]
 //! ```
+//!
+//! Tracing is controlled by the `TF_TRACE` environment variable (`off`,
+//! `jsonl`, `chrome`); `--trace PATH` overrides the default output path
+//! (`experiments.jsonl` / `experiments.trace.json`). When tracing is on, a per-stage
+//! timing table is printed after the experiment tables and the trace file
+//! is written on exit.
 
 use std::io::Write;
 use std::path::PathBuf;
-use tf_harness::experiments::{all_ids, run_experiment};
-use tf_harness::{Effort, Table};
+use tf_harness::experiments::{all_ids, run_experiment_ctx};
+use tf_harness::table::timing_table;
+use tf_harness::{Effort, RunCtx, Table};
 
 #[derive(Clone, Copy, PartialEq)]
 enum Format {
@@ -19,9 +27,11 @@ enum Format {
 fn usage() -> ! {
     let ids = all_ids();
     eprintln!(
-        "usage: experiments [{first} {second} ... | all] [--quick] [--no-cache] [--format text|md|csv] [--out DIR]\n\
+        "usage: experiments [{first} {second} ... | all] [--quick] [--no-cache] [--format text|md|csv] [--out DIR] [--threads N] [--trace PATH]\n\
          Runs the {first}-{last} experiment suite (see DESIGN.md) and prints the tables.\n\
-         --no-cache  recompute lower bounds instead of reading results/cache/",
+         --no-cache   recompute lower bounds instead of reading results/cache/\n\
+         --threads N  fix the worker-thread count (default: one per core)\n\
+         --trace PATH write the TF_TRACE-selected trace format to PATH",
         first = ids.first().unwrap_or(&"e1"),
         second = ids.get(1).unwrap_or(&"e2"),
         last = ids.last().unwrap_or(&"e1"),
@@ -31,15 +41,15 @@ fn usage() -> ! {
 
 fn main() {
     let mut ids: Vec<String> = Vec::new();
-    let mut effort = Effort::Full;
+    let mut ctx = RunCtx::full();
     let mut format = Format::Text;
-    let mut out_dir: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--quick" => effort = Effort::Quick,
-            "--no-cache" => tf_harness::lbcache::set_enabled(false),
+            "--quick" => ctx.effort = Effort::Quick,
+            "--no-cache" => ctx.cache = false,
             "--format" => {
                 format = match args.next().as_deref() {
                     Some("text") => Format::Text,
@@ -48,29 +58,48 @@ fn main() {
                     _ => usage(),
                 }
             }
-            "--out" => out_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--out" => {
+                ctx.out_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
+            "--threads" => {
+                ctx.threads = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--trace" => trace_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
             other => ids.push(other.to_string()),
         }
     }
+    ctx.trace = tf_obs::SinkSpec::from_env(trace_path, "experiments").unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    ctx.apply();
+
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = all_ids().into_iter().map(String::from).collect();
     }
 
-    if let Some(dir) = &out_dir {
+    if let Some(dir) = &ctx.out_dir {
         std::fs::create_dir_all(dir).expect("create output directory");
     }
 
     for id in &ids {
-        let Some(tables) = run_experiment(id, effort) else {
+        let Some(tables) = run_experiment_ctx(id, &ctx) else {
             eprintln!("unknown experiment: {id} (known: {})", all_ids().join(", "));
             std::process::exit(2);
         };
         for (i, t) in tables.iter().enumerate() {
-            let rendered = render(t, format);
+            let rendered = {
+                let _span = tf_obs::span!("harness", "render_table");
+                render(t, format)
+            };
             println!("{rendered}");
-            if let Some(dir) = &out_dir {
+            if let Some(dir) = &ctx.out_dir {
                 let ext = match format {
                     Format::Text => "txt",
                     Format::Markdown => "md",
@@ -80,6 +109,17 @@ fn main() {
                 let mut f = std::fs::File::create(&path).expect("create table file");
                 f.write_all(rendered.as_bytes()).expect("write table file");
             }
+        }
+    }
+
+    if !ctx.trace.is_off() {
+        if let Some(t) = timing_table() {
+            eprintln!("{}", t.to_text());
+        }
+        match tf_obs::flush() {
+            Ok(Some(path)) => eprintln!("trace written to {}", path.display()),
+            Ok(None) => {}
+            Err(e) => eprintln!("trace write failed: {e}"),
         }
     }
 }

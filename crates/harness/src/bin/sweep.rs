@@ -1,7 +1,7 @@
 //! Grid-sweep CLI: evaluate policies across a JSON-declared grid.
 //!
 //! ```text
-//! sweep <config.json> [--format text|md|csv]
+//! sweep <config.json> [--format text|md|csv] [--no-cache] [--threads N] [--trace PATH]
 //! ```
 //!
 //! Example config:
@@ -15,27 +15,53 @@
 //!   "ms": [1, 4]
 //! }
 //! ```
+//!
+//! Tracing follows `TF_TRACE` (`jsonl`/`chrome`; default output
+//! `sweep.jsonl` / `sweep.trace.json`, overridable with `--trace`); when
+//! on, a per-stage timing table is printed to stderr after the sweep.
 
 use tf_harness::sweep::{run_sweep, SweepConfig};
+use tf_harness::table::timing_table;
+use tf_harness::RunCtx;
 
 fn usage() -> ! {
-    eprintln!("usage: sweep <config.json> [--format text|md|csv] [--no-cache]");
+    eprintln!("usage: sweep <config.json> [--format text|md|csv] [--no-cache] [--threads N] [--trace PATH]");
     std::process::exit(2);
 }
 
 fn main() {
     let mut path = None;
     let mut format = "text".to_string();
+    let mut ctx = RunCtx::full();
+    let mut trace_path: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--format" => format = args.next().unwrap_or_else(|| usage()),
-            "--no-cache" => tf_harness::lbcache::set_enabled(false),
+            "--no-cache" => ctx.cache = false,
+            "--threads" => {
+                ctx.threads = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--trace" => {
+                trace_path = Some(std::path::PathBuf::from(
+                    args.next().unwrap_or_else(|| usage()),
+                ))
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
             other => path = Some(other.to_string()),
         }
     }
+    ctx.trace = tf_obs::SinkSpec::from_env(trace_path, "sweep").unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    ctx.apply();
+
     let Some(path) = path else { usage() };
     let json = std::fs::read_to_string(&path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
@@ -49,10 +75,24 @@ fn main() {
         eprintln!("sweep failed: {e}");
         std::process::exit(2);
     });
-    match format.as_str() {
-        "text" => println!("{}", table.to_text()),
-        "md" | "markdown" => println!("{}", table.to_markdown()),
-        "csv" => println!("{}", table.to_csv()),
-        _ => usage(),
+    let rendered = {
+        let _span = tf_obs::span!("harness", "render_table");
+        match format.as_str() {
+            "text" => table.to_text(),
+            "md" | "markdown" => table.to_markdown(),
+            "csv" => table.to_csv(),
+            _ => usage(),
+        }
+    };
+    println!("{rendered}");
+    if !ctx.trace.is_off() {
+        if let Some(t) = timing_table() {
+            eprintln!("{}", t.to_text());
+        }
+        match tf_obs::flush() {
+            Ok(Some(p)) => eprintln!("trace written to {}", p.display()),
+            Ok(None) => {}
+            Err(e) => eprintln!("trace write failed: {e}"),
+        }
     }
 }

@@ -10,7 +10,7 @@
 //! constants, comfortably below the (loose) theoretical bound, and do not
 //! grow with k beyond the theory's `O(k)` scaling.
 
-use super::Effort;
+use super::RunCtx;
 use crate::corpus::random_corpus;
 use crate::ratio::{default_baselines, empirical_ratios, RatioTask};
 use crate::table::{fnum, stats_cells, Table};
@@ -18,7 +18,8 @@ use tf_core::{eta, gamma};
 use tf_policies::Policy;
 
 /// Run E1.
-pub fn e1(effort: Effort) -> Vec<Table> {
+pub fn e1(ctx: &RunCtx) -> Vec<Table> {
+    let effort = ctx.effort;
     let eps = 0.1;
     let mut table = Table::new(
         "E1: RR at the prescribed speed 2k(1+10eps), eps=0.1 (Theorem 1)",
@@ -92,7 +93,7 @@ mod tests {
 
     #[test]
     fn e1_ratios_are_modest_and_below_theory() {
-        let tables = e1(Effort::Quick);
+        let tables = e1(&RunCtx::quick());
         let t = &tables[0];
         assert_eq!(t.rows.len(), 3 * 2 * 4); // k × m × corpus
         for row in &t.rows {

@@ -9,7 +9,7 @@
 //! bracket stays a small constant across the whole load range, including
 //! past saturation (ρ ≥ 1), where unaugmented policies degrade.
 
-use super::Effort;
+use super::{Effort, RunCtx};
 use crate::corpus::random_corpus;
 use crate::ratio::{default_baselines, empirical_ratios, RatioTask};
 use crate::table::{fnum, stats_cells, Table};
@@ -17,7 +17,8 @@ use tf_policies::Policy;
 use tf_simcore::SimStats;
 
 /// Run E2.
-pub fn e2(effort: Effort) -> Vec<Table> {
+pub fn e2(ctx: &RunCtx) -> Vec<Table> {
+    let effort = ctx.effort;
     let speed = 4.4;
     let k = 2u32;
     let rhos = [0.6, 0.8, 0.9, 1.0, 1.2];
@@ -111,7 +112,7 @@ mod tests {
 
     #[test]
     fn e2_ratio_bounded_across_loads() {
-        let t = &e2(Effort::Quick)[0];
+        let t = &e2(&RunCtx::quick())[0];
         assert_eq!(t.rows.len(), 2 * 5);
         for row in &t.rows {
             let lo_max: f64 = row[3].parse().unwrap();

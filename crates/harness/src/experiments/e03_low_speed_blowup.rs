@@ -16,7 +16,7 @@
 //! bursts recursively in time; the finite-depth trend here is its
 //! measurable shadow.
 
-use super::Effort;
+use super::{Effort, RunCtx};
 use crate::ratio::{best_baseline_power, default_baselines, policy_power_sum};
 use crate::table::{fnum, Table};
 use rayon::prelude::*;
@@ -24,7 +24,8 @@ use tf_policies::Policy;
 use tf_workload::adversarial::geometric_burst;
 
 /// Run E3.
-pub fn e3(effort: Effort) -> Vec<Table> {
+pub fn e3(ctx: &RunCtx) -> Vec<Table> {
+    let effort = ctx.effort;
     let k = 2u32;
     let speeds = [1.0, 1.2, 1.4, 4.4];
     let levels: Vec<u32> = match effort {
@@ -71,7 +72,7 @@ mod tests {
 
     #[test]
     fn e3_low_speed_grows_and_control_stays_small() {
-        let t = &e3(Effort::Quick)[0];
+        let t = &e3(&RunCtx::quick())[0];
         let col = |r: &Vec<String>, i: usize| -> f64 { r[i].parse().unwrap() };
         let first = &t.rows[0];
         let last = &t.rows[t.rows.len() - 1];

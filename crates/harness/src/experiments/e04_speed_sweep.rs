@@ -14,7 +14,7 @@
 //! finite instances — comfortably inside the paper's [3/2, 4+ε] window —
 //! and flattening far below 1 beyond 4.
 
-use super::Effort;
+use super::RunCtx;
 use crate::ratio::{best_baseline_power, default_baselines, min_speed_for_ratio, policy_power_sum};
 use crate::table::{fnum, Table};
 use rayon::prelude::*;
@@ -22,7 +22,8 @@ use tf_policies::Policy;
 use tf_workload::adversarial::{critical_stream, geometric_burst};
 
 /// Run E4.
-pub fn e4(effort: Effort) -> Vec<Table> {
+pub fn e4(ctx: &RunCtx) -> Vec<Table> {
+    let effort = ctx.effort;
     let k = 2u32;
     let speeds: Vec<f64> = (2..=12).map(|i| 0.5 * i as f64).collect(); // 1.0..6.0
     let scale = effort.scale();
@@ -81,7 +82,7 @@ mod tests {
 
     #[test]
     fn e4_curve_is_decreasing_and_crosses_one() {
-        let tables = e4(Effort::Quick);
+        let tables = e4(&RunCtx::quick());
         let curve = &tables[0];
         let val = |r: usize, c: usize| -> f64 { curve.rows[r][c].parse().unwrap() };
         let n = curve.rows.len();

@@ -9,7 +9,7 @@
 //! Expected shape: small constants everywhere; on m = 1 the "ratio" is a
 //! true competitive ratio, not an estimate.
 
-use super::Effort;
+use super::RunCtx;
 use crate::corpus::random_corpus;
 use crate::ratio::{default_baselines, empirical_ratio};
 use crate::table::{fnum, Table};
@@ -17,7 +17,8 @@ use rayon::prelude::*;
 use tf_policies::Policy;
 
 /// Run E5.
-pub fn e5(effort: Effort) -> Vec<Table> {
+pub fn e5(ctx: &RunCtx) -> Vec<Table> {
+    let effort = ctx.effort;
     let k = 1u32;
     let speeds = [2.2, 3.0];
     let mut table = Table::new(
@@ -62,7 +63,7 @@ mod tests {
 
     #[test]
     fn e5_exact_ratios_are_constants() {
-        let t = &e5(Effort::Quick)[0];
+        let t = &e5(&RunCtx::quick())[0];
         for row in &t.rows {
             let m: usize = row[0].parse().unwrap();
             let exact: f64 = row[3].parse().unwrap();

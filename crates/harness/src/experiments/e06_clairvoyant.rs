@@ -9,7 +9,7 @@
 //! constants close to 1 — dramatically less speed than RR's 2k(1+10ε),
 //! which is the price RR pays for instantaneous fairness.
 
-use super::Effort;
+use super::RunCtx;
 use crate::corpus::random_corpus;
 use crate::ratio::{default_baselines, empirical_ratio};
 use crate::table::{fnum, Table};
@@ -17,7 +17,8 @@ use rayon::prelude::*;
 use tf_policies::Policy;
 
 /// Run E6.
-pub fn e6(effort: Effort) -> Vec<Table> {
+pub fn e6(ctx: &RunCtx) -> Vec<Table> {
+    let effort = ctx.effort;
     let speed = 1.1;
     let policies = [Policy::Srpt, Policy::Sjf, Policy::Setf];
     let mut table = Table::new(
@@ -67,7 +68,7 @@ mod tests {
 
     #[test]
     fn e6_baselines_are_nearly_optimal_at_tiny_augmentation() {
-        let t = &e6(Effort::Quick)[0];
+        let t = &e6(&RunCtx::quick())[0];
         assert_eq!(t.rows.len(), 3 * 3 * 2);
         for row in &t.rows {
             let lo: f64 = row[3].parse().unwrap();

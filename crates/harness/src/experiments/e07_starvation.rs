@@ -19,7 +19,7 @@
 //! best mean; RR's denial is exactly 0 — it always progresses — at a
 //! modest mean cost. FCFS shows the opposite failure (unit jobs blocked).
 
-use super::Effort;
+use super::{Effort, RunCtx};
 use crate::table::{fnum, Table};
 use tf_metrics::{flow_stats, job_starvation, lk_norm};
 use tf_policies::Policy;
@@ -27,7 +27,8 @@ use tf_simcore::{simulate, MachineConfig, SimOptions};
 use tf_workload::adversarial::srpt_starvation;
 
 /// Run E7.
-pub fn e7(effort: Effort) -> Vec<Table> {
+pub fn e7(ctx: &RunCtx) -> Vec<Table> {
+    let effort = ctx.effort;
     let stream_len = match effort {
         Effort::Quick => 60,
         Effort::Full => 400,
@@ -94,7 +95,7 @@ mod tests {
 
     #[test]
     fn e7_srpt_denies_service_and_rr_never_does() {
-        let t = &e7(Effort::Quick)[0];
+        let t = &e7(&RunCtx::quick())[0];
         let find = |name: &str| t.rows.iter().find(|r| r[0] == name).unwrap();
         let rr_denial: f64 = find("RR")[5].parse().unwrap();
         let srpt_denial: f64 = find("SRPT")[5].parse().unwrap();

@@ -11,7 +11,7 @@
 //! policy on a heavy-tailed Poisson workload. Expected shape: RR at
 //! exactly 1.0 / 1.0 / 0; priority policies clearly below.
 
-use super::Effort;
+use super::RunCtx;
 use crate::corpus::integral_poisson;
 use crate::table::{fnum, Table};
 use tf_metrics::instantaneous_fairness;
@@ -20,7 +20,8 @@ use tf_simcore::{simulate, MachineConfig, SimOptions};
 use tf_workload::SizeDist;
 
 /// Run E8.
-pub fn e8(effort: Effort) -> Vec<Table> {
+pub fn e8(ctx: &RunCtx) -> Vec<Table> {
+    let effort = ctx.effort;
     let trace = integral_poisson(
         effort.n(),
         0.9,
@@ -78,7 +79,7 @@ mod tests {
 
     #[test]
     fn e8_rr_is_perfectly_fair_and_priorities_are_not() {
-        let t = &e8(Effort::Quick)[0];
+        let t = &e8(&RunCtx::quick())[0];
         let find = |name: &str| t.rows.iter().find(|r| r[0] == name).unwrap();
         let rr_mean: f64 = find("RR")[1].parse().unwrap();
         let rr_starve: f64 = find("RR")[3].parse().unwrap();

@@ -13,7 +13,7 @@
 //! to ages costs little — with AgedRR slightly ahead on instances
 //! dominated by lingering old jobs, at a large simulation-cost premium.
 
-use super::Effort;
+use super::RunCtx;
 use crate::corpus::random_corpus;
 use crate::ratio::{default_baselines, empirical_ratio};
 use crate::table::{fnum, Table};
@@ -22,7 +22,8 @@ use tf_policies::Policy;
 use tf_simcore::{simulate, MachineConfig, SimOptions};
 
 /// Run E9.
-pub fn e9(effort: Effort) -> Vec<Table> {
+pub fn e9(ctx: &RunCtx) -> Vec<Table> {
+    let effort = ctx.effort;
     let k = 2u32;
     let speeds = [2.2, 4.4];
     let mut table = Table::new(
@@ -96,7 +97,7 @@ mod tests {
 
     #[test]
     fn e9_both_policies_bounded_and_agedrr_costs_more_events() {
-        let t = &e9(Effort::Quick)[0];
+        let t = &e9(&RunCtx::quick())[0];
         for row in &t.rows {
             let rr: f64 = row[2].parse().unwrap();
             let aged: f64 = row[3].parse().unwrap();

@@ -11,14 +11,15 @@
 //! localizing how much augmentation the *dual construction* (as opposed
 //! to RR itself) really needs.
 
-use super::Effort;
+use super::RunCtx;
 use crate::corpus::{adversarial_corpus, random_corpus};
 use crate::table::{fnum, Table};
 use rayon::prelude::*;
 use tf_core::{eta, verify_theorem1, verify_theorem1_at_speed};
 
 /// Run E10.
-pub fn e10(effort: Effort) -> Vec<Table> {
+pub fn e10(ctx: &RunCtx) -> Vec<Table> {
+    let effort = ctx.effort;
     let mut corpus = random_corpus(effort.n(), 0.9, 1, 1000);
     corpus.extend(adversarial_corpus(effort.scale().min(4)));
 
@@ -161,7 +162,7 @@ mod tests {
 
     #[test]
     fn e10_certifies_fully_at_prescribed_speed_for_small_eps() {
-        let tables = e10(Effort::Quick);
+        let tables = e10(&RunCtx::quick());
         let cert = &tables[0];
         for row in &cert.rows {
             let eps: f64 = row[1].parse().unwrap();

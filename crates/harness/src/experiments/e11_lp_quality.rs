@@ -11,7 +11,7 @@
 //! fraction of OPT (well above the worst-case 1/2); bracket widths are
 //! small constants.
 
-use super::Effort;
+use super::RunCtx;
 use crate::corpus::random_corpus;
 use crate::lbcache::cached_lk_lower_bound;
 use crate::table::{fnum, Table};
@@ -21,7 +21,8 @@ use tf_policies::Policy;
 use tf_simcore::{simulate, MachineConfig, SimOptions, Trace};
 
 /// Run E11.
-pub fn e11(effort: Effort) -> Vec<Table> {
+pub fn e11(ctx: &RunCtx) -> Vec<Table> {
+    let effort = ctx.effort;
     let corpus = random_corpus(effort.n(), 0.9, 1, 1100);
 
     let mut exact = Table::new(
@@ -178,7 +179,7 @@ mod tests {
 
     #[test]
     fn e11_lp_is_a_valid_and_decent_bound() {
-        let tables = e11(Effort::Quick);
+        let tables = e11(&RunCtx::quick());
         for row in &tables[0].rows {
             let frac: f64 = row[3].parse().unwrap();
             let raw: f64 = row[4].parse().unwrap();

@@ -11,7 +11,7 @@
 //! → 0 as q → 0 with c = 0 (the definitional limit), and a growing
 //! overhead-dominated floor once c > 0 as q shrinks.
 
-use super::Effort;
+use super::RunCtx;
 use crate::corpus::integral_poisson;
 use crate::table::{fnum, Table};
 use tf_metrics::lk_norm;
@@ -21,7 +21,8 @@ use tf_simcore::{simulate, MachineConfig, SimOptions};
 use tf_workload::SizeDist;
 
 /// Run E12.
-pub fn e12(effort: Effort) -> Vec<Table> {
+pub fn e12(ctx: &RunCtx) -> Vec<Table> {
+    let effort = ctx.effort;
     let trace = integral_poisson(
         effort.n(),
         0.9,
@@ -75,7 +76,7 @@ mod tests {
 
     #[test]
     fn e12_convergence_and_overhead_floor() {
-        let t = &e12(Effort::Quick)[0];
+        let t = &e12(&RunCtx::quick())[0];
         let row = |q: &str, c: &str| {
             t.rows
                 .iter()

@@ -12,7 +12,7 @@
 //! construction cares about. Expected shape: bounded ratios at every m;
 //! the overloaded fraction falls as m grows at fixed ρ.
 
-use super::Effort;
+use super::RunCtx;
 use crate::corpus::integral_poisson;
 use crate::ratio::{default_baselines, empirical_ratio};
 use crate::table::{fnum, Table};
@@ -22,7 +22,8 @@ use tf_simcore::{simulate, MachineConfig, SimOptions};
 use tf_workload::SizeDist;
 
 /// Run E13.
-pub fn e13(effort: Effort) -> Vec<Table> {
+pub fn e13(ctx: &RunCtx) -> Vec<Table> {
+    let effort = ctx.effort;
     let k = 2u32;
     let speed = 4.4;
     let ms = [1usize, 2, 4, 8];
@@ -77,7 +78,7 @@ mod tests {
 
     #[test]
     fn e13_bounded_ratios_everywhere() {
-        let t = &e13(Effort::Quick)[0];
+        let t = &e13(&RunCtx::quick())[0];
         assert_eq!(t.rows.len(), 4);
         for row in &t.rows {
             let lo: f64 = row[2].parse().unwrap();

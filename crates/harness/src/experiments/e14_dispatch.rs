@@ -13,7 +13,7 @@
 //! more, especially at ℓ2 under heavy tails (one unlucky queue inflates
 //! the norm); all gaps shrink with speed.
 
-use super::Effort;
+use super::RunCtx;
 use crate::corpus::integral_poisson;
 use crate::table::{fnum, Table};
 use rayon::prelude::*;
@@ -23,7 +23,8 @@ use tf_simcore::{simulate, MachineConfig, SimOptions};
 use tf_workload::SizeDist;
 
 /// Run E14.
-pub fn e14(effort: Effort) -> Vec<Table> {
+pub fn e14(ctx: &RunCtx) -> Vec<Table> {
+    let effort = ctx.effort;
     let mut table = Table::new(
         "E14: migratory RR vs immediate-dispatch RR (ratio of norms, dispatch/migratory)",
         &["m", "speed", "k", "cyclic", "least-work", "random"],
@@ -96,7 +97,7 @@ mod tests {
 
     #[test]
     fn e14_least_work_is_close_and_best() {
-        let t = &e14(Effort::Quick)[0];
+        let t = &e14(&RunCtx::quick())[0];
         for row in &t.rows {
             let cyclic: f64 = row[3].parse().unwrap();
             let least: f64 = row[4].parse().unwrap();

@@ -19,14 +19,15 @@
 //! speed augmentation, so no constant speed rescues EQUI. The ℓ1 ratio
 //! stays near 1 throughout (the \[13\] positive result).
 
-use super::Effort;
+use super::{Effort, RunCtx};
 use crate::table::{fnum, Table};
 use rayon::prelude::*;
 use tf_speedup::families::seq_swarm_overlapped;
 use tf_speedup::{simulate_speedup, Equi, GreedyPar, LapsCurves};
 
 /// Run E15.
-pub fn e15(effort: Effort) -> Vec<Table> {
+pub fn e15(ctx: &RunCtx) -> Vec<Table> {
+    let effort = ctx.effort;
     let (swarm, par_work, dilutions): (usize, f64, Vec<f64>) = match effort {
         Effort::Quick => (4, 2.0, vec![4.0, 16.0, 64.0]),
         Effort::Full => (8, 4.0, vec![4.0, 16.0, 64.0, 256.0]),
@@ -100,7 +101,7 @@ mod tests {
 
     #[test]
     fn e15_l2_grows_while_l1_stays_flat() {
-        let t = &e15(Effort::Quick)[0];
+        let t = &e15(&RunCtx::quick())[0];
         let val = |r: usize, c: usize| -> f64 { t.rows[r][c].parse().unwrap() };
         let last = t.rows.len() - 1;
         // l2 at speed 1 grows substantially with dilution depth.

@@ -17,7 +17,7 @@
 //!   with swarm); per-*page* RR treats the swarm as one peer and stays
 //!   flat — the aggregation choice RR's broadcast analyses hinge on.
 
-use super::Effort;
+use super::{Effort, RunCtx};
 use crate::table::{fnum, Table};
 use rayon::prelude::*;
 use tf_broadcast::{
@@ -36,7 +36,8 @@ fn run_policy(i: &BroadcastInstance, which: usize, speed: f64) -> tf_broadcast::
 }
 
 /// Run E16.
-pub fn e16(effort: Effort) -> Vec<Table> {
+pub fn e16(ctx: &RunCtx) -> Vec<Table> {
+    let effort = ctx.effort;
     let scale = match effort {
         Effort::Quick => 1usize,
         Effort::Full => 4,
@@ -128,7 +129,7 @@ mod tests {
 
     #[test]
     fn e16_gain_and_dilution_shapes() {
-        let tables = e16(Effort::Quick);
+        let tables = e16(&RunCtx::quick());
         // E16a: every policy shows a broadcast gain > 1 (batches shared).
         for row in &tables[0].rows {
             let gain: f64 = row[1].parse().unwrap();

@@ -19,7 +19,7 @@
 //! consistently beats RR and trails HDF; the gap widens with weight
 //! spread — quantifying what weight-awareness buys on top of Theorem 1.
 
-use super::Effort;
+use super::RunCtx;
 use crate::corpus::weighted_integral_poisson;
 use crate::table::{fnum, Table};
 use rayon::prelude::*;
@@ -43,7 +43,8 @@ fn weighted_objective(trace: &Trace, policy: Policy, m: usize, speed: f64, k: u3
 }
 
 /// Run E17.
-pub fn e17(effort: Effort) -> Vec<Table> {
+pub fn e17(ctx: &RunCtx) -> Vec<Table> {
+    let effort = ctx.effort;
     let mut table = Table::new(
         "E17: weighted flow (sum of w*F^k) — oblivious RR vs weight-aware policies (speed 2.2)",
         &[
@@ -119,7 +120,7 @@ mod tests {
 
     #[test]
     fn e17_weight_awareness_pays_with_spread() {
-        let t = &e17(Effort::Quick)[0];
+        let t = &e17(&RunCtx::quick())[0];
         assert_eq!(t.rows.len(), 6);
         for row in &t.rows {
             let rr_lb: f64 = row[2].parse().unwrap();

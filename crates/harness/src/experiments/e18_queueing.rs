@@ -16,7 +16,7 @@
 //! (finite-run noise), including the distribution-insensitivity of PS and
 //! the E[S²] sensitivity of FCFS.
 
-use super::Effort;
+use super::{Effort, RunCtx};
 use crate::table::{fnum, Table};
 use rayon::prelude::*;
 use tf_metrics::{mg1_fcfs_mean_flow, mg1_ps_mean_flow};
@@ -43,7 +43,8 @@ fn steady_mean_flow(trace: &Trace, policy: Policy) -> f64 {
 }
 
 /// Run E18.
-pub fn e18(effort: Effort) -> Vec<Table> {
+pub fn e18(ctx: &RunCtx) -> Vec<Table> {
+    let effort = ctx.effort;
     let n = match effort {
         Effort::Quick => 20_000,
         Effort::Full => 120_000,
@@ -180,7 +181,7 @@ mod tests {
 
     #[test]
     fn e18_simulator_matches_theory() {
-        let t = &e18(Effort::Quick)[0];
+        let t = &e18(&RunCtx::quick())[0];
         for row in &t.rows {
             let rho: f64 = row[1].parse().unwrap();
             let rr_ratio: f64 = row[4].parse().unwrap();
@@ -213,7 +214,7 @@ mod tests {
 
     #[test]
     fn e18b_slowdown_uniform_under_rr_skewed_under_srpt() {
-        let tables = e18(Effort::Quick);
+        let tables = e18(&RunCtx::quick());
         let slow = &tables[1];
         let row = |name: &str| slow.rows.iter().find(|r| r[0] == name).unwrap();
         let rr: Vec<f64> = (1..=4).map(|c| row("RR")[c].parse().unwrap()).collect();

@@ -13,14 +13,15 @@
 //! drop below 1 well before 4+ε — while never contradicting Theorem 1's
 //! guarantee at the prescribed speed.
 
-use super::Effort;
+use super::{Effort, RunCtx};
 use crate::hunt::{hunt, HuntConfig};
 use crate::table::{fnum, Table};
 use rayon::prelude::*;
 use tf_policies::Policy;
 
 /// Run E19.
-pub fn e19(effort: Effort) -> Vec<Table> {
+pub fn e19(ctx: &RunCtx) -> Vec<Table> {
+    let effort = ctx.effort;
     // Quick also shrinks the instance space: the exact-OPT denominator is
     // exponential in instance size, and hill climbing walks toward larger
     // instances.
@@ -87,7 +88,7 @@ mod tests {
 
     #[test]
     fn e19_mined_ratios_decay_with_speed() {
-        let t = &e19(Effort::Quick)[0];
+        let t = &e19(&RunCtx::quick())[0];
         let ratio = |r: usize| -> f64 { t.rows[r][1].parse().unwrap() };
         assert!(ratio(0) > 1.2, "speed-1 mining too weak: {}", ratio(0));
         // Decay (allow small search noise between adjacent speeds).

@@ -16,7 +16,7 @@
 //! approaches max flow, where FCFS-style front-running is unbeatable and
 //! fair sharing is the wrong shape.
 
-use super::Effort;
+use super::{Effort, RunCtx};
 use crate::corpus::random_corpus;
 use crate::table::{fnum, Table};
 use rayon::prelude::*;
@@ -37,7 +37,8 @@ fn max_flow(trace: &Trace, policy: Policy, speed: f64) -> f64 {
 }
 
 /// Run E20.
-pub fn e20(effort: Effort) -> Vec<Table> {
+pub fn e20(ctx: &RunCtx) -> Vec<Table> {
+    let effort = ctx.effort;
     let mut table = Table::new(
         "E20: maximum (l-infinity) flow — true ratios to FCFS (exact OPT on m=1)",
         &["instance", "speed", "RR", "SRPT", "SJF", "SETF", "MLFQ"],
@@ -92,7 +93,7 @@ mod tests {
 
     #[test]
     fn e20_corpus_modest_but_saturation_diverges() {
-        let t = &e20(Effort::Quick)[0];
+        let t = &e20(&RunCtx::quick())[0];
         for row in &t.rows {
             let speed: f64 = row[1].parse().unwrap();
             let rr: f64 = row[2].parse().unwrap();

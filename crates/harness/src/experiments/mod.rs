@@ -45,6 +45,8 @@ pub use e20_max_flow::e20;
 
 use crate::table::Table;
 
+pub use crate::runctx::RunCtx;
+
 /// How big to run: `Quick` keeps each experiment under a second for tests;
 /// `Full` is the paper-scale run used by the CLI and benches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,7 +75,7 @@ impl Effort {
     }
 }
 
-type ExperimentFn = fn(Effort) -> Vec<Table>;
+type ExperimentFn = fn(&RunCtx) -> Vec<Table>;
 
 /// The experiment registry in presentation order. [`run_experiment`] and
 /// [`all_ids`] both derive from this table, so the dispatcher and the id
@@ -102,14 +104,25 @@ const REGISTRY: &[(&str, ExperimentFn)] = &[
     ("e20", e20),
 ];
 
-/// Run an experiment by id (`"e1"`..`"e20"`, case-insensitive). Returns
-/// `None` for unknown ids.
-pub fn run_experiment(id: &str, effort: Effort) -> Option<Vec<Table>> {
+/// Run an experiment by id (`"e1"`..`"e20"`, case-insensitive) under the
+/// given [`RunCtx`]. Returns `None` for unknown ids. The whole experiment
+/// is wrapped in a `harness.<id>` span so per-experiment wall-clock shows
+/// up in traces and the timing table.
+pub fn run_experiment_ctx(id: &str, ctx: &RunCtx) -> Option<Vec<Table>> {
     let id = id.to_ascii_lowercase();
     REGISTRY
         .iter()
         .find(|(name, _)| *name == id)
-        .map(|(_, f)| f(effort))
+        .map(|(name, f)| {
+            let _span = tf_obs::span!("harness", *name);
+            f(ctx)
+        })
+}
+
+/// [`run_experiment_ctx`] with a default context at the given effort —
+/// the stable convenience entry point (cache on, no tracing changes).
+pub fn run_experiment(id: &str, effort: Effort) -> Option<Vec<Table>> {
+    run_experiment_ctx(&id.to_ascii_lowercase(), &RunCtx::with_effort(effort))
 }
 
 /// All experiment ids in order.

@@ -181,6 +181,7 @@ fn splitmix64(x: u64) -> u64 {
 /// each generation: candidates are seeded by index and the accepted
 /// winner is the first index attaining the generation's maximum ratio.
 pub fn hunt(policy: Policy, cfg: &HuntConfig) -> HuntResult {
+    let mut obs_span = tf_obs::span!("harness", "hunt");
     let batch = cfg.batch.max(1);
     let mut master = StdRng::seed_from_u64(cfg.seed);
     let mut best_jobs: Vec<(u16, u16)> = Vec::new();
@@ -211,10 +212,16 @@ pub fn hunt(policy: Policy, cfg: &HuntConfig) -> HuntResult {
                 .collect();
             evaluated += batch;
             // The expensive part — one exact-OPT solve per candidate —
-            // fans out across cores, order-preserving.
-            let ratios: Vec<Option<f64>> = cands
+            // fans out across cores, order-preserving. Candidate `i`
+            // records onto logical track `i + 1` so trace structure is
+            // independent of the worker-thread count.
+            let indexed: Vec<(u32, &Vec<(u16, u16)>)> = (0u32..).zip(cands.iter()).collect();
+            let ratios: Vec<Option<f64>> = indexed
                 .par_iter()
-                .map(|c| true_ratio(&build(c), policy, cfg))
+                .map(|&(i, c)| {
+                    let _track = tf_obs::set_track(i + 1);
+                    true_ratio(&build(c), policy, cfg)
+                })
                 .collect();
             let mut winner: Option<(usize, f64)> = None;
             for (i, r) in ratios.iter().enumerate() {
@@ -236,6 +243,11 @@ pub fn hunt(policy: Policy, cfg: &HuntConfig) -> HuntResult {
         }
     }
 
+    if tf_obs::enabled() {
+        obs_span.arg("evaluated", evaluated as f64);
+        obs_span.arg("ratio", best_ratio);
+        tf_obs::counter!("harness", "hunt_evaluated", evaluated as f64);
+    }
     HuntResult {
         trace: build(&best_jobs),
         ratio: best_ratio,

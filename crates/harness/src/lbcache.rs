@@ -29,6 +29,8 @@ use tf_simcore::Trace;
 pub const SOLVER_VERSION: u32 = 2;
 
 static ENABLED: AtomicBool = AtomicBool::new(true);
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
 
 /// Enable or disable the on-disk cache for this process.
 pub fn set_enabled(on: bool) {
@@ -44,6 +46,22 @@ pub fn enabled() -> bool {
 /// `results/` is already the harness output root.
 pub fn cache_dir() -> PathBuf {
     PathBuf::from("results").join("cache")
+}
+
+/// `(hits, misses)` tallied by [`cached_lk_lower_bound`] since process
+/// start (bypassed lookups with the cache disabled count as misses).
+pub fn stats() -> (u64, u64) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+/// The cache tallies as a flat [`tf_obs::ObsRegistry`] under the `cache.`
+/// namespace, mergeable with `sim.` and `mcmf.` registries.
+pub fn registry() -> tf_obs::ObsRegistry {
+    let (hits, misses) = stats();
+    tf_obs::ObsRegistry::from_counters([
+        ("cache.hits", hits as f64),
+        ("cache.misses", misses as f64),
+    ])
 }
 
 /// FNV-1a, 64-bit. Stable across platforms and Rust versions (unlike
@@ -77,14 +95,19 @@ fn key(trace: &Trace, m: usize, k: u32) -> String {
 /// calling the solver directly; only wall-clock differs.
 pub fn cached_lk_lower_bound(trace: &Trace, m: usize, k: u32) -> LowerBound {
     if !enabled() {
+        MISSES.fetch_add(1, Ordering::Relaxed);
         return lk_lower_bound(trace, m, k);
     }
     let path = cache_dir().join(format!("lb-{}.json", key(trace, m, k)));
     if let Ok(text) = std::fs::read_to_string(&path) {
         if let Ok(lb) = serde_json::from_str::<LowerBound>(&text) {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            tf_obs::instant!("cache", "hit");
             return lb;
         }
     }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    tf_obs::instant!("cache", "miss");
     let lb = lk_lower_bound(trace, m, k);
     store(&path, &lb);
     lb

@@ -39,9 +39,11 @@ pub mod hunt;
 pub mod lbcache;
 pub mod ratio;
 pub mod replicate;
+pub mod runctx;
 pub mod sweep;
 pub mod table;
 
-pub use experiments::{run_experiment, Effort};
+pub use experiments::{run_experiment, run_experiment_ctx, Effort};
 pub use ratio::{empirical_ratio, empirical_ratios, min_speed_for_ratio, RatioEstimate, RatioTask};
+pub use runctx::RunCtx;
 pub use table::Table;

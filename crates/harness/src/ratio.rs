@@ -133,10 +133,23 @@ pub struct RatioTask {
 /// rename-atomic, so concurrent tasks sharing a `(trace, m, k)` key are
 /// safe. Output index `i` is always task `i`, whatever the thread count
 /// — experiment tables stay byte-identical.
+///
+/// When tracing is on, task `i` records onto logical track `i + 1` (track
+/// 0 is the main thread), so trace *structure* is also independent of the
+/// worker-thread count — see `tf_obs`'s determinism notes.
 pub fn empirical_ratios(tasks: &[RatioTask], baselines: &[Policy]) -> Vec<RatioEstimate> {
-    tasks
+    let indexed: Vec<(u32, &RatioTask)> = (0u32..).zip(tasks.iter()).collect();
+    indexed
         .par_iter()
-        .map(|t| empirical_ratio(&t.trace, t.policy, t.m, t.speed, t.k, baselines))
+        .map(|&(i, t)| {
+            let _track = tf_obs::set_track(i + 1);
+            let mut span = tf_obs::span!("harness", "ratio_task");
+            span.arg("task", f64::from(i));
+            span.arg("m", t.m as f64);
+            span.arg("speed", t.speed);
+            span.arg("k", f64::from(t.k));
+            empirical_ratio(&t.trace, t.policy, t.m, t.speed, t.k, baselines)
+        })
         .collect()
 }
 

@@ -1,0 +1,138 @@
+//! [`RunCtx`] — one run context for the whole experiment pipeline.
+//!
+//! Effort, output directory, cache policy, worker-thread override, and
+//! the tracing sink used to be plumbed ad hoc: each binary parsed its own
+//! flags and poked the relevant globals (`lbcache::set_enabled`,
+//! `rayon::set_thread_override`) in its own order. `RunCtx` gathers the
+//! knobs in one value that the three binaries build from their command
+//! lines and every experiment receives by reference, so a new knob is one
+//! field plus one flag instead of a cross-cutting edit.
+
+use std::path::PathBuf;
+
+use crate::experiments::Effort;
+use tf_obs::SinkSpec;
+
+/// Everything an experiment run needs to know beyond the experiment id.
+///
+/// Construct with [`RunCtx::quick`] / [`RunCtx::full`] (or
+/// [`Default::default`], which is full effort) and chain the setters.
+/// Call [`RunCtx::apply`] once, before running experiments, to push the
+/// cache/thread/trace settings into the process globals they live in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunCtx {
+    /// Instance scale: quick (CI) or full (paper-scale tables).
+    pub effort: Effort,
+    /// Directory tables are written to (`None` = stdout only).
+    pub out_dir: Option<PathBuf>,
+    /// Whether the on-disk lower-bound cache may be read and written.
+    pub cache: bool,
+    /// Worker-thread override for the rayon fan-outs (`None` = default).
+    pub threads: Option<usize>,
+    /// Tracing sink for this run ([`SinkSpec::Off`] = no tracing).
+    pub trace: SinkSpec,
+}
+
+impl Default for RunCtx {
+    fn default() -> Self {
+        RunCtx {
+            effort: Effort::Full,
+            out_dir: None,
+            cache: true,
+            threads: None,
+            trace: SinkSpec::Off,
+        }
+    }
+}
+
+impl RunCtx {
+    /// Quick-effort context with all other knobs at their defaults.
+    pub fn quick() -> Self {
+        RunCtx {
+            effort: Effort::Quick,
+            ..Default::default()
+        }
+    }
+
+    /// Full-effort context with all other knobs at their defaults.
+    pub fn full() -> Self {
+        RunCtx::default()
+    }
+
+    /// Context with the given effort.
+    pub fn with_effort(effort: Effort) -> Self {
+        RunCtx {
+            effort,
+            ..Default::default()
+        }
+    }
+
+    /// Set the output directory for rendered tables.
+    pub fn out_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.out_dir = Some(dir.into());
+        self
+    }
+
+    /// Disable the on-disk lower-bound cache for this run.
+    pub fn no_cache(mut self) -> Self {
+        self.cache = false;
+        self
+    }
+
+    /// Override the rayon worker-thread count.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Set the tracing sink.
+    pub fn trace(mut self, sink: SinkSpec) -> Self {
+        self.trace = sink;
+        self
+    }
+
+    /// Push the context into the process globals it governs: the
+    /// lower-bound cache gate, the rayon thread override, and the tf-obs
+    /// sink. Call once before running experiments; the settings stay in
+    /// effect afterwards (tests that flip them back hold the serializing
+    /// lock in `tests/determinism.rs`).
+    pub fn apply(&self) {
+        crate::lbcache::set_enabled(self.cache);
+        if let Some(n) = self.threads {
+            rayon::set_thread_override(n);
+        }
+        tf_obs::install(self.trace.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_full_cached_untraced() {
+        let ctx = RunCtx::default();
+        assert_eq!(ctx.effort, Effort::Full);
+        assert!(ctx.cache);
+        assert!(ctx.out_dir.is_none());
+        assert!(ctx.threads.is_none());
+        assert!(ctx.trace.is_off());
+    }
+
+    #[test]
+    fn builder_setters_compose() {
+        let ctx = RunCtx::quick()
+            .out_dir("results")
+            .no_cache()
+            .threads(2)
+            .trace(SinkSpec::Collect);
+        assert_eq!(ctx.effort, Effort::Quick);
+        assert_eq!(
+            ctx.out_dir.as_deref(),
+            Some(std::path::Path::new("results"))
+        );
+        assert!(!ctx.cache);
+        assert_eq!(ctx.threads, Some(2));
+        assert_eq!(ctx.trace, SinkSpec::Collect);
+    }
+}

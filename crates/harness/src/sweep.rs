@@ -89,6 +89,7 @@ fn materialize(inst: &SweepInstance, m: usize) -> Result<(String, Trace), String
 
 /// Run the sweep, producing one row per grid point.
 pub fn run_sweep(cfg: &SweepConfig) -> Result<Table, String> {
+    let mut obs_span = tf_obs::span!("harness", "sweep");
     let policies = cfg.parsed_policies()?;
     let baselines = default_baselines();
     let mut table = Table::new(
@@ -112,9 +113,15 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<Table, String> {
             }
         }
     }
-    let rows: Vec<_> = points
+    // Grid point `i` records onto logical track `i + 1` (track 0 is the
+    // main thread), keeping trace structure thread-count independent.
+    let indexed: Vec<(u32, _)> = (0u32..).zip(points.iter()).collect();
+    let rows: Vec<_> = indexed
         .par_iter()
-        .map(|(name, trace, p, m, s, k)| {
+        .map(|&(i, (name, trace, p, m, s, k))| {
+            let _track = tf_obs::set_track(i + 1);
+            let mut span = tf_obs::span!("harness", "sweep_point");
+            span.arg("point", f64::from(i));
             let r = empirical_ratio(trace, *p, *m, *s, *k, &baselines);
             vec![
                 name.clone(),
@@ -137,6 +144,9 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<Table, String> {
         "{} grid points; baselines at speed 1: SRPT/SJF/SETF/RR.",
         cfg.points()
     ));
+    if tf_obs::enabled() {
+        obs_span.arg("points", cfg.points() as f64);
+    }
     Ok(table)
 }
 

@@ -129,6 +129,30 @@ pub fn stats_cells(s: &SimStats) -> Vec<String> {
     ]
 }
 
+/// Per-stage timing table built from the tracing layer's buffered span
+/// summaries ([`tf_obs::summary`]): one row per `(category, span)` pair
+/// with call count, total wall-clock, and mean duration. Returns `None`
+/// when no spans were recorded (tracing off, or nothing instrumented
+/// ran), so callers can skip rendering an empty table.
+pub fn timing_table() -> Option<Table> {
+    let summaries = tf_obs::summary();
+    if summaries.is_empty() {
+        return None;
+    }
+    let mut t = Table::new("stage timings", &["stage", "calls", "total ms", "mean ms"]);
+    for s in &summaries {
+        let total_ms = s.total_ns as f64 / 1e6;
+        t.push_row(vec![
+            format!("{}.{}", s.cat, s.name),
+            s.count.to_string(),
+            fnum(total_ms),
+            fnum(total_ms / s.count.max(1) as f64),
+        ]);
+    }
+    t.note("spans aggregated by (category, name); durations are wall-clock");
+    Some(t)
+}
+
 /// Format a float with 4 significant digits — compact but comparable.
 pub fn fnum(x: f64) -> String {
     if x == 0.0 {
@@ -192,6 +216,24 @@ mod tests {
         assert_eq!(cells[0], "5");
         assert_eq!(cells[1], "7");
         assert_eq!(cells[2], "1.500");
+    }
+
+    #[test]
+    fn timing_table_reflects_recorded_spans() {
+        tf_obs::install_collect();
+        {
+            let _s = tf_obs::span!("tabletest", "stage_a");
+        }
+        let t = timing_table().expect("spans were recorded");
+        assert_eq!(t.headers, vec!["stage", "calls", "total ms", "mean ms"]);
+        let row = t
+            .rows
+            .iter()
+            .find(|r| r[0] == "tabletest.stage_a")
+            .expect("our span aggregates into a row");
+        let calls: u64 = row[1].parse().unwrap();
+        assert!(calls >= 1);
+        tf_obs::install(tf_obs::SinkSpec::Off);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use std::sync::Mutex;
 use tf_harness::hunt::{hunt, HuntConfig};
-use tf_harness::{run_experiment, Effort, Table};
+use tf_harness::{run_experiment, run_experiment_ctx, Effort, RunCtx, Table};
 use tf_policies::Policy;
 
 /// The thread override and the lbcache switch are process-global;
@@ -109,5 +109,86 @@ fn e1_quick_tables_are_byte_identical_across_thread_counts() {
     assert_eq!(
         texts[0], texts[1],
         "e1 tables differ between 1-thread and 4-thread runs"
+    );
+}
+
+/// Golden trace test: the chrome-trace rendering of a traced `e1 --quick`
+/// run is byte-identical whatever the worker-thread count, once the two
+/// sanctioned wall-clock fields (`ts`/`dur`, plus the alloc-time counter
+/// sample) are masked. Everything else — event kinds, categories, names,
+/// logical tracks, per-track order, span args, counter values — must come
+/// out of the deterministic (track, seq) pipeline.
+#[test]
+fn e1_quick_chrome_trace_is_byte_identical_across_thread_counts() {
+    let _guard = GLOBAL_KNOBS.lock().unwrap();
+    // Cold path both times: a cache hit on one run but not the other
+    // would legitimately change the trace.
+    tf_harness::lbcache::set_enabled(false);
+
+    let mut rendered = Vec::new();
+    for threads in [1usize, 4] {
+        let prev = rayon::set_thread_override(threads);
+        tf_obs::install_collect();
+        let _tables = run_experiment_ctx("e1", &RunCtx::quick()).expect("e1 exists");
+        let mut events = tf_obs::take_events();
+        tf_obs::install(tf_obs::SinkSpec::Off);
+        rayon::set_thread_override(prev);
+
+        for e in &mut events {
+            e.ts_ns = 0;
+            e.dur_ns = 0;
+            if e.name == "alloc_ns" {
+                e.value = 0.0;
+            }
+        }
+        rendered.push(tf_obs::render_chrome(&events));
+    }
+    tf_harness::lbcache::set_enabled(true);
+
+    assert_eq!(
+        rendered[0], rendered[1],
+        "masked chrome traces differ between 1-thread and 4-thread runs"
+    );
+
+    // The rendering is real chrome trace_event JSON with the spans the
+    // instrumented layers are supposed to emit.
+    let json: serde_json::Value = serde_json::from_str(&rendered[0]).expect("chrome trace parses");
+    let events = json
+        .get("traceEvents")
+        .and_then(|v| v.as_seq())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let has_span = |cat: &str, name: &str| {
+        events.iter().any(|e| {
+            e.get("cat").and_then(|v| v.as_str()) == Some(cat)
+                && e.get("name").and_then(|v| v.as_str()) == Some(name)
+                && e.get("ph").and_then(|v| v.as_str()) == Some("X")
+        })
+    };
+    for (cat, name) in [
+        ("harness", "e1"),
+        ("harness", "ratio_task"),
+        ("sim", "simulate"),
+        ("lb", "lk_lower_bound"),
+        ("lb", "solve"),
+        ("mcmf", "solve"),
+        ("mcmf", "dijkstra"),
+    ] {
+        assert!(has_span(cat, name), "missing span {cat}.{name}");
+    }
+    // Fan-out spans land on task-indexed tracks, not OS thread ids: the
+    // ratio tasks must occupy more than one logical track.
+    let ratio_tracks: std::collections::BTreeSet<i64> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(|v| v.as_str()) == Some("ratio_task"))
+        .filter_map(|e| match e.get("tid") {
+            Some(serde_json::Value::Int(t)) => Some(*t),
+            Some(serde_json::Value::UInt(t)) => Some(*t as i64),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        ratio_tracks.len() > 1,
+        "ratio tasks all on one track: {ratio_tracks:?}"
     );
 }

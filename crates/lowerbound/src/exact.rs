@@ -141,6 +141,7 @@ pub fn exact_slotted_opt(
     k: u32,
     limits: ExactLimits,
 ) -> Option<ExactResult> {
+    let _obs_span = tf_obs::span!("lb", "exact_opt");
     assert!(
         trace.is_integral(1e-9),
         "exact search needs integral traces"

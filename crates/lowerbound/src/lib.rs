@@ -37,11 +37,11 @@ pub mod mcmf;
 pub use bounds::{size_bound, srpt_super_machine_bound};
 pub use exact::{exact_slotted_opt, ExactLimits, ExactResult};
 pub use lp::{
-    lp_relaxation_solution, lp_relaxation_value, lp_relaxation_value_at_horizon,
+    last_solve_stats, lp_relaxation_solution, lp_relaxation_value, lp_relaxation_value_at_horizon,
     lp_relaxation_value_certified, lp_relaxation_value_reference, lp_relaxation_value_weighted,
     LpSchedule, LpSolution, LpSolver,
 };
-pub use mcmf::{FlowResult, McmfGraph, MinCostFlow};
+pub use mcmf::{FlowResult, McmfGraph, McmfStats, MinCostFlow};
 
 use serde::{Deserialize, Serialize};
 use tf_simcore::Trace;
@@ -86,6 +86,10 @@ impl LowerBound {
 /// `k` must be a positive integer value (the paper's setting; the LP cost
 /// uses exact integer powers).
 pub fn lk_lower_bound(trace: &Trace, m: usize, k: u32) -> LowerBound {
+    let mut obs_span = tf_obs::span!("lb", "lk_lower_bound");
+    obs_span.arg("n", trace.len() as f64);
+    obs_span.arg("m", m as f64);
+    obs_span.arg("k", f64::from(k));
     let kf = f64::from(k);
     let size = size_bound(trace, kf);
     let mut best = LowerBound {

@@ -30,7 +30,7 @@
 //! ([`lp_relaxation_value_reference`]) keeps the PR-1 successive-
 //! shortest-paths build verbatim as a property-test oracle.
 
-use crate::mcmf::{McmfGraph, MinCostFlow};
+use crate::mcmf::{McmfGraph, McmfStats, MinCostFlow};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use tf_policies::Fcfs;
@@ -231,8 +231,17 @@ impl LpSolver {
             }
             None => tight,
         };
-        let b = self.build(trace, m, k, weighted, horizon, false);
-        let r = self.graph.solve(b.source, b.sink, b.total_supply);
+        let b = {
+            let mut s = tf_obs::span!("lb", "build");
+            let b = self.build(trace, m, k, weighted, horizon, false);
+            s.arg("jobs", trace.len() as f64);
+            s.arg("horizon", horizon as f64);
+            b
+        };
+        let r = {
+            let _s = tf_obs::span!("lb", "solve");
+            self.graph.solve(b.source, b.sink, b.total_supply)
+        };
         debug_assert_eq!(r.flow, b.total_supply, "horizon too small for feasibility");
         LpSolution {
             objective: r.cost,
@@ -253,6 +262,7 @@ impl LpSolver {
     ) -> LpSolution {
         let s = self.value_at_horizon(trace, m, k, weighted, None);
         if !trace.is_empty() {
+            let _cert_span = tf_obs::span!("lb", "certify");
             let tol = 1e-9 * (1.0 + s.objective.abs());
             assert!(
                 self.graph.verify_optimal(tol),
@@ -260,6 +270,12 @@ impl LpSolver {
             );
         }
         s
+    }
+
+    /// Work counters of the most recent solve on this arena (see
+    /// [`McmfStats`]). Zeroed stats before the first solve.
+    pub fn last_stats(&self) -> McmfStats {
+        self.graph.stats()
     }
 
     /// As [`lp_relaxation_solution`], on this arena.
@@ -370,6 +386,13 @@ pub fn lp_relaxation_value_certified(
     weighted: bool,
 ) -> LpSolution {
     SHARED_SOLVER.with(|s| s.borrow_mut().certified_value(trace, m, k, weighted))
+}
+
+/// Work counters of this thread's most recent shared-arena LP solve
+/// (the free functions above all route through one thread-local
+/// [`LpSolver`]). Zeroed stats if the thread has not solved yet.
+pub fn last_solve_stats() -> McmfStats {
+    SHARED_SOLVER.with(|s| s.borrow().last_stats())
 }
 
 /// The PR-1 solve path, kept verbatim as a test oracle: one-unit

@@ -228,6 +228,51 @@ impl MinCostFlow {
     }
 }
 
+/// Work counters for the most recent [`McmfGraph::solve`] call. All
+/// counts are exact and deterministic (they depend only on the instance,
+/// never on wall-clock or thread scheduling), so they double as
+/// regression-test material. Retrieve via [`McmfGraph::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct McmfStats {
+    /// Primal-dual phases run (one Dijkstra + one blocking flow each).
+    pub phases: u64,
+    /// Nodes popped from the Dijkstra heap across all phases.
+    pub heap_pops: u64,
+    /// Residual arcs relaxed (scanned with positive capacity) in Dijkstra.
+    pub arcs_scanned: u64,
+    /// Augmenting paths applied inside blocking flows.
+    pub blocking_pushes: u64,
+    /// Times the single-path fallback ([`McmfGraph`] docs) had to fire.
+    pub fallback_augments: u64,
+    /// Total units of flow routed.
+    pub units_routed: u64,
+}
+
+impl McmfStats {
+    /// These counters as a flat [`tf_obs::ObsRegistry`] under the `mcmf.`
+    /// namespace, mergeable with `sim.` and `cache.` registries.
+    pub fn registry(&self) -> tf_obs::ObsRegistry {
+        tf_obs::ObsRegistry::from_counters([
+            ("mcmf.phases", self.phases as f64),
+            ("mcmf.heap_pops", self.heap_pops as f64),
+            ("mcmf.arcs_scanned", self.arcs_scanned as f64),
+            ("mcmf.blocking_pushes", self.blocking_pushes as f64),
+            ("mcmf.fallback_augments", self.fallback_augments as f64),
+            ("mcmf.units_routed", self.units_routed as f64),
+        ])
+    }
+
+    /// Fold another solve's counters into this one (all fields sum).
+    pub fn absorb(&mut self, other: &McmfStats) {
+        self.phases += other.phases;
+        self.heap_pops += other.heap_pops;
+        self.arcs_scanned += other.arcs_scanned;
+        self.blocking_pushes += other.blocking_pushes;
+        self.fallback_augments += other.fallback_augments;
+        self.units_routed += other.units_routed;
+    }
+}
+
 /// Admissibility of a residual arc under the current potentials: reduced
 /// cost `cost + π[u] − π[v]` is (numerically) zero. The tolerance scales
 /// with the operand magnitudes so large-horizon, large-`k` costs don't
@@ -285,6 +330,7 @@ pub struct McmfGraph {
     queue: Vec<u32>,
     path: Vec<u32>,
     heap: BinaryHeap<Reverse<HeapItem>>,
+    stats: McmfStats,
 }
 
 impl McmfGraph {
@@ -343,6 +389,11 @@ impl McmfGraph {
         self.cap[id ^ 1]
     }
 
+    /// Work counters of the most recent [`McmfGraph::solve`] call.
+    pub fn stats(&self) -> McmfStats {
+        self.stats
+    }
+
     fn build_csr(&mut self) {
         let m = self.tail.len();
         self.csr_start.clear();
@@ -390,10 +441,15 @@ impl McmfGraph {
             cost,
             head,
             potential,
+            stats,
             ..
         } = self;
+        // Counters accumulate in locals so the loop body stays lean.
+        let mut pops = 0u64;
+        let mut scanned = 0u64;
         while let Some(Reverse(HeapItem { dist: d, node })) = heap.pop() {
             let u = node as usize;
+            pops += 1;
             if d > dist[u] {
                 continue;
             }
@@ -405,6 +461,7 @@ impl McmfGraph {
                 if cap[a] <= 0 {
                     continue;
                 }
+                scanned += 1;
                 let v = head[a] as usize;
                 let rc = (cost[a] + potential[u] - potential[v]).max(0.0);
                 let nd = d + rc;
@@ -418,6 +475,8 @@ impl McmfGraph {
                 }
             }
         }
+        stats.heap_pops += pops;
+        stats.arcs_scanned += scanned;
         dist[t].is_finite()
     }
 
@@ -476,6 +535,7 @@ impl McmfGraph {
                     self.cap[a as usize ^ 1] += push;
                 }
                 pushed += push;
+                self.stats.blocking_pushes += 1;
                 if pushed >= limit {
                     break;
                 }
@@ -549,14 +609,20 @@ impl McmfGraph {
     /// not depend on the augmentation order).
     pub fn solve(&mut self, s: usize, t: usize, target: i64) -> FlowResult {
         assert!(s < self.n && t < self.n, "node out of range");
+        let mut obs_span = tf_obs::span!("mcmf", "solve");
         if !self.csr_built {
             self.build_csr();
         }
         self.potential.clear();
         self.potential.resize(self.n, 0.0);
+        self.stats = McmfStats::default();
         let mut total_flow = 0i64;
         while total_flow < target {
-            if !self.dijkstra(s, t) {
+            let reachable = {
+                let _s = tf_obs::span!("mcmf", "dijkstra");
+                self.dijkstra(s, t)
+            };
+            if !reachable {
                 break;
             }
             // Capped potential update (see the struct docs).
@@ -564,18 +630,35 @@ impl McmfGraph {
             for (p, &d) in self.potential.iter_mut().zip(&self.dist) {
                 *p += d.min(cap_d);
             }
-            let mut pushed = if self.bfs_levels(s, t) {
-                self.blocking_flow(s, t, target - total_flow)
-            } else {
-                0
+            let mut pushed = {
+                let _s = tf_obs::span!("mcmf", "blocking_flow");
+                if self.bfs_levels(s, t) {
+                    self.blocking_flow(s, t, target - total_flow)
+                } else {
+                    0
+                }
             };
             if pushed == 0 {
                 pushed = self.augment_prev_path(s, t, target - total_flow);
+                if pushed > 0 {
+                    self.stats.fallback_augments += 1;
+                }
             }
             if pushed == 0 {
                 break; // defensive: cannot represent further progress
             }
             total_flow += pushed;
+            self.stats.phases += 1;
+        }
+        self.stats.units_routed = total_flow.max(0) as u64;
+        if tf_obs::enabled() {
+            obs_span.arg("nodes", self.n as f64);
+            obs_span.arg("arcs", (self.cap.len() / 2) as f64);
+            obs_span.arg("flow", total_flow as f64);
+            tf_obs::counter!("mcmf", "phases", self.stats.phases as f64);
+            tf_obs::counter!("mcmf", "heap_pops", self.stats.heap_pops as f64);
+            tf_obs::counter!("mcmf", "arcs_scanned", self.stats.arcs_scanned as f64);
+            tf_obs::counter!("mcmf", "blocking_pushes", self.stats.blocking_pushes as f64);
         }
         let mut total_cost = 0.0f64;
         for a in (0..self.cap.len()).step_by(2) {
@@ -593,6 +676,7 @@ impl McmfGraph {
     /// Independent optimality certificate: Bellman–Ford over the residual
     /// arcs, exactly as [`MinCostFlow::verify_optimal`].
     pub fn verify_optimal(&self, tol: f64) -> bool {
+        let _obs_span = tf_obs::span!("mcmf", "verify_optimal");
         let n = self.n;
         let mut dist = vec![0.0f64; n];
         for round in 0..n {

@@ -1,0 +1,101 @@
+//! [`ObsRegistry`] — one flat, ordered namespace for run counters.
+//!
+//! The workspace accumulates counters in several shapes: `SimStats` in
+//! tf-simcore, the MCMF solver's phase counters in tf-lowerbound, cache
+//! hit/miss tallies in the harness. Downstream code used to reach into
+//! each struct by name; the registry gives them a single merge-friendly
+//! `"cat.name" -> f64` map instead.
+
+use std::collections::BTreeMap;
+
+/// A flat, deterministic (sorted-key) map of named numeric counters.
+///
+/// Keys are dotted `"category.name"` strings matching the span/counter
+/// naming scheme in `docs/OBSERVABILITY.md` (e.g. `"sim.steps"`,
+/// `"mcmf.heap_pops"`). Values add on [`add`](ObsRegistry::add) and on
+/// [`merge`](ObsRegistry::merge), except keys recorded via
+/// [`record_max`](ObsRegistry::record_max), which keep the maximum.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObsRegistry {
+    counters: BTreeMap<String, f64>,
+    max_keys: std::collections::BTreeSet<String>,
+}
+
+impl ObsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `value` to the counter `key` (creating it at 0).
+    pub fn add(&mut self, key: &str, value: f64) {
+        *self.counters.entry(key.to_owned()).or_insert(0.0) += value;
+    }
+
+    /// Record `value` into `key`, keeping the maximum seen. The key is
+    /// marked max-combining, so [`merge`](ObsRegistry::merge) also takes
+    /// the max for it (used for gauges like `sim.peak_alive`).
+    pub fn record_max(&mut self, key: &str, value: f64) {
+        self.max_keys.insert(key.to_owned());
+        let slot = self.counters.entry(key.to_owned()).or_insert(value);
+        if value > *slot {
+            *slot = value;
+        }
+    }
+
+    /// Fold `other` into `self`: sum-combining keys add, max-combining
+    /// keys take the maximum.
+    pub fn merge(&mut self, other: &ObsRegistry) {
+        for k in &other.max_keys {
+            self.max_keys.insert(k.clone());
+        }
+        for (k, v) in &other.counters {
+            if self.max_keys.contains(k) {
+                self.record_max(k, *v);
+            } else {
+                self.add(k, *v);
+            }
+        }
+    }
+
+    /// The value of `key`, if recorded.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.counters.get(key).copied()
+    }
+
+    /// True if no counters have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Iterate `(key, value)` in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Build a registry from an iterator of `(key, value)` pairs,
+    /// summing duplicates.
+    pub fn from_counters<'a, I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (&'a str, f64)>,
+    {
+        let mut reg = Self::new();
+        for (k, v) in pairs {
+            reg.add(k, v);
+        }
+        reg
+    }
+}
+
+impl<'a> Extend<(&'a str, f64)> for ObsRegistry {
+    fn extend<I: IntoIterator<Item = (&'a str, f64)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.add(k, v);
+        }
+    }
+}

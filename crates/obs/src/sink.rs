@@ -1,0 +1,212 @@
+//! Sink specifications and the serializers behind them.
+//!
+//! JSON is rendered by hand (the crate has no runtime dependencies): the
+//! event vocabulary is closed — static names, numeric values — so the
+//! writers below cover it exactly, and the unit tests parse the output
+//! with `serde_json` to keep them honest.
+
+use std::path::{Path, PathBuf};
+
+use crate::collector::{Event, EventKind};
+
+/// Where collected events go at [`crate::flush`] time.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum SinkSpec {
+    /// No collection at all; probe sites take their cheap path.
+    #[default]
+    Off,
+    /// Collect in memory for [`crate::take_events`]/[`crate::summary`];
+    /// flush writes no file.
+    Collect,
+    /// One JSON object per line, written to the given path.
+    Jsonl(PathBuf),
+    /// Chrome `trace_event` JSON (loadable in `about:tracing`/Perfetto),
+    /// written to the given path.
+    Chrome(PathBuf),
+}
+
+impl SinkSpec {
+    /// The in-memory collecting sink.
+    pub fn collect() -> Self {
+        SinkSpec::Collect
+    }
+
+    /// True for [`SinkSpec::Off`].
+    pub fn is_off(&self) -> bool {
+        matches!(self, SinkSpec::Off)
+    }
+
+    /// Output path for file-backed sinks.
+    pub fn path(&self) -> Option<&Path> {
+        match self {
+            SinkSpec::Off | SinkSpec::Collect => None,
+            SinkSpec::Jsonl(p) | SinkSpec::Chrome(p) => Some(p),
+        }
+    }
+
+    /// Parse the `TF_TRACE` environment variable. Unset, empty, `off`,
+    /// and `0` mean [`SinkSpec::Off`]; `jsonl` and `chrome` select the
+    /// file sinks, writing to `path_override` if given, else
+    /// `<default_stem>.jsonl` / `<default_stem>.trace.json`.
+    pub fn from_env(
+        path_override: Option<PathBuf>,
+        default_stem: &str,
+    ) -> Result<SinkSpec, String> {
+        let mode = std::env::var("TF_TRACE").unwrap_or_default();
+        match mode.as_str() {
+            "" | "off" | "0" => Ok(SinkSpec::Off),
+            "jsonl" => {
+                Ok(SinkSpec::Jsonl(path_override.unwrap_or_else(|| {
+                    PathBuf::from(format!("{default_stem}.jsonl"))
+                })))
+            }
+            "chrome" => Ok(SinkSpec::Chrome(path_override.unwrap_or_else(|| {
+                PathBuf::from(format!("{default_stem}.trace.json"))
+            }))),
+            other => Err(format!(
+                "TF_TRACE={other:?} not recognised (expected off, jsonl, or chrome)"
+            )),
+        }
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Rust's shortest-roundtrip Display is valid JSON for finite values.
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Microseconds with fixed 3-decimal nanosecond precision, as chrome
+/// trace `ts`/`dur` fields expect.
+fn push_us(out: &mut String, ns: u64) {
+    out.push_str(&format!("{}.{:03}", ns / 1000, ns % 1000));
+}
+
+fn push_args_object(out: &mut String, args: &[(&'static str, f64)]) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(out, k);
+        out.push(':');
+        push_f64(out, *v);
+    }
+    out.push('}');
+}
+
+/// Render events as chrome `trace_event` JSON. Spans become complete
+/// (`"ph":"X"`) events, counters `"ph":"C"`, instants `"ph":"i"`; the
+/// logical track maps to `tid` so Perfetto shows one row per track.
+pub fn render_chrome(events: &[Event]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"traceEvents\":[\n");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("{\"name\":");
+        push_json_str(&mut out, e.name);
+        out.push_str(",\"cat\":");
+        push_json_str(&mut out, e.cat);
+        match e.kind {
+            EventKind::Span => {
+                out.push_str(",\"ph\":\"X\",\"pid\":1,\"tid\":");
+                out.push_str(&e.track.to_string());
+                out.push_str(",\"ts\":");
+                push_us(&mut out, e.ts_ns);
+                out.push_str(",\"dur\":");
+                push_us(&mut out, e.dur_ns);
+                out.push_str(",\"args\":");
+                let mut args = e.args.clone();
+                args.push(("seq", e.seq as f64));
+                push_args_object(&mut out, &args);
+            }
+            EventKind::Counter => {
+                out.push_str(",\"ph\":\"C\",\"pid\":1,\"tid\":");
+                out.push_str(&e.track.to_string());
+                out.push_str(",\"ts\":");
+                push_us(&mut out, e.ts_ns);
+                out.push_str(",\"args\":{");
+                push_json_str(&mut out, e.name);
+                out.push(':');
+                push_f64(&mut out, e.value);
+                out.push('}');
+            }
+            EventKind::Instant => {
+                out.push_str(",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":");
+                out.push_str(&e.track.to_string());
+                out.push_str(",\"ts\":");
+                push_us(&mut out, e.ts_ns);
+                out.push_str(",\"args\":{\"seq\":");
+                out.push_str(&e.seq.to_string());
+                out.push('}');
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Render events as JSON lines: one self-describing object per event.
+pub fn render_jsonl(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 112);
+    for e in events {
+        out.push_str("{\"type\":");
+        push_json_str(
+            &mut out,
+            match e.kind {
+                EventKind::Span => "span",
+                EventKind::Instant => "instant",
+                EventKind::Counter => "counter",
+            },
+        );
+        out.push_str(",\"cat\":");
+        push_json_str(&mut out, e.cat);
+        out.push_str(",\"name\":");
+        push_json_str(&mut out, e.name);
+        out.push_str(",\"track\":");
+        out.push_str(&e.track.to_string());
+        out.push_str(",\"seq\":");
+        out.push_str(&e.seq.to_string());
+        out.push_str(",\"ts_ns\":");
+        out.push_str(&e.ts_ns.to_string());
+        match e.kind {
+            EventKind::Span => {
+                out.push_str(",\"dur_ns\":");
+                out.push_str(&e.dur_ns.to_string());
+                out.push_str(",\"args\":");
+                push_args_object(&mut out, &e.args);
+            }
+            EventKind::Counter => {
+                out.push_str(",\"value\":");
+                push_f64(&mut out, e.value);
+            }
+            EventKind::Instant => {}
+        }
+        out.push_str("}\n");
+    }
+    out
+}

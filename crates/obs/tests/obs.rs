@@ -1,0 +1,234 @@
+//! tf-obs unit tests: no-op behaviour, deterministic ordering, sink
+//! output validity (parsed back with serde_json), and ObsRegistry
+//! merge semantics.
+//!
+//! The collector is process-global, so every test that installs a sink
+//! holds `LOCK` for its whole body.
+
+use std::sync::Mutex;
+
+use serde::Value;
+use tf_obs::{ObsRegistry, SinkSpec};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Numeric payload of a vendored-serde JSON value.
+fn num(v: &Value) -> f64 {
+    match v {
+        Value::Int(i) => *i as f64,
+        Value::UInt(u) => *u as f64,
+        Value::Float(f) => *f,
+        other => panic!("expected number, got {other:?}"),
+    }
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> &'a Value {
+    v.get(key)
+        .unwrap_or_else(|| panic!("missing field {key:?} in {v:?}"))
+}
+
+#[test]
+fn noop_sink_collects_nothing_and_flushes_nothing() {
+    let _g = LOCK.lock().unwrap();
+    tf_obs::install(SinkSpec::Off);
+    assert!(!tf_obs::enabled());
+
+    {
+        let mut s = tf_obs::span("t", "ignored");
+        s.arg("n", 1.0);
+        tf_obs::counter("t", "c", 7.0);
+        tf_obs::instant("t", "i");
+    }
+    assert!(tf_obs::take_events().is_empty());
+    assert_eq!(tf_obs::flush().unwrap(), None);
+    assert!(tf_obs::summary().is_empty());
+}
+
+#[test]
+fn spans_record_args_and_track_seq_order() {
+    let _g = LOCK.lock().unwrap();
+    tf_obs::install_collect();
+    assert!(tf_obs::enabled());
+
+    {
+        let _t = tf_obs::set_track(2);
+        let mut s = tf_obs::span("t", "on_track_two");
+        s.arg("k", 2.5);
+    }
+    {
+        let mut s = tf_obs::span("t", "on_track_zero");
+        s.arg("k", 0.5);
+        tf_obs::counter("t", "steps", 11.0);
+    }
+
+    let events = tf_obs::take_events();
+    // Sorted by (track, seq): track 0 first, despite being recorded second.
+    assert_eq!(events.len(), 3);
+    assert_eq!(events[0].name, "on_track_zero");
+    assert_eq!(events[0].track, 0);
+    assert_eq!(events[1].name, "steps");
+    assert_eq!(events[1].track, 0);
+    assert!(events[0].seq < events[1].seq);
+    assert_eq!(events[2].name, "on_track_two");
+    assert_eq!(events[2].track, 2);
+    assert_eq!(events[2].args, vec![("k", 2.5)]);
+
+    tf_obs::install(SinkSpec::Off);
+}
+
+#[test]
+fn track_guard_restores_previous_track() {
+    let _g = LOCK.lock().unwrap();
+    tf_obs::install_collect();
+
+    {
+        let _outer = tf_obs::set_track(5);
+        {
+            let _inner = tf_obs::set_track(9);
+            tf_obs::instant("t", "inner");
+        }
+        tf_obs::instant("t", "outer");
+    }
+    tf_obs::instant("t", "main");
+
+    let events = tf_obs::take_events();
+    let tracks: Vec<(u32, &str)> = events.iter().map(|e| (e.track, e.name)).collect();
+    assert_eq!(tracks, vec![(0, "main"), (5, "outer"), (9, "inner")]);
+
+    tf_obs::install(SinkSpec::Off);
+}
+
+#[test]
+fn summary_aggregates_spans_by_cat_and_name() {
+    let _g = LOCK.lock().unwrap();
+    tf_obs::install_collect();
+
+    for _ in 0..3 {
+        let _s = tf_obs::span("a", "x");
+    }
+    let _s = tf_obs::span("a", "y");
+    drop(_s);
+    tf_obs::counter("a", "x", 1.0); // counters are excluded from summary
+
+    let sums = tf_obs::summary();
+    assert_eq!(sums.len(), 2);
+    assert_eq!((sums[0].cat, sums[0].name, sums[0].count), ("a", "x", 3));
+    assert_eq!((sums[1].cat, sums[1].name, sums[1].count), ("a", "y", 1));
+
+    // summary() is non-destructive.
+    assert_eq!(tf_obs::take_events().len(), 5);
+    tf_obs::install(SinkSpec::Off);
+}
+
+#[test]
+fn chrome_sink_writes_parseable_trace_events() {
+    let _g = LOCK.lock().unwrap();
+    let dir = std::env::temp_dir().join(format!("tf-obs-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("out.trace.json");
+
+    tf_obs::install(SinkSpec::Chrome(path.clone()));
+    {
+        let mut s = tf_obs::span("sim", "simulate");
+        s.arg("n", 30.0);
+        tf_obs::counter("sim", "steps", 42.0);
+        tf_obs::instant("cache", "hit");
+    }
+    let written = tf_obs::flush().unwrap();
+    assert_eq!(written.as_deref(), Some(path.as_path()));
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let doc: Value = serde_json::from_str(&text).unwrap();
+    let evs = field(&doc, "traceEvents").as_seq().unwrap();
+    assert_eq!(evs.len(), 3);
+    let phases: Vec<&str> = evs
+        .iter()
+        .map(|e| field(e, "ph").as_str().unwrap())
+        .collect();
+    assert_eq!(phases, vec!["X", "C", "i"]);
+    let span = &evs[0];
+    assert_eq!(field(span, "name").as_str(), Some("simulate"));
+    assert_eq!(field(span, "cat").as_str(), Some("sim"));
+    assert_eq!(num(field(field(span, "args"), "n")), 30.0);
+    // ts/dur are microsecond numbers.
+    let _ = num(field(span, "ts"));
+    let _ = num(field(span, "dur"));
+    assert_eq!(num(field(field(&evs[1], "args"), "steps")), 42.0);
+
+    // Flush drained the buffer; a second flush writes an empty trace.
+    tf_obs::flush().unwrap();
+    let doc2: Value = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(field(&doc2, "traceEvents").as_seq().unwrap().len(), 0);
+
+    tf_obs::install(SinkSpec::Off);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn jsonl_sink_writes_one_valid_object_per_line() {
+    let _g = LOCK.lock().unwrap();
+    let dir = std::env::temp_dir().join(format!("tf-obs-test-jl-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("out.jsonl");
+
+    tf_obs::install(SinkSpec::Jsonl(path.clone()));
+    {
+        let mut s = tf_obs::span("lb", "solve");
+        s.arg("units", 12.0);
+    }
+    tf_obs::counter("lb", "relabels", 3.0);
+    tf_obs::flush().unwrap();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2);
+    let span: Value = serde_json::from_str(lines[0]).unwrap();
+    assert_eq!(field(&span, "type").as_str(), Some("span"));
+    assert_eq!(field(&span, "name").as_str(), Some("solve"));
+    assert_eq!(num(field(field(&span, "args"), "units")), 12.0);
+    let ctr: Value = serde_json::from_str(lines[1]).unwrap();
+    assert_eq!(field(&ctr, "type").as_str(), Some("counter"));
+    assert_eq!(num(field(&ctr, "value")), 3.0);
+
+    tf_obs::install(SinkSpec::Off);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn from_env_rejects_unknown_modes() {
+    // Reads only explicit env we set; TF_TRACE is absent in the test env.
+    assert_eq!(SinkSpec::from_env(None, "x").unwrap(), SinkSpec::Off);
+}
+
+#[test]
+fn registry_adds_merges_and_maxes() {
+    let mut a = ObsRegistry::new();
+    a.add("sim.steps", 10.0);
+    a.add("sim.steps", 5.0);
+    a.record_max("sim.peak_alive", 7.0);
+    a.record_max("sim.peak_alive", 3.0);
+    assert_eq!(a.get("sim.steps"), Some(15.0));
+    assert_eq!(a.get("sim.peak_alive"), Some(7.0));
+
+    let mut b = ObsRegistry::from_counters([("sim.steps", 1.0), ("mcmf.heap_pops", 100.0)]);
+    b.record_max("sim.peak_alive", 9.0);
+
+    a.merge(&b);
+    assert_eq!(a.get("sim.steps"), Some(16.0));
+    assert_eq!(a.get("sim.peak_alive"), Some(9.0)); // max, not sum
+    assert_eq!(a.get("mcmf.heap_pops"), Some(100.0));
+    assert_eq!(a.len(), 3);
+
+    // Deterministic iteration order: sorted keys.
+    let keys: Vec<&str> = a.iter().map(|(k, _)| k).collect();
+    assert_eq!(keys, vec!["mcmf.heap_pops", "sim.peak_alive", "sim.steps"]);
+}
+
+#[test]
+fn registry_empty_and_extend() {
+    let mut r = ObsRegistry::new();
+    assert!(r.is_empty());
+    r.extend([("a", 1.0), ("a", 2.0)]);
+    assert_eq!(r.get("a"), Some(3.0));
+    assert!(!r.is_empty());
+}

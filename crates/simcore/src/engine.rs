@@ -76,6 +76,11 @@ pub fn simulate(
     cfg.validate()?;
     policy.reset();
 
+    let mut obs_span = tf_obs::span!("sim", "simulate");
+    // Tracing subsumes the opt-in allocator timing: with a sink installed
+    // the run is diagnostic anyway, so fold the alloc_ns clock reads in.
+    let time_alloc = opts.time_alloc || tf_obs::enabled();
+
     let n = trace.len();
     let jobs = trace.jobs();
     let mut completion = vec![f64::NAN; n];
@@ -155,7 +160,7 @@ pub fn simulate(
 
         rates.clear();
         rates.resize(alive.len(), 0.0);
-        let alloc_started = opts.time_alloc.then(Instant::now);
+        let alloc_started = time_alloc.then(Instant::now);
         policy.allocate(time, &alive, &cfg, &mut rates);
         if let Some(t0) = alloc_started {
             stats.alloc_ns += t0.elapsed().as_nanos() as u64;
@@ -280,7 +285,22 @@ pub fn simulate(
     }
 
     if let Some(p) = profile.as_mut() {
+        let _coalesce_span = tf_obs::span!("sim", "coalesce");
         p.coalesce(ABS_EPS);
+    }
+
+    if tf_obs::enabled() {
+        obs_span.arg("n", n as f64);
+        obs_span.arg("m", cfg.m as f64);
+        obs_span.arg("speed", cfg.speed);
+        obs_span.arg("events", events as f64);
+        tf_obs::counter!("sim", "events", events as f64);
+        tf_obs::counter!("sim", "steps", stats.steps() as f64);
+        tf_obs::counter!("sim", "peak_alive", stats.peak_alive as f64);
+        tf_obs::counter!("sim", "alloc_ns", stats.alloc_ns as f64);
+        if stats.segments_recorded > 0 {
+            tf_obs::counter!("sim", "segments_recorded", stats.segments_recorded as f64);
+        }
     }
 
     Ok(Schedule {

@@ -43,6 +43,7 @@ pub mod mcnaughton;
 pub mod profile;
 pub mod quantum;
 pub mod schedule;
+pub mod sim;
 pub mod stats;
 pub mod trace;
 pub mod validate;
@@ -53,7 +54,11 @@ pub use error::SimError;
 pub use job::{Job, JobId};
 pub use profile::{Profile, Segment, SegmentRef};
 pub use schedule::Schedule;
+pub use sim::Simulation;
 pub use stats::SimStats;
+/// Re-export of the observability layer, so downstream code can reach
+/// sinks and the registry without naming `tf_obs` in its own manifest.
+pub use tf_obs as obs;
 pub use trace::{Trace, TraceBuilder};
 
 /// Relative tolerance used throughout the simulator for floating-point

@@ -44,6 +44,23 @@ impl SimStats {
         self.alloc_ns as f64 * 1e-9
     }
 
+    /// These counters as a flat [`tf_obs::ObsRegistry`] under the `sim.`
+    /// namespace, ready to merge with solver and cache registries.
+    /// `sim.peak_alive` is max-combining; everything else sums.
+    pub fn registry(&self) -> tf_obs::ObsRegistry {
+        let mut reg = tf_obs::ObsRegistry::from_counters([
+            ("sim.arrival_steps", self.arrival_steps as f64),
+            ("sim.completion_steps", self.completion_steps as f64),
+            ("sim.review_steps", self.review_steps as f64),
+            ("sim.adaptive_steps", self.adaptive_steps as f64),
+            ("sim.jobs_admitted", self.jobs_admitted as f64),
+            ("sim.alloc_ns", self.alloc_ns as f64),
+            ("sim.segments_recorded", self.segments_recorded as f64),
+        ]);
+        reg.record_max("sim.peak_alive", self.peak_alive as f64);
+        reg
+    }
+
     /// Fold another run's counters into this one: counts add, peaks max.
     /// Used by harness tables that aggregate over a corpus of runs.
     pub fn absorb(&mut self, other: &SimStats) {
@@ -105,6 +122,26 @@ mod tests {
         assert_eq!(a.alloc_ns, 17);
         assert_eq!(a.peak_alive, 5);
         assert_eq!(a.segments_recorded, 9);
+    }
+
+    #[test]
+    fn registry_namespaces_and_combines() {
+        let a = SimStats {
+            arrival_steps: 2,
+            completion_steps: 3,
+            peak_alive: 5,
+            ..Default::default()
+        };
+        let b = SimStats {
+            completion_steps: 4,
+            peak_alive: 3,
+            ..Default::default()
+        };
+        let mut reg = a.registry();
+        reg.merge(&b.registry());
+        assert_eq!(reg.get("sim.arrival_steps"), Some(2.0));
+        assert_eq!(reg.get("sim.completion_steps"), Some(7.0));
+        assert_eq!(reg.get("sim.peak_alive"), Some(5.0)); // max, not sum
     }
 
     #[test]

@@ -19,20 +19,29 @@ fn main() {
     );
     println!();
 
-    // One machine, unit speed: RR vs SRPT vs FCFS.
-    let cfg = MachineConfig::new(1);
+    // One machine, unit speed: RR vs SRPT vs FCFS. `Simulation` is the
+    // builder front door; defaults are one unit-speed machine.
     for (name, sched) in [
         (
             "RR",
-            simulate(&trace, &mut RoundRobin::new(), cfg, SimOptions::default()).unwrap(),
+            Simulation::of(&trace)
+                .policy(&mut RoundRobin::new())
+                .run()
+                .unwrap(),
         ),
         (
             "SRPT",
-            simulate(&trace, &mut Srpt::new(), cfg, SimOptions::default()).unwrap(),
+            Simulation::of(&trace)
+                .policy(&mut Srpt::new())
+                .run()
+                .unwrap(),
         ),
         (
             "FCFS",
-            simulate(&trace, &mut Fcfs::new(), cfg, SimOptions::default()).unwrap(),
+            Simulation::of(&trace)
+                .policy(&mut Fcfs::new())
+                .run()
+                .unwrap(),
         ),
     ] {
         println!("{name:>5}:");
@@ -53,12 +62,17 @@ fn main() {
 
     // The paper's speed augmentation: RR with a (4+eps)-speed machine is
     // O(1)-competitive for the l2 norm (Theorem 1, k=2).
-    let fast = MachineConfig::with_speed(1, 4.4);
-    let rr_fast = simulate(&trace, &mut RoundRobin::new(), fast, SimOptions::default()).unwrap();
+    let rr_fast = Simulation::of(&trace)
+        .policy(&mut RoundRobin::new())
+        .speed(4.4)
+        .run()
+        .unwrap();
     println!(
         "RR at speed 4.4: l2 = {:.3} (speed-1 SRPT l2 = {:.3})",
         rr_fast.flow_norm(2.0),
-        simulate(&trace, &mut Srpt::new(), cfg, SimOptions::default())
+        Simulation::of(&trace)
+            .policy(&mut Srpt::new())
+            .run()
             .unwrap()
             .flow_norm(2.0),
     );

@@ -23,6 +23,8 @@
 //!   fails for ℓ2 (\[13, 15\], the paper's Section 1.2 foil);
 //! * [`broadcast`] — pull-based broadcast scheduling, the other Section
 //!   1.2 setting (one transmission serves every outstanding request);
+//! * [`obs`] — structured tracing and counters (spans, chrome-trace /
+//!   JSONL sinks), zero-cost when off;
 //! * [`harness`] — the E1–E17 experiment suite.
 //!
 //! ## Quickstart
@@ -33,12 +35,29 @@
 //! // Two jobs on one machine under Round Robin.
 //! let trace = Trace::from_pairs([(0.0, 1.0), (0.0, 2.0)]).unwrap();
 //! let mut rr = RoundRobin::new();
-//! let sched = simulate(&trace, &mut rr, MachineConfig::new(1), SimOptions::default()).unwrap();
+//! let sched = Simulation::of(&trace).policy(&mut rr).run().unwrap();
 //! assert!((sched.completion[0] - 2.0).abs() < 1e-9);
 //! assert!((sched.completion[1] - 3.0).abs() < 1e-9);
 //! // The l2-norm of flow time the paper studies:
 //! let l2 = sched.flow_norm(2.0);
 //! assert!((l2 - (4.0f64 + 9.0).sqrt()).abs() < 1e-9);
+//! ```
+//!
+//! [`Simulation`](prelude::Simulation) is the builder front door; the
+//! plain [`simulate`](prelude::simulate) function remains for callers
+//! that want every knob positional. To trace a run, pick a sink:
+//!
+//! ```
+//! use temporal_fairness_rr::prelude::*;
+//!
+//! let trace = Trace::from_pairs([(0.0, 1.0), (0.0, 2.0)]).unwrap();
+//! let mut rr = RoundRobin::new();
+//! let sched = Simulation::of(&trace)
+//!     .policy(&mut rr)
+//!     .trace(SinkSpec::Collect) // or SinkSpec::Chrome("run.trace.json".into())
+//!     .run()
+//!     .unwrap();
+//! assert!(sched.stats.registry().get("sim.jobs_admitted").unwrap() >= 2.0);
 //! ```
 
 pub use tf_broadcast as broadcast;
@@ -47,6 +66,7 @@ pub use tf_dispatch as dispatch;
 pub use tf_harness as harness;
 pub use tf_lowerbound as lowerbound;
 pub use tf_metrics as metrics;
+pub use tf_obs as obs;
 pub use tf_policies as policies;
 pub use tf_simcore as simcore;
 pub use tf_speedup as speedup;
@@ -57,9 +77,10 @@ pub mod prelude {
     pub use tf_core::{verify_theorem1, Certificate};
     pub use tf_lowerbound::lk_lower_bound;
     pub use tf_metrics::{flow_stats, jain_index, lk_norm};
+    pub use tf_obs::{ObsRegistry, SinkSpec};
     pub use tf_policies::{Fcfs, Laps, Policy, RoundRobin, Setf, Sjf, Srpt, WeightedRoundRobin};
     pub use tf_simcore::{
-        simulate, Job, JobId, MachineConfig, RateAllocator, Schedule, SimOptions, Trace,
+        simulate, Job, JobId, MachineConfig, RateAllocator, Schedule, SimOptions, Simulation, Trace,
     };
     pub use tf_workload::{PoissonWorkload, SizeDist};
 }
