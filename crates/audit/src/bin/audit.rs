@@ -1,0 +1,103 @@
+//! `audit` — the fuzzing CLI: random traces × all policies × the whole
+//! invariant catalogue, with delta-debugging shrinks of any failure.
+//!
+//! ```text
+//! audit [--traces N] [--seed S] [--quick] [--no-metamorphic]
+//!       [--k K] [--eps E] [--out DIR] [--no-cache] [--threads N] [--trace PATH]
+//! ```
+//!
+//! Exit status is 0 iff no invariant was violated. Failures are shrunk
+//! and written to `--out` (default `results/audit/`) as JSON records
+//! that `tf-workload`'s trace loader can replay. Tracing follows the
+//! same `TF_TRACE` conventions as the `experiments` bin.
+
+use std::path::PathBuf;
+use tf_audit::{run_fuzz, FuzzConfig};
+use tf_harness::RunCtx;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: audit [--traces N] [--seed S] [--quick] [--no-metamorphic] [--k K] [--eps E]\n\
+         \x20            [--out DIR] [--no-cache] [--threads N] [--trace PATH]\n\
+         Fuzzes random traces through every registered policy and the full\n\
+         invariant catalogue (see docs/VALIDATION.md). Failing traces are\n\
+         shrunk to minimal counterexamples and written to the output dir.\n\
+         --traces N        instances to generate (default 1000)\n\
+         --seed S          master seed (default 0xA5D17)\n\
+         --quick           200 instances (CI smoke scale)\n\
+         --no-metamorphic  skip the metamorphic suite\n\
+         --k K             norm exponent for cross-layer checks (default 2)\n\
+         --eps E           Theorem 1 epsilon (default 0.05)\n\
+         --out DIR         counterexample directory (default results/audit)\n\
+         --no-cache        bypass the on-disk lower-bound cache\n\
+         --threads N       fix the worker-thread count\n\
+         --trace PATH      write the TF_TRACE-selected trace format to PATH"
+    );
+    std::process::exit(2);
+}
+
+fn parsed<T: std::str::FromStr>(v: Option<String>) -> T {
+    v.and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+}
+
+fn main() {
+    let mut cfg = FuzzConfig::default();
+    let mut ctx = RunCtx::full();
+    let mut trace_path: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--traces" => cfg.traces = parsed(args.next()),
+            "--seed" => cfg.seed = parsed(args.next()),
+            "--quick" => cfg.traces = 200,
+            "--no-metamorphic" => cfg.metamorphic = false,
+            "--k" => cfg.audit.k = parsed(args.next()),
+            "--eps" => cfg.audit.eps = parsed(args.next()),
+            "--out" => cfg.out_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--no-cache" => ctx.cache = false,
+            "--threads" => ctx.threads = Some(parsed(args.next())),
+            "--trace" => trace_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    ctx.trace = tf_obs::SinkSpec::from_env(trace_path, "audit").unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    ctx.apply();
+
+    let summary = run_fuzz(&cfg);
+    println!(
+        "audit: {} traces, {} checks, {} violation(s)",
+        summary.traces, summary.checks_run, summary.violations
+    );
+    for f in &summary.failures {
+        let policy = f.policy.as_deref().unwrap_or("-");
+        let dest = f
+            .path
+            .as_ref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "(not written)".into());
+        println!(
+            "  FAIL #{} {} [{}] shrunk {} -> {} jobs -> {}",
+            f.index,
+            f.check,
+            policy,
+            f.trace.len(),
+            f.shrunk.len(),
+            dest
+        );
+        println!("       {}", f.detail);
+    }
+
+    if !ctx.trace.is_off() {
+        match tf_obs::flush() {
+            Ok(Some(path)) => eprintln!("trace written to {}", path.display()),
+            Ok(None) => {}
+            Err(e) => eprintln!("trace write failed: {e}"),
+        }
+    }
+    std::process::exit(if summary.ok() { 0 } else { 1 });
+}

@@ -1,0 +1,641 @@
+//! The invariant catalogue: every check the audit layer can run, with a
+//! stable id per check.
+//!
+//! Checks come in three tiers (see `docs/VALIDATION.md` for the full
+//! catalogue with justifications and tolerances):
+//!
+//! * **S-checks** — schedule-level feasibility and accounting. These are
+//!   implemented once, in [`tf_simcore::validate::validate_schedule`]
+//!   (the single source of truth); the audit layer invokes them and maps
+//!   the result onto catalogue id `S*`.
+//! * **P-checks** — policy-structural oracles: does the recorded profile
+//!   match the policy's *definition* (RR equal share, SETF
+//!   least-attained priority, LAPS latest-β support, FCFS front-running),
+//!   and do the differential optimality oracles hold (SRPT minimizes
+//!   total flow on `m = 1`, FCFS minimizes max flow on `m = 1`)?
+//! * **X-checks** — cross-layer oracles tying the simulator, the
+//!   certified LP lower bound, and the dual-fitting certificate together:
+//!   the lower bound never exceeds any policy's cost, the optimized LP
+//!   solver agrees with the PR-1 reference solver, and the Theorem 1
+//!   certificate verifies on RR schedules at the prescribed speed.
+
+use tf_lowerbound::{lk_lower_bound, lk_lower_bound_reference};
+use tf_policies::{Policy, RoundRobin};
+use tf_simcore::validate::validate_schedule;
+use tf_simcore::{simulate, MachineConfig, Profile, Schedule, SimOptions, Trace};
+
+/// Configuration shared by every audit entry point.
+#[derive(Debug, Clone, Copy)]
+pub struct AuditConfig {
+    /// Relative tolerance for floating-point comparisons. Scaled by the
+    /// natural magnitude of each quantity (makespan for times, rate cap
+    /// for rates, objective value for costs).
+    pub rel_tol: f64,
+    /// Norm exponent `k` used by the cross-layer checks (X1–X3).
+    pub k: u32,
+    /// The `ε` parameter of the Theorem 1 certificate check (X2).
+    pub eps: f64,
+    /// Run the lower-bound dominance check X1 (requires speed 1).
+    pub check_lower_bound: bool,
+    /// Run the optimized-vs-reference solver equivalence check X3
+    /// (integral traces only; the reference solver is slow).
+    pub check_reference_solver: bool,
+    /// Run the Theorem 1 certificate check X2 (simulates RR at speed
+    /// `η = 2k(1+10ε)` internally).
+    pub check_certificate: bool,
+    /// Skip the expensive cross-layer checks (X2, X3) on traces with
+    /// more jobs than this.
+    pub max_exact_jobs: usize,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            rel_tol: 1e-7,
+            k: 2,
+            eps: 0.05,
+            check_lower_bound: true,
+            check_reference_solver: true,
+            check_certificate: true,
+            max_exact_jobs: 12,
+        }
+    }
+}
+
+/// One violated invariant.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Catalogue id of the violated check (`"S1"`, `"P-RR-SHARE"`, …).
+    pub check: &'static str,
+    /// Policy the violation was observed under, if policy-specific.
+    pub policy: Option<String>,
+    /// Human-readable description with the offending numbers.
+    pub detail: String,
+}
+
+/// Outcome of an audit: which checks ran and what they found.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Every violated invariant, in detection order.
+    pub violations: Vec<Violation>,
+    /// Number of catalogue checks evaluated (for coverage accounting).
+    pub checks_run: usize,
+}
+
+impl AuditReport {
+    /// True iff no invariant was violated.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Record one evaluated check.
+    pub(crate) fn ran(&mut self) {
+        self.checks_run += 1;
+    }
+
+    /// Record a violation.
+    pub(crate) fn fail(&mut self, check: &'static str, policy: Option<&str>, detail: String) {
+        self.violations.push(Violation {
+            check,
+            policy: policy.map(str::to_owned),
+            detail,
+        });
+    }
+
+    /// Fold another report into this one.
+    pub fn merge(&mut self, other: AuditReport) {
+        self.checks_run += other.checks_run;
+        self.violations.extend(other.violations);
+    }
+
+    /// True iff some violation is of the given catalogue check id.
+    pub fn has(&self, check: &str) -> bool {
+        self.violations.iter().any(|v| v.check == check)
+    }
+}
+
+/// Audit one recorded schedule against the catalogue: the S-checks
+/// (delegated to [`tf_simcore::validate::validate_schedule`]) plus the
+/// structural P-checks for `policy`, when one is named and has a
+/// structural oracle (RR, WRR, SETF, LAPS, FCFS).
+///
+/// The schedule must carry a [`Profile`] (simulate with
+/// `SimOptions::with_profile()` or `Simulation::record_profile()`);
+/// without one the S-checks report the missing profile as a violation.
+///
+/// ```
+/// use tf_audit::{audit_schedule, AuditConfig};
+/// use tf_policies::Policy;
+/// use tf_simcore::{Simulation, Trace};
+///
+/// let trace = Trace::from_pairs([(0.0, 2.0), (1.0, 1.0)]).unwrap();
+/// let mut rr = Policy::Rr.make();
+/// let sched = Simulation::of(&trace)
+///     .policy(rr.as_mut())
+///     .record_profile()
+///     .run()
+///     .unwrap();
+/// let report = audit_schedule(&trace, &sched, Some(Policy::Rr), &AuditConfig::default());
+/// assert!(report.ok(), "{:?}", report.violations);
+/// ```
+pub fn audit_schedule(
+    trace: &Trace,
+    sched: &Schedule,
+    policy: Option<Policy>,
+    cfg: &AuditConfig,
+) -> AuditReport {
+    let mut span = tf_obs::span!("audit", "check");
+    span.arg("n", trace.len() as f64);
+    let mut rep = AuditReport::default();
+    let pname = policy.map(|p| p.to_string());
+    let pname = pname.as_deref();
+
+    // S-checks: one source of truth in tf-simcore.
+    rep.ran();
+    let feas = validate_schedule(trace, sched, cfg.rel_tol);
+    for issue in feas.issues {
+        rep.fail("S", pname, issue);
+    }
+
+    let Some(profile) = sched.profile.as_ref() else {
+        return rep; // already reported by validate_schedule
+    };
+
+    match policy {
+        Some(Policy::Rr) => check_rr_structure(trace, sched, profile, cfg, &mut rep),
+        // WRR degenerates to RR exactly when every weight is 1 (the
+        // water-filling splits the budget equally).
+        Some(Policy::Wrr) if trace.jobs().iter().all(|j| j.weight == 1.0) => {
+            check_rr_structure(trace, sched, profile, cfg, &mut rep)
+        }
+        Some(Policy::Setf) => check_setf_structure(profile, cfg, &mut rep),
+        Some(Policy::Laps(beta)) => check_laps_structure(profile, beta, cfg, &mut rep),
+        Some(Policy::Fcfs) => check_fcfs_structure(profile, cfg, &mut rep),
+        _ => {}
+    }
+    rep
+}
+
+/// P-RR-SHARE + P-RR-NOSTARVE: in every segment of an RR profile, every
+/// alive job's rate equals `s·min(1, m/n_t)` — in particular it is
+/// strictly positive, which is the zero-service-denial guarantee the
+/// paper's temporal-fairness motivation rests on (E7/E8).
+fn check_rr_structure(
+    _trace: &Trace,
+    sched: &Schedule,
+    profile: &Profile,
+    cfg: &AuditConfig,
+    rep: &mut AuditReport,
+) {
+    let mcfg: MachineConfig = sched.cfg;
+    let tol = cfg.rel_tol * mcfg.job_cap().max(1.0);
+    rep.ran();
+    rep.ran();
+    for (si, seg) in profile.segments().enumerate() {
+        let want = RoundRobin::share(&mcfg, seg.n_alive());
+        for &(id, r) in seg.rates {
+            if (r - want).abs() > tol {
+                rep.fail(
+                    "P-RR-SHARE",
+                    Some("RR"),
+                    format!(
+                        "segment {si}: job {id} rate {r} != equal share {want} (n={}, m={}, s={})",
+                        seg.n_alive(),
+                        mcfg.m,
+                        mcfg.speed
+                    ),
+                );
+                return;
+            }
+            if r <= 0.0 {
+                rep.fail(
+                    "P-RR-NOSTARVE",
+                    Some("RR"),
+                    format!("segment {si}: job {id} starved (rate {r}) under RR"),
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// P-SETF-ORDER: SETF serves by least attained service — sorting a
+/// segment's alive jobs by their attained service at the segment start,
+/// rates must be non-increasing (priority groups drain capacity in
+/// attained order; a lower-attained job can never get less than a
+/// higher-attained one).
+fn check_setf_structure(profile: &Profile, cfg: &AuditConfig, rep: &mut AuditReport) {
+    rep.ran();
+    let tol = cfg.rel_tol * profile.speed.max(1.0);
+    // Attained-so-far tolerance: the engine groups attained values with an
+    // absolute-relative tie tolerance; mirror that scale here.
+    let mut attained: Vec<f64> = Vec::new();
+    for (si, seg) in profile.segments().enumerate() {
+        let n = seg
+            .rates
+            .iter()
+            .map(|&(id, _)| id as usize + 1)
+            .max()
+            .unwrap_or(0);
+        if attained.len() < n {
+            attained.resize(n, 0.0);
+        }
+        let mut order: Vec<usize> = (0..seg.rates.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (ia, ib) = (seg.rates[a].0 as usize, seg.rates[b].0 as usize);
+            attained[ia].partial_cmp(&attained[ib]).unwrap()
+        });
+        // Jobs whose attained services are within the engine's tie
+        // tolerance form one group and may legitimately share unequal
+        // leftovers only across *distinct* groups; between clearly
+        // distinct attained values, rates must not increase.
+        for w in order.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            let (ilo, ihi) = (seg.rates[lo].0 as usize, seg.rates[hi].0 as usize);
+            let gap = attained[ihi] - attained[ilo];
+            let tie = 1e-6 * (1.0 + attained[ilo].abs().max(attained[ihi].abs()));
+            if gap > tie && seg.rates[hi].1 > seg.rates[lo].1 + tol {
+                rep.fail(
+                    "P-SETF-ORDER",
+                    Some("SETF"),
+                    format!(
+                        "segment {si}: job {} (attained {}) at rate {} outranks job {} (attained {}) at rate {}",
+                        ihi, attained[ihi], seg.rates[hi].1, ilo, attained[ilo], seg.rates[lo].1
+                    ),
+                );
+                return;
+            }
+        }
+        let dt = seg.duration();
+        for &(id, r) in seg.rates {
+            attained[id as usize] += r * dt;
+        }
+    }
+}
+
+/// P-LAPS-SUPPORT: LAPS(β) serves exactly the `⌈β·n_t⌉` latest-arrived
+/// alive jobs, equally. Job ids are arrival ranks, so "latest" is the
+/// suffix of the segment's id-sorted rate list.
+fn check_laps_structure(profile: &Profile, beta: f64, cfg: &AuditConfig, rep: &mut AuditReport) {
+    rep.ran();
+    let tol = cfg.rel_tol * profile.speed.max(1.0);
+    for (si, seg) in profile.segments().enumerate() {
+        let n = seg.n_alive();
+        if n == 0 {
+            continue;
+        }
+        let served = ((beta * n as f64).ceil() as usize).clamp(1, n);
+        let share = (profile.m as f64 * profile.speed / served as f64).min(profile.speed);
+        for (pos, &(id, r)) in seg.rates.iter().enumerate() {
+            let want = if pos >= n - served { share } else { 0.0 };
+            if (r - want).abs() > tol {
+                rep.fail(
+                    "P-LAPS-SUPPORT",
+                    Some("LAPS"),
+                    format!(
+                        "segment {si}: job {id} rate {r} != {want} (n={n}, serving latest {served})"
+                    ),
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// P-FCFS-FRONT: FCFS runs the `m` earliest-arrived alive jobs at full
+/// machine speed and nothing else.
+fn check_fcfs_structure(profile: &Profile, cfg: &AuditConfig, rep: &mut AuditReport) {
+    rep.ran();
+    let tol = cfg.rel_tol * profile.speed.max(1.0);
+    for (si, seg) in profile.segments().enumerate() {
+        let served = profile.m.min(seg.n_alive());
+        for (pos, &(id, r)) in seg.rates.iter().enumerate() {
+            let want = if pos < served { profile.speed } else { 0.0 };
+            if (r - want).abs() > tol {
+                rep.fail(
+                    "P-FCFS-FRONT",
+                    Some("FCFS"),
+                    format!("segment {si}: job {id} rate {r} != {want} (front-running {served})"),
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// Simulate every policy in `policies` on `trace` (with profiles) and run
+/// the whole catalogue: S- and structural P-checks per schedule, the
+/// differential optimality oracles (P-SRPT-OPT, P-FCFS-MAXFLOW on
+/// `m = 1`), and the cross-layer X-checks.
+///
+/// `speed` is the common speed every policy runs at; the lower-bound
+/// dominance check X1 compares against the *speed-1* optimum and is
+/// therefore only run when `speed == 1`.
+///
+/// ```
+/// use tf_audit::{audit_trace, AuditConfig};
+/// use tf_policies::Policy;
+/// use tf_simcore::Trace;
+///
+/// let trace = Trace::from_pairs([(0.0, 2.0), (1.0, 1.0), (1.0, 3.0)]).unwrap();
+/// let report = audit_trace(&trace, 1, 1.0, &Policy::all(), &AuditConfig::default());
+/// assert!(report.ok(), "{:?}", report.violations);
+/// assert!(report.checks_run > 20);
+/// ```
+pub fn audit_trace(
+    trace: &Trace,
+    m: usize,
+    speed: f64,
+    policies: &[Policy],
+    cfg: &AuditConfig,
+) -> AuditReport {
+    let mut span = tf_obs::span!("audit", "audit_trace");
+    span.arg("n", trace.len() as f64);
+    span.arg("m", m as f64);
+    let mut rep = AuditReport::default();
+    let mcfg = MachineConfig::with_speed(m, speed);
+
+    let mut schedules: Vec<(Policy, Schedule)> = Vec::with_capacity(policies.len());
+    for &p in policies {
+        let mut alloc = p.make();
+        match simulate(trace, alloc.as_mut(), mcfg, SimOptions::with_profile()) {
+            Ok(s) => schedules.push((p, s)),
+            Err(e) => {
+                rep.ran();
+                rep.fail(
+                    "S-SIM",
+                    Some(&p.to_string()),
+                    format!("simulation failed: {e:?}"),
+                );
+            }
+        }
+    }
+
+    for (p, s) in &schedules {
+        rep.merge(audit_schedule(trace, s, Some(*p), cfg));
+    }
+
+    if m == 1 && !trace.is_empty() {
+        differential_oracles(trace, speed, &schedules, cfg, &mut rep);
+    }
+
+    cross_layer_checks(trace, m, speed, &schedules, cfg, &mut rep);
+    if tf_obs::enabled() {
+        tf_obs::counter!("audit", "checks_run", rep.checks_run as f64);
+    }
+    rep
+}
+
+/// P-SRPT-OPT and P-FCFS-MAXFLOW: on one machine, SRPT exactly minimizes
+/// total flow among all (even offline) schedules at the same speed, and
+/// FCFS exactly minimizes maximum flow. Every policy's objective must
+/// therefore dominate the respective optimum.
+fn differential_oracles(
+    trace: &Trace,
+    speed: f64,
+    schedules: &[(Policy, Schedule)],
+    cfg: &AuditConfig,
+    rep: &mut AuditReport,
+) {
+    let mcfg = MachineConfig::with_speed(1, speed);
+    let opt_total = simulate(
+        trace,
+        Policy::Srpt.make().as_mut(),
+        mcfg,
+        SimOptions::default(),
+    )
+    .map(|s| s.total_flow());
+    let opt_max = simulate(
+        trace,
+        Policy::Fcfs.make().as_mut(),
+        mcfg,
+        SimOptions::default(),
+    )
+    .map(|s| s.max_flow());
+
+    if let Ok(opt) = opt_total {
+        rep.ran();
+        let tol = cfg.rel_tol * opt.max(1.0);
+        for (p, s) in schedules {
+            let total = s.total_flow();
+            if total < opt - tol {
+                rep.fail(
+                    "P-SRPT-OPT",
+                    Some(&p.to_string()),
+                    format!("total flow {total} beats the SRPT optimum {opt} on m=1"),
+                );
+            }
+        }
+    }
+    if let Ok(opt) = opt_max {
+        rep.ran();
+        let tol = cfg.rel_tol * opt.max(1.0);
+        for (p, s) in schedules {
+            let mx = s.max_flow();
+            if mx < opt - tol {
+                rep.fail(
+                    "P-FCFS-MAXFLOW",
+                    Some(&p.to_string()),
+                    format!("max flow {mx} beats the FCFS optimum {opt} on m=1"),
+                );
+            }
+        }
+    }
+}
+
+/// X1 (lower bound dominates no policy), X2 (Theorem 1 certificate), X3
+/// (optimized LP solver ≡ reference solver).
+fn cross_layer_checks(
+    trace: &Trace,
+    m: usize,
+    speed: f64,
+    schedules: &[(Policy, Schedule)],
+    cfg: &AuditConfig,
+    rep: &mut AuditReport,
+) {
+    if trace.is_empty() {
+        return;
+    }
+    let kf = f64::from(cfg.k);
+
+    if cfg.check_lower_bound && speed == 1.0 {
+        rep.ran();
+        let lb = lk_lower_bound(trace, m, cfg.k);
+        for (p, s) in schedules {
+            let obj = s.flow_power_sum(kf);
+            if lb.value > obj * (1.0 + cfg.rel_tol) + cfg.rel_tol {
+                rep.fail(
+                    "X1-LB-DOMINANCE",
+                    Some(&p.to_string()),
+                    format!(
+                        "certified lower bound {} exceeds {} objective {obj} (m={m}, k={})",
+                        lb.value, p, cfg.k
+                    ),
+                );
+            }
+        }
+
+        if cfg.check_reference_solver
+            && trace.len() <= cfg.max_exact_jobs
+            && trace.is_integral(1e-9)
+        {
+            rep.ran();
+            let reference = lk_lower_bound_reference(trace, m, cfg.k);
+            let tol = cfg.rel_tol * lb.value.abs().max(1.0);
+            if (lb.value - reference.value).abs() > tol
+                || (lb.lp_raw - reference.lp_raw).abs() > tol
+            {
+                rep.fail(
+                    "X3-SOLVER-EQUIV",
+                    None,
+                    format!(
+                        "optimized solver bound {} (lp {}) != reference {} (lp {})",
+                        lb.value, lb.lp_raw, reference.value, reference.lp_raw
+                    ),
+                );
+            }
+        }
+    }
+
+    if cfg.check_certificate && trace.len() <= cfg.max_exact_jobs {
+        rep.ran();
+        match tf_core::verify_theorem1(trace, m, cfg.k, cfg.eps) {
+            Ok(cert) if cert.certified() => {}
+            Ok(cert) => rep.fail(
+                "X2-CERTIFICATE",
+                None,
+                format!(
+                    "Theorem 1 certificate failed at eta={} (k={}, eps={}): {:?}",
+                    cert.speed, cfg.k, cfg.eps, cert.report
+                ),
+            ),
+            Err(e) => rep.fail(
+                "X2-CERTIFICATE",
+                None,
+                format!("certificate pipeline failed to simulate: {e:?}"),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tf_simcore::AliveJob;
+    use tf_simcore::RateAllocator;
+
+    fn small_trace() -> Trace {
+        Trace::from_pairs([(0.0, 2.0), (0.0, 1.0), (1.0, 3.0), (4.0, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn clean_trace_passes_all_policies() {
+        for m in [1usize, 2] {
+            let rep = audit_trace(
+                &small_trace(),
+                m,
+                1.0,
+                &Policy::all(),
+                &AuditConfig::default(),
+            );
+            assert!(rep.ok(), "m={m}: {:?}", rep.violations);
+            assert!(rep.checks_run > 10);
+        }
+    }
+
+    #[test]
+    fn clean_trace_passes_at_speed() {
+        let rep = audit_trace(
+            &small_trace(),
+            2,
+            4.4,
+            &Policy::all(),
+            &AuditConfig::default(),
+        );
+        assert!(rep.ok(), "{:?}", rep.violations);
+    }
+
+    /// An RR with an off-by-one in its share (divides by n+1) violates
+    /// P-RR-SHARE but still yields a feasible schedule: the S-checks
+    /// alone cannot catch it, the structural oracle must.
+    struct OffByOneRr;
+    impl RateAllocator for OffByOneRr {
+        fn name(&self) -> &'static str {
+            "RR"
+        }
+        fn allocate(
+            &mut self,
+            _now: f64,
+            alive: &[AliveJob],
+            cfg: &MachineConfig,
+            rates: &mut [f64],
+        ) {
+            let share = cfg.speed * (cfg.m as f64 / (alive.len() + 1) as f64).min(1.0);
+            rates.fill(share);
+        }
+    }
+
+    #[test]
+    fn off_by_one_rr_share_is_caught() {
+        let t = small_trace();
+        let s = simulate(
+            &t,
+            &mut OffByOneRr,
+            MachineConfig::new(1),
+            SimOptions::with_profile(),
+        )
+        .unwrap();
+        let rep = audit_schedule(&t, &s, Some(Policy::Rr), &AuditConfig::default());
+        assert!(rep.has("P-RR-SHARE"), "{:?}", rep.violations);
+        // The genuine RR passes the same check.
+        let ok = simulate(
+            &t,
+            &mut RoundRobin::new(),
+            MachineConfig::new(1),
+            SimOptions::with_profile(),
+        )
+        .unwrap();
+        assert!(audit_schedule(&t, &ok, Some(Policy::Rr), &AuditConfig::default()).ok());
+    }
+
+    #[test]
+    fn tampered_lower_bound_comparison_fails() {
+        // Simulate RR, then quadruple the claimed completion times so the
+        // objective undercuts the certified bound: X1 must fire.
+        let t = Trace::from_pairs([(0.0, 4.0), (0.0, 4.0), (0.0, 4.0)]).unwrap();
+        let mut s = simulate(
+            &t,
+            &mut RoundRobin::new(),
+            MachineConfig::new(1),
+            SimOptions::with_profile(),
+        )
+        .unwrap();
+        for f in &mut s.flow {
+            *f *= 0.01;
+        }
+        let mut rep = AuditReport::default();
+        cross_layer_checks(
+            &t,
+            1,
+            1.0,
+            &[(Policy::Rr, s)],
+            &AuditConfig::default(),
+            &mut rep,
+        );
+        assert!(rep.has("X1-LB-DOMINANCE"), "{:?}", rep.violations);
+    }
+
+    #[test]
+    fn missing_profile_reports_s_violation() {
+        let t = small_trace();
+        let s = simulate(
+            &t,
+            &mut RoundRobin::new(),
+            MachineConfig::new(1),
+            SimOptions::default(),
+        )
+        .unwrap();
+        let rep = audit_schedule(&t, &s, Some(Policy::Rr), &AuditConfig::default());
+        assert!(rep.has("S"), "{:?}", rep.violations);
+    }
+}

@@ -1,0 +1,317 @@
+//! Metamorphic checks: transform an instance, predict how each policy's
+//! output must move, and verify the prediction against a real simulation.
+//!
+//! Every transform ships only for the policies for which the predicted
+//! relation is *provable* (see `docs/VALIDATION.md` for the soundness
+//! arguments and the excluded policies):
+//!
+//! * **time scaling** (`M-TIME-SCALE`) — multiplying all arrivals and
+//!   sizes by `c > 0` scales every flow time by exactly `c`, for any
+//!   policy whose allocation depends only on scale-free observables
+//!   (alive counts, orderings of arrivals/sizes/attained service). MLFQ
+//!   (absolute quantum) and the adaptively-integrated AgedRR are excluded.
+//! * **job relabeling** (`M-RELABEL`) — permuting the *insertion order*
+//!   of jobs (which permutes ids within same-arrival tie groups) leaves
+//!   the multiset of flow times unchanged for policies that are symmetric
+//!   in tied jobs (RR, unit-weight WRR, SETF, SRPT). FCFS and LAPS are
+//!   excluded: both break arrival ties by sequence number, so the
+//!   flow multiset genuinely depends on the labeling.
+//! * **machine-count monotonicity** (`M-MACHINE-MONO`) — RR with one
+//!   extra machine completes every job no later, pointwise (a direct
+//!   coupling: RR rates depend only on `n_t`, so extra capacity can only
+//!   advance completions; scheduling anomalies of list schedulers do not
+//!   apply to processor sharing).
+//! * **speed-augmentation monotonicity** (`M-SPEED-MONO`) — RR at double
+//!   speed completes every job no later, pointwise (same coupling).
+//! * **lower-bound machine monotonicity** (`M-LB-MACHINE-MONO`) —
+//!   `lk_lower_bound` is non-increasing in `m`: each component bound
+//!   (size sum is `m`-free; the LP relaxes as machines are added; the
+//!   SRPT super-machine speeds up) is non-increasing.
+
+use crate::catalogue::{AuditConfig, AuditReport};
+use tf_lowerbound::lk_lower_bound;
+use tf_policies::Policy;
+use tf_simcore::{simulate, MachineConfig, Schedule, SimError, SimOptions, Trace, TraceBuilder};
+
+/// Policies for which exact time-scale invariance is provable.
+pub const TIME_SCALE_POLICIES: &[Policy] = &[
+    Policy::Rr,
+    Policy::Wrr,
+    Policy::Srpt,
+    Policy::Sjf,
+    Policy::Hdf,
+    Policy::Setf,
+    Policy::Fcfs,
+    Policy::Laps(0.5),
+];
+
+/// Policies for which relabeling invariance (flow multiset) is provable.
+pub const RELABEL_POLICIES: &[Policy] = &[Policy::Rr, Policy::Wrr, Policy::Srpt, Policy::Setf];
+
+fn run(trace: &Trace, p: Policy, m: usize, speed: f64) -> Result<Schedule, SimError> {
+    simulate(
+        trace,
+        p.make().as_mut(),
+        MachineConfig::with_speed(m, speed),
+        SimOptions::default(),
+    )
+}
+
+/// Scale all arrivals and sizes of `trace` by `c > 0`.
+fn scale_trace(trace: &Trace, c: f64) -> Trace {
+    let mut b = TraceBuilder::new();
+    for j in trace.jobs() {
+        b.push_weighted(j.arrival * c, j.size * c, j.weight);
+    }
+    b.build().expect("scaling preserves validity")
+}
+
+/// Reverse the insertion order of `trace`'s jobs — after the builder's
+/// stable sort this exactly reverses every same-arrival tie group, the
+/// strongest relabeling the [`Trace`] representation admits (a trace
+/// canonicalizes ids, so relabeling *is* a permutation of tie groups).
+fn relabel_trace(trace: &Trace) -> Trace {
+    let mut b = TraceBuilder::new();
+    for j in trace.jobs().iter().rev() {
+        b.push_weighted(j.arrival, j.size, j.weight);
+    }
+    b.build().expect("relabeling preserves validity")
+}
+
+/// Run the full metamorphic suite on `trace` at the given machine
+/// environment. Adds one check per (transform × applicable policy).
+///
+/// ```
+/// use tf_audit::{metamorphic_suite, AuditConfig};
+/// use tf_simcore::Trace;
+///
+/// let trace = Trace::from_pairs([(0.0, 3.0), (0.0, 1.0), (2.0, 2.0)]).unwrap();
+/// let report = metamorphic_suite(&trace, 2, 1.0, &AuditConfig::default());
+/// assert!(report.ok(), "{:?}", report.violations);
+/// ```
+pub fn metamorphic_suite(trace: &Trace, m: usize, speed: f64, cfg: &AuditConfig) -> AuditReport {
+    let mut span = tf_obs::span!("audit", "metamorphic");
+    span.arg("n", trace.len() as f64);
+    let mut rep = AuditReport::default();
+    if trace.is_empty() {
+        return rep;
+    }
+
+    time_scaling(trace, m, speed, cfg, &mut rep);
+    relabeling(trace, m, speed, cfg, &mut rep);
+    rr_machine_monotonicity(trace, m, speed, cfg, &mut rep);
+    rr_speed_monotonicity(trace, m, speed, cfg, &mut rep);
+    lb_machine_monotonicity(trace, m, cfg, &mut rep);
+    rep
+}
+
+/// M-TIME-SCALE: `F_j(c·I) = c·F_j(I)` for scale-free policies.
+fn time_scaling(trace: &Trace, m: usize, speed: f64, cfg: &AuditConfig, rep: &mut AuditReport) {
+    const C: f64 = 3.0;
+    let scaled = scale_trace(trace, C);
+    for &p in TIME_SCALE_POLICIES {
+        rep.ran();
+        let (Ok(base), Ok(big)) = (run(trace, p, m, speed), run(&scaled, p, m, speed)) else {
+            rep.fail(
+                "M-TIME-SCALE",
+                Some(&p.to_string()),
+                "simulation failed".into(),
+            );
+            continue;
+        };
+        // SETF's attained-service grouping uses a tolerance with an
+        // absolute floor, which is not perfectly scale-free near group
+        // boundaries; a looser relative tolerance absorbs that.
+        let scale = base.max_flow().max(1.0) * C;
+        let tol = cfg.rel_tol.max(1e-9) * 100.0 * scale;
+        for (j, (&f, &g)) in base.flow.iter().zip(&big.flow).enumerate() {
+            if (g - C * f).abs() > tol {
+                rep.fail(
+                    "M-TIME-SCALE",
+                    Some(&p.to_string()),
+                    format!("job {j}: flow {g} on the x{C} trace != {C}·{f}"),
+                );
+                break;
+            }
+        }
+    }
+}
+
+/// M-RELABEL: the flow-time multiset is invariant under relabeling for
+/// tie-symmetric policies.
+fn relabeling(trace: &Trace, m: usize, speed: f64, cfg: &AuditConfig, rep: &mut AuditReport) {
+    let relabeled = relabel_trace(trace);
+    for &p in RELABEL_POLICIES {
+        // WRR is only tie-symmetric when weights are uniform.
+        if p == Policy::Wrr && trace.jobs().iter().any(|j| j.weight != 1.0) {
+            continue;
+        }
+        rep.ran();
+        let (Ok(base), Ok(perm)) = (run(trace, p, m, speed), run(&relabeled, p, m, speed)) else {
+            rep.fail(
+                "M-RELABEL",
+                Some(&p.to_string()),
+                "simulation failed".into(),
+            );
+            continue;
+        };
+        let mut a = base.flow.clone();
+        let mut b = perm.flow.clone();
+        a.sort_by(f64::total_cmp);
+        b.sort_by(f64::total_cmp);
+        let tol = cfg.rel_tol * base.max_flow().max(1.0);
+        if a.iter().zip(&b).any(|(x, y)| (x - y).abs() > tol) {
+            rep.fail(
+                "M-RELABEL",
+                Some(&p.to_string()),
+                format!("flow multiset changed under relabeling: {a:?} vs {b:?}"),
+            );
+        }
+    }
+}
+
+/// M-MACHINE-MONO: RR on `m+1` machines completes every job no later.
+fn rr_machine_monotonicity(
+    trace: &Trace,
+    m: usize,
+    speed: f64,
+    cfg: &AuditConfig,
+    rep: &mut AuditReport,
+) {
+    rep.ran();
+    let (Ok(base), Ok(more)) = (
+        run(trace, Policy::Rr, m, speed),
+        run(trace, Policy::Rr, m + 1, speed),
+    ) else {
+        rep.fail("M-MACHINE-MONO", Some("RR"), "simulation failed".into());
+        return;
+    };
+    let tol = cfg.rel_tol * base.makespan().max(1.0);
+    for (j, (&c0, &c1)) in base.completion.iter().zip(&more.completion).enumerate() {
+        if c1 > c0 + tol {
+            rep.fail(
+                "M-MACHINE-MONO",
+                Some("RR"),
+                format!(
+                    "job {j}: completes at {c1} on {} machines, later than {c0} on {m}",
+                    m + 1
+                ),
+            );
+            return;
+        }
+    }
+}
+
+/// M-SPEED-MONO: RR at double speed completes every job no later.
+fn rr_speed_monotonicity(
+    trace: &Trace,
+    m: usize,
+    speed: f64,
+    cfg: &AuditConfig,
+    rep: &mut AuditReport,
+) {
+    rep.ran();
+    let (Ok(base), Ok(fast)) = (
+        run(trace, Policy::Rr, m, speed),
+        run(trace, Policy::Rr, m, 2.0 * speed),
+    ) else {
+        rep.fail("M-SPEED-MONO", Some("RR"), "simulation failed".into());
+        return;
+    };
+    let tol = cfg.rel_tol * base.makespan().max(1.0);
+    for (j, (&c0, &c1)) in base.completion.iter().zip(&fast.completion).enumerate() {
+        if c1 > c0 + tol {
+            rep.fail(
+                "M-SPEED-MONO",
+                Some("RR"),
+                format!(
+                    "job {j}: completes at {c1} at speed {}, later than {c0} at {speed}",
+                    2.0 * speed
+                ),
+            );
+            return;
+        }
+    }
+}
+
+/// M-LB-MACHINE-MONO: the certified lower bound is non-increasing in `m`.
+fn lb_machine_monotonicity(trace: &Trace, m: usize, cfg: &AuditConfig, rep: &mut AuditReport) {
+    rep.ran();
+    let lo = lk_lower_bound(trace, m, cfg.k);
+    let hi = lk_lower_bound(trace, m + 1, cfg.k);
+    let tol = cfg.rel_tol * lo.value.max(1.0);
+    if hi.value > lo.value + tol {
+        rep.fail(
+            "M-LB-MACHINE-MONO",
+            None,
+            format!(
+                "lower bound grew with machines: {} on m={} vs {} on m={}",
+                lo.value,
+                m,
+                hi.value,
+                m + 1
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AuditConfig {
+        AuditConfig::default()
+    }
+
+    #[test]
+    fn clean_instances_pass() {
+        let traces = [
+            Trace::from_pairs([(0.0, 2.0), (0.0, 1.0), (1.0, 3.0)]).unwrap(),
+            Trace::from_pairs([(0.0, 1.0); 6]).unwrap(),
+            Trace::from_pairs([(0.5, 1.25), (0.5, 2.5), (3.75, 0.5)]).unwrap(),
+        ];
+        for t in &traces {
+            for m in [1usize, 2] {
+                let rep = metamorphic_suite(t, m, 1.0, &cfg());
+                assert!(rep.ok(), "m={m} {t:?}: {:?}", rep.violations);
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_trace_helper_scales_exactly() {
+        let t = Trace::from_pairs([(1.0, 2.0), (3.0, 4.0)]).unwrap();
+        let s = scale_trace(&t, 2.0);
+        assert_eq!(s.job(0).arrival, 2.0);
+        assert_eq!(s.job(1).size, 8.0);
+    }
+
+    #[test]
+    fn relabel_reverses_tie_groups() {
+        let t = Trace::from_pairs([(0.0, 1.0), (0.0, 2.0), (1.0, 3.0)]).unwrap();
+        let r = relabel_trace(&t);
+        // Same multiset of jobs, tie group at t=0 reversed.
+        assert_eq!(r.job(0).size, 2.0);
+        assert_eq!(r.job(1).size, 1.0);
+        assert_eq!(r.job(2).size, 3.0);
+    }
+
+    #[test]
+    fn mlfq_is_genuinely_not_scale_invariant() {
+        // Justifies MLFQ's exclusion from TIME_SCALE_POLICIES: the
+        // absolute quantum makes its schedule depend on the time unit.
+        // On the x10 trace the second job reaches the first job's level
+        // after attaining 7 (not 10·0.7), so the equal-share phase starts
+        // at a different relative point and its flow deviates from 10×.
+        let t = Trace::from_pairs([(0.0, 2.0), (1.0, 1.2)]).unwrap();
+        let base = run(&t, Policy::Mlfq, 1, 1.0).unwrap();
+        let scaled = run(&scale_trace(&t, 10.0), Policy::Mlfq, 1, 1.0).unwrap();
+        let drift = base
+            .flow
+            .iter()
+            .zip(&scaled.flow)
+            .map(|(&f, &g)| (g - 10.0 * f).abs())
+            .fold(0.0, f64::max);
+        assert!(drift > 1e-3, "MLFQ unexpectedly scale-invariant ({drift})");
+    }
+}

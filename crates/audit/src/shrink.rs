@@ -1,0 +1,232 @@
+//! Delta-debugging counterexample shrinker.
+//!
+//! Given a trace on which some predicate (typically "this audit check
+//! fails") holds, [`shrink_trace`] greedily minimizes the trace while
+//! preserving the predicate. The reduction passes, applied to a fixpoint:
+//!
+//! 1. **drop jobs** — remove one job at a time (ddmin with granularity 1;
+//!    audit traces are small enough that the quadratic pass is cheap);
+//! 2. **shrink sizes** — snap each size to 1, else halve it (rounding up
+//!    when the input trace is integral, so integrality — and with it the
+//!    LP-based checks — is preserved);
+//! 3. **snap arrivals** — move each arrival to 0, else halve it, else
+//!    pull it back to the previous job's arrival (rounding down under
+//!    integrality);
+//! 4. **translate** — shift *all* arrivals left by the minimum arrival
+//!    (a global move that per-job snapping cannot make without breaking
+//!    the inter-arrival structure a failure may depend on).
+//!
+//! Every accepted reduction emits a `tf-obs` instant event
+//! (`audit.shrink`) so long shrink runs are visible in traces.
+
+use tf_simcore::{Trace, TraceBuilder};
+
+/// One `(arrival, size, weight)` row — the mutable form a [`Trace`] is
+/// rebuilt from between reduction attempts.
+type Row = (f64, f64, f64);
+
+fn rows_of(trace: &Trace) -> Vec<Row> {
+    trace
+        .jobs()
+        .iter()
+        .map(|j| (j.arrival, j.size, j.weight))
+        .collect()
+}
+
+fn trace_of(rows: &[Row]) -> Option<Trace> {
+    let mut b = TraceBuilder::new();
+    for &(arrival, size, weight) in rows {
+        b.push_weighted(arrival, size, weight);
+    }
+    b.build().ok()
+}
+
+/// Shrink `trace` to a (locally) minimal trace on which `failing` still
+/// returns `true`. `failing(&trace)` must hold on the input; if it does
+/// not, the input is returned unchanged.
+///
+/// The result is 1-minimal with respect to the reduction passes: no
+/// single job can be dropped, no single size snapped down, and no single
+/// arrival snapped earlier without losing the failure. Determinism of
+/// `failing` is assumed (flaky predicates yield arbitrary but valid
+/// reductions).
+///
+/// ```
+/// use tf_audit::shrink_trace;
+/// use tf_simcore::Trace;
+///
+/// let t = Trace::from_pairs([(0.0, 5.0), (1.0, 2.0), (7.0, 3.0), (9.0, 1.0)]).unwrap();
+/// // Pretend the bug needs at least two jobs alive simultaneously.
+/// let overlap = |t: &Trace| {
+///     t.jobs()
+///         .iter()
+///         .zip(t.jobs().iter().skip(1))
+///         .any(|(a, b)| b.arrival < a.arrival + a.size)
+/// };
+/// let small = shrink_trace(&t, overlap);
+/// assert!(overlap(&small));
+/// assert_eq!(small.len(), 2); // two unit jobs at time 0 suffice
+/// assert!(small.total_size() <= 2.0);
+/// ```
+pub fn shrink_trace<F>(trace: &Trace, mut failing: F) -> Trace
+where
+    F: FnMut(&Trace) -> bool,
+{
+    if !failing(trace) {
+        return trace.clone();
+    }
+    let integral = trace.is_integral(1e-9);
+    let mut rows = rows_of(trace);
+
+    // A candidate is accepted iff it builds into a valid trace and still
+    // fails; acceptance emits the shrink event.
+    let try_rows = |rows: &[Row], failing: &mut F| -> bool {
+        match trace_of(rows) {
+            Some(t) if failing(&t) => {
+                if tf_obs::enabled() {
+                    tf_obs::instant!("audit", "shrink");
+                }
+                true
+            }
+            _ => false,
+        }
+    };
+
+    loop {
+        let mut progress = false;
+
+        // Pass 1: drop single jobs.
+        let mut i = 0;
+        while i < rows.len() {
+            if rows.len() > 1 {
+                let mut cand = rows.clone();
+                cand.remove(i);
+                if try_rows(&cand, &mut failing) {
+                    rows = cand;
+                    progress = true;
+                    continue; // same index now names the next job
+                }
+            }
+            i += 1;
+        }
+
+        // Pass 2: shrink sizes (snap to 1, else halve).
+        for i in 0..rows.len() {
+            let size = rows[i].1;
+            for target in [1.0, half(size, integral)] {
+                if target < size {
+                    let mut cand = rows.clone();
+                    cand[i].1 = target;
+                    if try_rows(&cand, &mut failing) {
+                        rows = cand;
+                        progress = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Pass 3: snap arrivals (to 0, else halve, else to predecessor).
+        for i in 0..rows.len() {
+            let arrival = rows[i].0;
+            let prev = if i > 0 { rows[i - 1].0 } else { 0.0 };
+            for target in [0.0, half_down(arrival, integral), prev] {
+                if target < arrival {
+                    let mut cand = rows.clone();
+                    cand[i].0 = target;
+                    if try_rows(&cand, &mut failing) {
+                        rows = cand;
+                        progress = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Pass 4: translate everything to start at time 0.
+        let min_arrival = rows.iter().map(|r| r.0).fold(f64::INFINITY, f64::min);
+        if min_arrival > 0.0 {
+            let mut cand = rows.clone();
+            for r in &mut cand {
+                r.0 -= min_arrival;
+            }
+            if try_rows(&cand, &mut failing) {
+                rows = cand;
+                progress = true;
+            }
+        }
+
+        if !progress {
+            break;
+        }
+    }
+    trace_of(&rows).expect("shrunk rows remain a valid trace")
+}
+
+/// Half of a size, rounded up to an integer when shrinking an integral
+/// trace (sizes must stay ≥ 1 and integral for the LP checks).
+fn half(x: f64, integral: bool) -> f64 {
+    let h = x / 2.0;
+    if integral {
+        h.ceil().max(1.0)
+    } else {
+        h
+    }
+}
+
+/// Half of an arrival, rounded down under integrality (arrivals may
+/// reach 0).
+fn half_down(x: f64, integral: bool) -> f64 {
+    let h = x / 2.0;
+    if integral {
+        h.floor()
+    } else {
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_failing_input_is_returned_unchanged() {
+        let t = Trace::from_pairs([(0.0, 3.0), (1.0, 2.0)]).unwrap();
+        let out = shrink_trace(&t, |_| false);
+        assert_eq!(out, t);
+    }
+
+    #[test]
+    fn shrinks_to_single_unit_job_for_trivial_predicate() {
+        let t = Trace::from_pairs([(0.0, 5.0), (2.0, 3.0), (4.0, 7.0), (8.0, 1.0)]).unwrap();
+        let out = shrink_trace(&t, |t| !t.is_empty());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.job(0).size, 1.0);
+        assert_eq!(out.job(0).arrival, 0.0);
+    }
+
+    #[test]
+    fn preserves_integrality() {
+        let t = Trace::from_pairs([(3.0, 7.0), (5.0, 9.0)]).unwrap();
+        // Keep total size above 5 — forces halving, not snapping to 1.
+        let out = shrink_trace(&t, |t| t.total_size() > 5.0);
+        assert!(out.is_integral(1e-9), "{out:?}");
+        assert!(out.total_size() > 5.0);
+    }
+
+    #[test]
+    fn fractional_traces_shrink_without_rounding() {
+        let t = Trace::from_pairs([(0.5, 6.5), (1.25, 2.75)]).unwrap();
+        let out = shrink_trace(&t, |t| t.total_size() > 3.0);
+        assert!(out.total_size() > 3.0);
+        assert!(out.len() <= 2);
+        assert!(out.total_size() < t.total_size());
+    }
+
+    #[test]
+    fn respects_predicate_needing_multiple_jobs() {
+        let t = Trace::from_pairs([(0.0, 1.0); 8]).unwrap();
+        let out = shrink_trace(&t, |t| t.len() >= 3);
+        assert_eq!(out.len(), 3);
+    }
+}

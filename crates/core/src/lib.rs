@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! # tf-core — the paper's dual-fitting analysis, executable
 //!

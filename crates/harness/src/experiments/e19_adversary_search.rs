@@ -1,6 +1,6 @@
 //! **E19 — mined worst cases: how bad can RR certifiably get?**
 //!
-//! The cited lower bounds ([4]) are hand-crafted; on small integral
+//! The cited lower bounds (\[4\]) are hand-crafted; on small integral
 //! instances we can instead *search*: hill-climb over traces maximizing
 //! RR's **certified true ratio** (exact slotted OPT in the denominator —
 //! no brackets). This probes the worst-case landscape directly: the mined

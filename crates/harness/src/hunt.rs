@@ -1,7 +1,7 @@
 //! Automated adversary search: hill-climbing over small instances to
 //! maximize a policy's **true** competitive ratio.
 //!
-//! The lower-bound constructions cited by the paper ([4], [15]) are
+//! The lower-bound constructions cited by the paper (\[4\], \[15\]) are
 //! hand-crafted. On small integral instances we can do better than
 //! hand-crafting: `tf-lowerbound::exact` computes the exact optimum, so
 //! the ratio `alg / OPT` is a certified number, and a stochastic local

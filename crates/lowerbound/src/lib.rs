@@ -28,6 +28,16 @@
 //!   relaxation, hence a lower bound; *exact* OPT when `m = 1, k = 1`.
 //!
 //! [`lk_lower_bound`] combines them and reports which bound won.
+//!
+//! ## Audited continuously
+//!
+//! Two `tf-audit` checks gate this crate (see `docs/VALIDATION.md`):
+//! `X1-LB-DOMINANCE` fuzzes the dominance `lk_lower_bound ≤ Σ_j F_j^k`
+//! against every registered policy's measured speed-1 schedule (each one
+//! is feasible, so a violation indicts the bound), and `X3-SOLVER-EQUIV`
+//! pins the optimized solver to [`lk_lower_bound_reference`] — the PR-1
+//! unit-augmenting implementation retained as an executable oracle — on
+//! both the combined bound and the raw LP value.
 
 pub mod bounds;
 pub mod exact;

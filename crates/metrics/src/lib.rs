@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! # tf-metrics — flow-time objectives and fairness measures
 //!

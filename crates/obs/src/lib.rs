@@ -102,7 +102,7 @@ pub fn flush() -> std::io::Result<Option<std::path::PathBuf>> {
     }
 }
 
-/// Open a span; sugar over [`span`] so call sites read uniformly with
+/// Open a span; sugar over [`span()`] so call sites read uniformly with
 /// [`counter!`] and [`instant!`]. Binds the guard to the given name:
 /// `let _s = tf_obs::span!("sim", "simulate");`
 #[macro_export]

@@ -25,6 +25,9 @@
 //!   1.2 setting (one transmission serves every outstanding request);
 //! * [`obs`] — structured tracing and counters (spans, chrome-trace /
 //!   JSONL sinks), zero-cost when off;
+//! * [`audit`] — differential & metamorphic correctness net: invariant
+//!   catalogue, policy oracles, fuzzing and counterexample shrinking
+//!   (see `docs/VALIDATION.md`);
 //! * [`harness`] — the E1–E17 experiment suite.
 //!
 //! ## Quickstart
@@ -60,6 +63,7 @@
 //! assert!(sched.stats.registry().get("sim.jobs_admitted").unwrap() >= 2.0);
 //! ```
 
+pub use tf_audit as audit;
 pub use tf_broadcast as broadcast;
 pub use tf_core as core;
 pub use tf_dispatch as dispatch;
@@ -74,6 +78,7 @@ pub use tf_workload as workload;
 
 /// The most common imports, bundled.
 pub mod prelude {
+    pub use tf_audit::{audit_schedule, audit_trace, shrink_trace, AuditConfig, AuditReport};
     pub use tf_core::{verify_theorem1, Certificate};
     pub use tf_lowerbound::lk_lower_bound;
     pub use tf_metrics::{flow_stats, jain_index, lk_norm};
