@@ -12,13 +12,16 @@
 //! same `TF_TRACE` conventions as the `experiments` bin.
 
 use std::path::PathBuf;
+use std::time::Duration;
 use tf_audit::{run_fuzz, FuzzConfig};
+use tf_harness::campaign::{self, CampaignCfg};
 use tf_harness::RunCtx;
 
 fn usage() -> ! {
     eprintln!(
         "usage: audit [--traces N] [--seed S] [--quick] [--no-metamorphic] [--k K] [--eps E]\n\
          \x20            [--out DIR] [--no-cache] [--threads N] [--trace PATH]\n\
+         \x20            [--campaign DIR] [--resume] [--task-timeout SECS]\n\
          Fuzzes random traces through every registered policy and the full\n\
          invariant catalogue (see docs/VALIDATION.md). Failing traces are\n\
          shrunk to minimal counterexamples and written to the output dir.\n\
@@ -31,7 +34,10 @@ fn usage() -> ! {
          --out DIR         counterexample directory (default results/audit)\n\
          --no-cache        bypass the on-disk lower-bound cache\n\
          --threads N       fix the worker-thread count\n\
-         --trace PATH      write the TF_TRACE-selected trace format to PATH"
+         --trace PATH      write the TF_TRACE-selected trace format to PATH\n\
+         --campaign DIR    journal clean fuzz chunks to DIR (crash-safe resume)\n\
+         --resume          replay clean chunks from the campaign journal\n\
+         --task-timeout S  per-chunk lower-bound budget in seconds"
     );
     std::process::exit(2);
 }
@@ -44,10 +50,25 @@ fn main() {
     let mut cfg = FuzzConfig::default();
     let mut ctx = RunCtx::full();
     let mut trace_path: Option<PathBuf> = None;
+    let mut campaign_dir: Option<PathBuf> = None;
+    let mut resume = false;
+    let mut task_timeout: Option<f64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--campaign" => {
+                campaign_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
+            }
+            "--resume" => resume = true,
+            "--task-timeout" => {
+                task_timeout = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|s: &f64| s.is_finite() && *s > 0.0)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--traces" => cfg.traces = parsed(args.next()),
             "--seed" => cfg.seed = parsed(args.next()),
             "--quick" => cfg.traces = 200,
@@ -66,7 +87,20 @@ fn main() {
         eprintln!("{e}");
         std::process::exit(2);
     });
-    ctx.apply();
+    if let Some(dir) = campaign_dir {
+        let mut c = CampaignCfg::new(dir).resume(resume);
+        if let Some(secs) = task_timeout {
+            c = c.task_timeout(Duration::from_secs_f64(secs));
+        }
+        ctx.campaign = Some(c);
+    } else if resume || task_timeout.is_some() {
+        eprintln!("--resume/--task-timeout require --campaign DIR");
+        usage();
+    }
+    if let Err(e) = ctx.apply() {
+        eprintln!("cannot open campaign directory: {e}");
+        std::process::exit(2);
+    }
 
     let summary = run_fuzz(&cfg);
     println!(
@@ -90,6 +124,17 @@ fn main() {
             dest
         );
         println!("       {}", f.detail);
+    }
+
+    if let Some(c) = campaign::active() {
+        let run_key = format!("audit:{}:{}", cfg.seed, cfg.traces);
+        match c.finish(&run_key) {
+            Ok(m) => eprintln!(
+                "campaign: {} replayed, {} computed, {} attempts, {} retries, {} degradations",
+                m.replays, m.computed, m.attempts, m.retries, m.degradations
+            ),
+            Err(e) => eprintln!("campaign: manifest write failed: {e}"),
+        }
     }
 
     if !ctx.trace.is_off() {

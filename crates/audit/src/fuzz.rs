@@ -23,8 +23,9 @@
 use crate::catalogue::{audit_trace, AuditConfig, AuditReport, Violation};
 use crate::metamorphic::metamorphic_suite;
 use crate::shrink::shrink_trace;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
+use tf_harness::campaign;
 use tf_policies::Policy;
 use tf_simcore::{Trace, TraceBuilder};
 use tf_workload::{PoissonWorkload, SizeDist};
@@ -250,9 +251,81 @@ pub fn audit_instance(inst: &FuzzInstance, cfg: &FuzzConfig) -> AuditReport {
     rep
 }
 
+/// Indices per campaign-journal chunk: the fuzzer checkpoints every
+/// `CHUNK` instances, so a killed run loses at most one chunk's work.
+const CHUNK: usize = 50;
+
+/// The journaled outcome of one *clean* chunk of indices (no instance
+/// violated anything, so the counts are all a resume needs). Chunks
+/// with violations are deliberately never journaled: a resumed run must
+/// recompute them so failures re-shrink and the counterexample records
+/// are re-written.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CleanChunk {
+    traces: u64,
+    checks_run: u64,
+}
+
+/// Campaign journal key for the chunk `[lo, hi)`: master seed plus every
+/// `FuzzConfig` knob that changes what a chunk computes.
+fn chunk_key(cfg: &FuzzConfig, lo: usize, hi: usize) -> String {
+    let mut bytes: Vec<u8> = Vec::with_capacity(64);
+    bytes.extend_from_slice(&cfg.seed.to_le_bytes());
+    bytes.extend_from_slice(&cfg.audit.rel_tol.to_bits().to_le_bytes());
+    bytes.extend_from_slice(&cfg.audit.k.to_le_bytes());
+    bytes.extend_from_slice(&cfg.audit.eps.to_bits().to_le_bytes());
+    bytes.push(u8::from(cfg.audit.check_lower_bound));
+    bytes.push(u8::from(cfg.audit.check_reference_solver));
+    bytes.push(u8::from(cfg.audit.check_certificate));
+    bytes.extend_from_slice(&(cfg.audit.max_exact_jobs as u64).to_le_bytes());
+    bytes.push(u8::from(cfg.metamorphic));
+    format!("audit:{:016x}:{lo}-{hi}", campaign::fingerprint(bytes))
+}
+
+/// Counts from one computed chunk (clean or not).
+struct ChunkCounts {
+    traces: u64,
+    checks_run: u64,
+    violations: u64,
+}
+
+/// Audit the chunk of indices `[lo, hi)`, appending any shrunk failures
+/// to `failures` (respecting `cfg.max_failures` across the whole run).
+fn run_chunk(
+    cfg: &FuzzConfig,
+    lo: usize,
+    hi: usize,
+    failures: &mut Vec<FuzzFailure>,
+) -> ChunkCounts {
+    let mut counts = ChunkCounts {
+        traces: 0,
+        checks_run: 0,
+        violations: 0,
+    };
+    for index in lo..hi {
+        let inst = gen_instance(cfg.seed, index);
+        let rep = audit_instance(&inst, cfg);
+        counts.traces += 1;
+        counts.checks_run += rep.checks_run as u64;
+        counts.violations += rep.violations.len() as u64;
+        if let Some(first) = rep.violations.first() {
+            if failures.len() < cfg.max_failures {
+                failures.push(shrink_and_record(cfg, index, &inst, first));
+            }
+        }
+    }
+    counts
+}
+
 /// Run the fuzzer. Deterministic for a given [`FuzzConfig`]; failures
 /// are shrunk and (when `out_dir` is set) written to
 /// `<out_dir>/audit-fail-<index>-<check>.json`.
+///
+/// Under an active campaign (`audit --campaign DIR`) the run is
+/// journaled in chunks of 50 indices: a resumed run replays
+/// clean chunks from the journal and recomputes only the chunk that was
+/// in flight — plus any chunk that had violations, which must re-shrink
+/// and re-write its counterexample records.
 ///
 /// ```
 /// use tf_audit::{run_fuzz, FuzzConfig};
@@ -270,18 +343,38 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzSummary {
     let mut span = tf_obs::span!("audit", "fuzz");
     span.arg("traces", cfg.traces as f64);
     let mut summary = FuzzSummary::default();
-    for index in 0..cfg.traces {
-        let inst = gen_instance(cfg.seed, index);
-        let rep = audit_instance(&inst, cfg);
-        summary.traces += 1;
-        summary.checks_run += rep.checks_run;
-        summary.violations += rep.violations.len();
-        if let Some(first) = rep.violations.first() {
-            if summary.failures.len() < cfg.max_failures {
-                let failure = shrink_and_record(cfg, index, &inst, first);
-                summary.failures.push(failure);
-            }
+    let mut lo = 0usize;
+    while lo < cfg.traces {
+        let hi = (lo + CHUNK).min(cfg.traces);
+        // `run_or_replay_if` journals only `Some` (clean) outcomes, so a
+        // resumed campaign replays the counts of clean chunks and fully
+        // recomputes dirty or unfinished ones.
+        let mut failures: Vec<FuzzFailure> = Vec::new();
+        let mut computed: Option<ChunkCounts> = None;
+        let replayed: Option<CleanChunk> = campaign::run_or_replay_if(
+            &chunk_key(cfg, lo, hi),
+            || {
+                let counts = run_chunk(cfg, lo, hi, &mut failures);
+                let clean = (counts.violations == 0).then_some(CleanChunk {
+                    traces: counts.traces,
+                    checks_run: counts.checks_run,
+                });
+                computed = Some(counts);
+                clean
+            },
+            Option::is_some,
+        );
+        if let Some(counts) = computed {
+            summary.traces += counts.traces as usize;
+            summary.checks_run += counts.checks_run as usize;
+            summary.violations += counts.violations as usize;
+        } else {
+            let clean = replayed.expect("the journal only holds clean chunks");
+            summary.traces += clean.traces as usize;
+            summary.checks_run += clean.checks_run as usize;
         }
+        summary.failures.append(&mut failures);
+        lo = hi;
     }
     if tf_obs::enabled() {
         tf_obs::counter!("audit", "fuzz_traces", summary.traces as f64);

@@ -86,7 +86,10 @@ fn main() {
         eprintln!("{e}");
         std::process::exit(2);
     });
-    ctx.apply();
+    if let Err(e) = ctx.apply() {
+        eprintln!("cannot apply run context: {e}");
+        std::process::exit(2);
+    }
 
     let Some(path) = path else { usage() };
     let trace = match load_trace(&path) {

@@ -13,6 +13,8 @@
 
 use std::io::Write;
 use std::path::PathBuf;
+use std::time::Duration;
+use tf_harness::campaign::{self, CampaignCfg};
 use tf_harness::experiments::{all_ids, run_experiment_ctx};
 use tf_harness::table::timing_table;
 use tf_harness::{Effort, RunCtx, Table};
@@ -28,10 +30,14 @@ fn usage() -> ! {
     let ids = all_ids();
     eprintln!(
         "usage: experiments [{first} {second} ... | all] [--quick] [--no-cache] [--format text|md|csv] [--out DIR] [--threads N] [--trace PATH]\n\
+         \x20                  [--campaign DIR] [--resume] [--task-timeout SECS]\n\
          Runs the {first}-{last} experiment suite (see DESIGN.md) and prints the tables.\n\
-         --no-cache   recompute lower bounds instead of reading results/cache/\n\
-         --threads N  fix the worker-thread count (default: one per core)\n\
-         --trace PATH write the TF_TRACE-selected trace format to PATH",
+         --no-cache         recompute lower bounds instead of reading results/cache/\n\
+         --threads N        fix the worker-thread count (default: one per core)\n\
+         --trace PATH       write the TF_TRACE-selected trace format to PATH\n\
+         --campaign DIR     journal completed tasks to DIR (crash-safe; see docs/ROBUSTNESS.md)\n\
+         --resume           replay completed tasks from the campaign journal\n\
+         --task-timeout S   per-task lower-bound budget in seconds (degrades to closed-form)",
         first = ids.first().unwrap_or(&"e1"),
         second = ids.get(1).unwrap_or(&"e2"),
         last = ids.last().unwrap_or(&"e1"),
@@ -44,12 +50,27 @@ fn main() {
     let mut ctx = RunCtx::full();
     let mut format = Format::Text;
     let mut trace_path: Option<PathBuf> = None;
+    let mut campaign_dir: Option<PathBuf> = None;
+    let mut resume = false;
+    let mut task_timeout: Option<f64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => ctx.effort = Effort::Quick,
             "--no-cache" => ctx.cache = false,
+            "--campaign" => {
+                campaign_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
+            "--resume" => resume = true,
+            "--task-timeout" => {
+                task_timeout = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|s: &f64| s.is_finite() && *s > 0.0)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--format" => {
                 format = match args.next().as_deref() {
                     Some("text") => Format::Text,
@@ -78,7 +99,20 @@ fn main() {
         eprintln!("{e}");
         std::process::exit(2);
     });
-    ctx.apply();
+    if let Some(dir) = campaign_dir {
+        let mut c = CampaignCfg::new(dir).resume(resume);
+        if let Some(secs) = task_timeout {
+            c = c.task_timeout(Duration::from_secs_f64(secs));
+        }
+        ctx.campaign = Some(c);
+    } else if resume || task_timeout.is_some() {
+        eprintln!("--resume/--task-timeout require --campaign DIR");
+        usage();
+    }
+    if let Err(e) = ctx.apply() {
+        eprintln!("cannot open campaign directory: {e}");
+        std::process::exit(2);
+    }
 
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = all_ids().into_iter().map(String::from).collect();
@@ -109,6 +143,17 @@ fn main() {
                 let mut f = std::fs::File::create(&path).expect("create table file");
                 f.write_all(rendered.as_bytes()).expect("write table file");
             }
+        }
+    }
+
+    if let Some(c) = campaign::active() {
+        let run_key = format!("experiments:{}:{:?}", ids.join(","), ctx.effort);
+        match c.finish(&run_key) {
+            Ok(m) => eprintln!(
+                "campaign: {} replayed, {} computed, {} attempts, {} retries, {} degradations",
+                m.replays, m.computed, m.attempts, m.retries, m.degradations
+            ),
+            Err(e) => eprintln!("campaign: manifest write failed: {e}"),
         }
     }
 

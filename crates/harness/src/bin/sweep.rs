@@ -20,12 +20,17 @@
 //! `sweep.jsonl` / `sweep.trace.json`, overridable with `--trace`); when
 //! on, a per-stage timing table is printed to stderr after the sweep.
 
+use std::time::Duration;
+use tf_harness::campaign::{self, CampaignCfg};
 use tf_harness::sweep::{run_sweep, SweepConfig};
 use tf_harness::table::timing_table;
 use tf_harness::RunCtx;
 
 fn usage() -> ! {
-    eprintln!("usage: sweep <config.json> [--format text|md|csv] [--no-cache] [--threads N] [--trace PATH]");
+    eprintln!(
+        "usage: sweep <config.json> [--format text|md|csv] [--no-cache] [--threads N] [--trace PATH]\n\
+         \x20            [--campaign DIR] [--resume] [--task-timeout SECS]"
+    );
     std::process::exit(2);
 }
 
@@ -34,11 +39,28 @@ fn main() {
     let mut format = "text".to_string();
     let mut ctx = RunCtx::full();
     let mut trace_path: Option<std::path::PathBuf> = None;
+    let mut campaign_dir: Option<std::path::PathBuf> = None;
+    let mut resume = false;
+    let mut task_timeout: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--format" => format = args.next().unwrap_or_else(|| usage()),
             "--no-cache" => ctx.cache = false,
+            "--campaign" => {
+                campaign_dir = Some(std::path::PathBuf::from(
+                    args.next().unwrap_or_else(|| usage()),
+                ))
+            }
+            "--resume" => resume = true,
+            "--task-timeout" => {
+                task_timeout = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|s: &f64| s.is_finite() && *s > 0.0)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--threads" => {
                 ctx.threads = Some(
                     args.next()
@@ -60,7 +82,20 @@ fn main() {
         eprintln!("{e}");
         std::process::exit(2);
     });
-    ctx.apply();
+    if let Some(dir) = campaign_dir {
+        let mut c = CampaignCfg::new(dir).resume(resume);
+        if let Some(secs) = task_timeout {
+            c = c.task_timeout(Duration::from_secs_f64(secs));
+        }
+        ctx.campaign = Some(c);
+    } else if resume || task_timeout.is_some() {
+        eprintln!("--resume/--task-timeout require --campaign DIR");
+        usage();
+    }
+    if let Err(e) = ctx.apply() {
+        eprintln!("cannot open campaign directory: {e}");
+        std::process::exit(2);
+    }
 
     let Some(path) = path else { usage() };
     let json = std::fs::read_to_string(&path).unwrap_or_else(|e| {
@@ -85,6 +120,15 @@ fn main() {
         }
     };
     println!("{rendered}");
+    if let Some(c) = campaign::active() {
+        match c.finish(&format!("sweep:{path}")) {
+            Ok(m) => eprintln!(
+                "campaign: {} replayed, {} computed, {} attempts, {} retries, {} degradations",
+                m.replays, m.computed, m.attempts, m.retries, m.degradations
+            ),
+            Err(e) => eprintln!("campaign: manifest write failed: {e}"),
+        }
+    }
     if !ctx.trace.is_off() {
         if let Some(t) = timing_table() {
             eprintln!("{}", t.to_text());

@@ -1,0 +1,636 @@
+//! Fault-tolerant campaign runner: crash-safe journal, resume, per-task
+//! deadlines with bounded retry, and graceful degradation.
+//!
+//! A *campaign* is a long batch of deterministic tasks — experiment
+//! tables, fuzz chunks, hunt restarts. Today a killed process throws all
+//! of it away; with a campaign directory attached (`--campaign DIR` in
+//! the bins) every completed task's result is appended to a journal
+//! first, so `--resume` replays finished work from disk and recomputes
+//! only the rest. Because every task in this repo is a pure function of
+//! its key (seeded RNGs, order-preserving fan-outs — the PR-2/3
+//! determinism pins), a resumed run's final output is byte-identical to
+//! an uninterrupted one, modulo the wall-clock columns that are already
+//! nondeterministic run-to-run (and masked by `tests/determinism.rs`).
+//!
+//! ## On-disk layout (under the campaign directory)
+//!
+//! * `journal.jsonl` — append-only; one `{"key": …, "value": …}` object
+//!   per completed task. A `SIGKILL` mid-write can leave only a partial
+//!   *final* line, which the loader skips; every intact line is a fully
+//!   serialized result. Results are JSON-roundtrip-exact (`f64` via
+//!   ryu), so replayed values match recomputed ones bit for bit.
+//! * `manifest.json` — written once by [`Campaign::finish`] via
+//!   temp-file + atomic rename; records the run key and final counters.
+//!   Its presence marks a campaign that ran to completion.
+//!
+//! ## Degradation
+//!
+//! With `--task-timeout SECS` each task gets a [`SolveBudget`]; the
+//! certified LP lower bound polls it and aborts cleanly, falling back to
+//! the closed-form bounds ([`tf_lowerbound::lk_lower_bound_budgeted`]).
+//! The weakened bound is still *valid*, the output row records the
+//! provenance (`lb src` column), [`Campaign::note_degraded`] counts it —
+//! and the degraded value is **never** written to the lower-bound cache,
+//! where it would silently weaken later unlimited runs.
+//!
+//! Like the other process-wide run knobs (`lbcache::set_enabled`,
+//! `rayon::set_thread_override`, `tf_obs::install`), the active campaign
+//! is a process global installed by [`crate::RunCtx::apply`]; library
+//! code consults [`active`] so deep call sites (the rayon fan-out in
+//! [`crate::ratio::empirical_ratios`], the fuzz loop in `tf-audit`) need
+//! no extra plumbing.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write as _};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use tf_lowerbound::SolveBudget;
+
+/// How a campaign run is configured (one `--campaign DIR` invocation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignCfg {
+    /// Directory holding `journal.jsonl` and `manifest.json`.
+    pub dir: PathBuf,
+    /// Replay completed tasks from an existing journal (`--resume`);
+    /// without it an existing journal is truncated and the campaign
+    /// starts fresh.
+    pub resume: bool,
+    /// Per-task wall-clock deadline (`--task-timeout SECS`); `None`
+    /// means tasks run to completion.
+    pub task_timeout: Option<Duration>,
+    /// Attempt cap for [`Campaign::run_fallible`] (first try included).
+    pub max_attempts: u32,
+}
+
+impl CampaignCfg {
+    /// Campaign in `dir` with no timeout, no resume, 3 attempts.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        CampaignCfg {
+            dir: dir.into(),
+            resume: false,
+            task_timeout: None,
+            max_attempts: 3,
+        }
+    }
+
+    /// Enable resume-from-journal.
+    pub fn resume(mut self, on: bool) -> Self {
+        self.resume = on;
+        self
+    }
+
+    /// Set the per-task deadline.
+    pub fn task_timeout(mut self, d: Duration) -> Self {
+        self.task_timeout = Some(d);
+        self
+    }
+}
+
+/// Completed-task log plus its append writer.
+struct Journal {
+    completed: HashMap<String, String>,
+    writer: BufWriter<File>,
+}
+
+/// One line of `journal.jsonl`.
+#[derive(Serialize, Deserialize)]
+struct JournalLine {
+    key: String,
+    value: serde_json::Value,
+}
+
+/// Final counters, written atomically as `manifest.json` by
+/// [`Campaign::finish`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Caller-supplied identity of the run (ids + effort fingerprint).
+    pub run_key: String,
+    /// Tasks whose results were replayed from the journal.
+    pub replays: u64,
+    /// Tasks computed (and journaled) this process.
+    pub computed: u64,
+    /// Total task attempts, including retries.
+    pub attempts: u64,
+    /// Failed attempts that were retried.
+    pub retries: u64,
+    /// Lower-bound solves that degraded to closed-form bounds.
+    pub degradations: u64,
+}
+
+/// A live campaign: journal + counters. Shared across worker threads.
+pub struct Campaign {
+    cfg: CampaignCfg,
+    journal: Mutex<Journal>,
+    replays: AtomicU64,
+    computed: AtomicU64,
+    attempts: AtomicU64,
+    retries: AtomicU64,
+    degradations: AtomicU64,
+}
+
+static ACTIVE: Mutex<Option<Arc<Campaign>>> = Mutex::new(None);
+static ACTIVE_ON: AtomicBool = AtomicBool::new(false);
+
+/// Open (or resume) a campaign in `cfg.dir` and install it as the
+/// process-wide active campaign. Returns the handle; call
+/// [`Campaign::finish`] after the run to write the manifest.
+pub fn install(cfg: CampaignCfg) -> std::io::Result<Arc<Campaign>> {
+    let c = Arc::new(Campaign::open(cfg)?);
+    let mut slot = ACTIVE.lock().unwrap_or_else(PoisonError::into_inner);
+    *slot = Some(c.clone());
+    ACTIVE_ON.store(true, Ordering::Relaxed);
+    Ok(c)
+}
+
+/// Remove the active campaign (tests; a finished campaign may also be
+/// detached so later code runs unjournaled).
+pub fn clear() {
+    let mut slot = ACTIVE.lock().unwrap_or_else(PoisonError::into_inner);
+    ACTIVE_ON.store(false, Ordering::Relaxed);
+    *slot = None;
+}
+
+/// The process-wide active campaign, if one is installed. The fast path
+/// (no campaign) is a single relaxed load.
+pub fn active() -> Option<Arc<Campaign>> {
+    if !ACTIVE_ON.load(Ordering::Relaxed) {
+        return None;
+    }
+    ACTIVE
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+}
+
+/// The per-task [`SolveBudget`] of the active campaign: its
+/// `--task-timeout` starting now, or unlimited when no campaign (or no
+/// timeout) is installed.
+pub fn task_budget() -> SolveBudget {
+    match active() {
+        Some(c) => c.task_budget(),
+        None => SolveBudget::unlimited(),
+    }
+}
+
+/// Run `compute` under the active campaign if one is installed (journal
+/// replay + record), or directly otherwise. The convenience wrapper the
+/// library fan-outs use.
+pub fn run_or_replay<T, F>(key: &str, compute: F) -> T
+where
+    T: Serialize + DeserializeOwned,
+    F: FnOnce() -> T,
+{
+    match active() {
+        Some(c) => c.run(key, compute),
+        None => compute(),
+    }
+}
+
+/// As [`run_or_replay`], but journal the computed value only when
+/// `worth_journaling(&value)` holds. Used for tasks whose "dirty"
+/// outcomes must be recomputed on resume — e.g. fuzz chunks with
+/// violations, which need to re-shrink and re-write counterexample
+/// records rather than replay a summary of them.
+pub fn run_or_replay_if<T, F, P>(key: &str, compute: F, worth_journaling: P) -> T
+where
+    T: Serialize + DeserializeOwned,
+    F: FnOnce() -> T,
+    P: FnOnce(&T) -> bool,
+{
+    match active() {
+        Some(c) => c.run_if(key, compute, worth_journaling),
+        None => compute(),
+    }
+}
+
+impl Campaign {
+    fn open(cfg: CampaignCfg) -> std::io::Result<Campaign> {
+        std::fs::create_dir_all(&cfg.dir)?;
+        let path = cfg.dir.join("journal.jsonl");
+        let mut completed = HashMap::new();
+        if cfg.resume {
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                for line in text.lines() {
+                    // A kill mid-append can truncate only the last line;
+                    // skip anything that does not parse.
+                    if let Ok(l) = serde_json::from_str::<JournalLine>(line) {
+                        if let Ok(raw) = serde_json::to_string(&l.value) {
+                            completed.insert(l.key, raw);
+                        }
+                    }
+                }
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(!completed.is_empty() || cfg.resume)
+            .truncate(completed.is_empty() && !cfg.resume)
+            .write(true)
+            .open(&path)?;
+        tf_obs::counter!("campaign", "journal_loaded", completed.len() as f64);
+        Ok(Campaign {
+            cfg,
+            journal: Mutex::new(Journal {
+                completed,
+                writer: BufWriter::new(file),
+            }),
+            replays: AtomicU64::new(0),
+            computed: AtomicU64::new(0),
+            attempts: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            degradations: AtomicU64::new(0),
+        })
+    }
+
+    /// The campaign's configuration.
+    pub fn cfg(&self) -> &CampaignCfg {
+        &self.cfg
+    }
+
+    /// A fresh per-task budget (deadline = now + `--task-timeout`).
+    pub fn task_budget(&self) -> SolveBudget {
+        match self.cfg.task_timeout {
+            Some(d) => SolveBudget::with_timeout(d),
+            None => SolveBudget::unlimited(),
+        }
+    }
+
+    fn lookup(&self, key: &str) -> Option<String> {
+        self.journal
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .completed
+            .get(key)
+            .cloned()
+    }
+
+    /// Append `value` for `key` and flush, so a kill after this point
+    /// never loses the task. I/O errors degrade to "not journaled" —
+    /// the campaign never makes a run fail.
+    fn record<T: Serialize>(&self, key: &str, value: &T) {
+        let Ok(value) = serde_json::to_value(value) else {
+            return;
+        };
+        let line = JournalLine {
+            key: key.to_string(),
+            value,
+        };
+        let Ok(mut json) = serde_json::to_string(&line) else {
+            return;
+        };
+        json.push('\n');
+        let mut j = self.journal.lock().unwrap_or_else(PoisonError::into_inner);
+        if j.writer.write_all(json.as_bytes()).is_ok() {
+            let _ = j.writer.flush();
+        }
+    }
+
+    /// Replay `key` from the journal, or compute and journal it.
+    ///
+    /// `T` must round-trip through JSON exactly (every `Serialize` type
+    /// in this workspace does: numbers are f64/u64, serialized losslessly).
+    pub fn run<T, F>(&self, key: &str, compute: F) -> T
+    where
+        T: Serialize + DeserializeOwned,
+        F: FnOnce() -> T,
+    {
+        if let Some(raw) = self.lookup(key) {
+            if let Ok(v) = serde_json::from_str::<T>(&raw) {
+                self.replays.fetch_add(1, Ordering::Relaxed);
+                tf_obs::instant!("campaign", "replay");
+                return v;
+            }
+            // Journaled under an older schema: recompute (and re-journal
+            // under the same key; the loader keeps the last occurrence).
+        }
+        self.attempts.fetch_add(1, Ordering::Relaxed);
+        tf_obs::instant!("campaign", "attempt");
+        let v = compute();
+        self.record(key, &v);
+        self.computed.fetch_add(1, Ordering::Relaxed);
+        v
+    }
+
+    /// As [`Campaign::run`], but the computed value is journaled only
+    /// when `worth_journaling(&value)` holds; other values are returned
+    /// without being recorded, so a resumed campaign recomputes them.
+    pub fn run_if<T, F, P>(&self, key: &str, compute: F, worth_journaling: P) -> T
+    where
+        T: Serialize + DeserializeOwned,
+        F: FnOnce() -> T,
+        P: FnOnce(&T) -> bool,
+    {
+        if let Some(raw) = self.lookup(key) {
+            if let Ok(v) = serde_json::from_str::<T>(&raw) {
+                self.replays.fetch_add(1, Ordering::Relaxed);
+                tf_obs::instant!("campaign", "replay");
+                return v;
+            }
+        }
+        self.attempts.fetch_add(1, Ordering::Relaxed);
+        tf_obs::instant!("campaign", "attempt");
+        let v = compute();
+        if worth_journaling(&v) {
+            self.record(key, &v);
+            self.computed.fetch_add(1, Ordering::Relaxed);
+        }
+        v
+    }
+
+    /// As [`Campaign::run`] for fallible tasks: up to
+    /// `cfg.max_attempts` tries with jittered exponential backoff
+    /// between them. Only an `Ok` result is journaled; the final `Err`
+    /// is returned for the caller to surface (or skip) — one bad task
+    /// must not abort the campaign.
+    pub fn run_fallible<T, E, F>(&self, key: &str, mut attempt: F) -> Result<T, E>
+    where
+        T: Serialize + DeserializeOwned,
+        F: FnMut(u32) -> Result<T, E>,
+    {
+        if let Some(raw) = self.lookup(key) {
+            if let Ok(v) = serde_json::from_str::<T>(&raw) {
+                self.replays.fetch_add(1, Ordering::Relaxed);
+                tf_obs::instant!("campaign", "replay");
+                return Ok(v);
+            }
+        }
+        let max = self.cfg.max_attempts.max(1);
+        let mut last = None;
+        for i in 0..max {
+            self.attempts.fetch_add(1, Ordering::Relaxed);
+            tf_obs::instant!("campaign", "attempt");
+            match attempt(i) {
+                Ok(v) => {
+                    self.record(key, &v);
+                    self.computed.fetch_add(1, Ordering::Relaxed);
+                    return Ok(v);
+                }
+                Err(e) => {
+                    last = Some(e);
+                    if i + 1 < max {
+                        self.retries.fetch_add(1, Ordering::Relaxed);
+                        tf_obs::instant!("campaign", "retry");
+                        std::thread::sleep(backoff(key, i));
+                    }
+                }
+            }
+        }
+        Err(last.expect("at least one attempt ran"))
+    }
+
+    /// Count one lower-bound degradation (budget-exceeded LP solve that
+    /// fell back to closed-form bounds).
+    pub fn note_degraded(&self) {
+        self.degradations.fetch_add(1, Ordering::Relaxed);
+        tf_obs::instant!("campaign", "degraded");
+    }
+
+    /// Counters so far, as a [`Manifest`] (also the shape `finish`
+    /// persists).
+    pub fn manifest(&self, run_key: &str) -> Manifest {
+        Manifest {
+            run_key: run_key.to_string(),
+            replays: self.replays.load(Ordering::Relaxed),
+            computed: self.computed.load(Ordering::Relaxed),
+            attempts: self.attempts.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            degradations: self.degradations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Campaign counters as a flat [`tf_obs::ObsRegistry`] under the
+    /// `campaign.` namespace, mergeable with `cache.`/`sim.`/`mcmf.`.
+    pub fn registry(&self) -> tf_obs::ObsRegistry {
+        let m = self.manifest("");
+        tf_obs::ObsRegistry::from_counters([
+            ("campaign.replays", m.replays as f64),
+            ("campaign.computed", m.computed as f64),
+            ("campaign.attempts", m.attempts as f64),
+            ("campaign.retries", m.retries as f64),
+            ("campaign.degradations", m.degradations as f64),
+        ])
+    }
+
+    /// Flush the journal and write `manifest.json` via temp-file +
+    /// atomic rename: its presence marks a campaign that completed.
+    pub fn finish(&self, run_key: &str) -> std::io::Result<Manifest> {
+        {
+            let mut j = self.journal.lock().unwrap_or_else(PoisonError::into_inner);
+            j.writer.flush()?;
+        }
+        let m = self.manifest(run_key);
+        let json = serde_json::to_string_pretty(&m).expect("manifest serializes");
+        let path = self.cfg.dir.join("manifest.json");
+        let tmp = self
+            .cfg
+            .dir
+            .join(format!("manifest.tmp{}", std::process::id()));
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(m)
+    }
+}
+
+/// Exponential backoff with deterministic jitter: base 25 ms doubling
+/// per attempt, capped at 2 s, plus up to 100% jitter drawn from an
+/// FNV-1a hash of `(key, attempt)` — no RNG state, so two processes
+/// retrying the same key still decorrelate from *other* keys.
+fn backoff(key: &str, attempt: u32) -> Duration {
+    let base_ms = 25u64.saturating_mul(1 << attempt.min(6)).min(2_000);
+    let mut h = 0xcbf29ce484222325u64 ^ u64::from(attempt);
+    for b in key.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    Duration::from_millis(base_ms + h % (base_ms + 1))
+}
+
+/// Stable fingerprint helper for campaign task keys (FNV-1a over raw
+/// bytes, like the lower-bound cache key).
+pub fn fingerprint(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that install the process-global campaign.
+    static GLOBAL: Mutex<()> = Mutex::new(());
+
+    fn scratch(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("tf-campaign-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn computes_then_replays_identically() {
+        let _g = GLOBAL.lock().unwrap_or_else(PoisonError::into_inner);
+        let dir = scratch("replay");
+        let c = Campaign::open(CampaignCfg::new(&dir)).unwrap();
+        let v: f64 = c.run("t1", || 0.1 + 0.2);
+        c.finish("test").unwrap();
+        drop(c);
+
+        let c2 = Campaign::open(CampaignCfg::new(&dir).resume(true)).unwrap();
+        let replayed: f64 = c2.run("t1", || panic!("must replay, not recompute"));
+        assert_eq!(replayed.to_bits(), v.to_bits(), "bit-exact roundtrip");
+        let m = c2.manifest("test");
+        assert_eq!((m.replays, m.computed), (1, 0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn partial_final_line_is_skipped() {
+        let _g = GLOBAL.lock().unwrap_or_else(PoisonError::into_inner);
+        let dir = scratch("torn");
+        let c = Campaign::open(CampaignCfg::new(&dir)).unwrap();
+        let _: u32 = c.run("a", || 7);
+        let _: u32 = c.run("b", || 8);
+        drop(c);
+        // Simulate a SIGKILL mid-append: truncate inside the last line.
+        let path = dir.join("journal.jsonl");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 5]).unwrap();
+
+        let c2 = Campaign::open(CampaignCfg::new(&dir).resume(true)).unwrap();
+        let a: u32 = c2.run("a", || panic!("intact line must replay"));
+        assert_eq!(a, 7);
+        let b: u32 = c2.run("b", || 80); // torn line: recomputed
+        assert_eq!(b, 80);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn without_resume_an_existing_journal_is_discarded() {
+        let _g = GLOBAL.lock().unwrap_or_else(PoisonError::into_inner);
+        let dir = scratch("fresh");
+        let c = Campaign::open(CampaignCfg::new(&dir)).unwrap();
+        let _: u32 = c.run("a", || 1);
+        drop(c);
+        let c2 = Campaign::open(CampaignCfg::new(&dir)).unwrap();
+        let a: u32 = c2.run("a", || 2);
+        assert_eq!(a, 2, "fresh campaign must not replay old results");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_fallible_retries_then_succeeds_and_journals() {
+        let _g = GLOBAL.lock().unwrap_or_else(PoisonError::into_inner);
+        let dir = scratch("retry");
+        let mut cfg = CampaignCfg::new(&dir);
+        cfg.max_attempts = 3;
+        let c = Campaign::open(cfg).unwrap();
+        let mut calls = 0u32;
+        let r: Result<u32, String> = c.run_fallible("flaky", |attempt| {
+            calls += 1;
+            if attempt < 2 {
+                Err(format!("transient {attempt}"))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(r.unwrap(), 42);
+        assert_eq!(calls, 3);
+        let m = c.manifest("t");
+        assert_eq!((m.attempts, m.retries, m.computed), (3, 2, 1));
+
+        // Journaled: a resumed campaign replays without calling again.
+        drop(c);
+        let c2 = Campaign::open(CampaignCfg::new(&dir).resume(true)).unwrap();
+        let r2: Result<u32, String> = c2.run_fallible("flaky", |_| panic!("must replay"));
+        assert_eq!(r2.unwrap(), 42);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_fallible_exhausts_attempts_and_reports_last_error() {
+        let _g = GLOBAL.lock().unwrap_or_else(PoisonError::into_inner);
+        let dir = scratch("fail");
+        let mut cfg = CampaignCfg::new(&dir);
+        cfg.max_attempts = 2;
+        let c = Campaign::open(cfg).unwrap();
+        let r: Result<u32, String> = c.run_fallible("doomed", |i| Err(format!("boom {i}")));
+        assert_eq!(r.unwrap_err(), "boom 1");
+        let m = c.manifest("t");
+        assert_eq!((m.attempts, m.retries, m.computed), (2, 1, 0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn install_active_budget_and_clear() {
+        let _g = GLOBAL.lock().unwrap_or_else(PoisonError::into_inner);
+        let dir = scratch("global");
+        assert!(active().is_none());
+        assert!(task_budget().is_unlimited());
+        let c = install(CampaignCfg::new(&dir).task_timeout(Duration::from_secs(60))).unwrap();
+        assert!(active().is_some());
+        assert!(!task_budget().is_unlimited());
+        let v: u32 = run_or_replay("k", || 5);
+        assert_eq!(v, 5);
+        c.note_degraded();
+        assert_eq!(c.registry().get("campaign.degradations"), Some(1.0));
+        clear();
+        assert!(active().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_if_skips_journaling_unworthy_values() {
+        let _g = GLOBAL.lock().unwrap_or_else(PoisonError::into_inner);
+        let dir = scratch("runif");
+        let c = Campaign::open(CampaignCfg::new(&dir)).unwrap();
+        let dirty: u32 = c.run_if("chunk", || 13, |v| *v == 0);
+        assert_eq!(dirty, 13);
+        let clean: u32 = c.run_if("ok", || 0, |v| *v == 0);
+        assert_eq!(clean, 0);
+        drop(c);
+
+        let c2 = Campaign::open(CampaignCfg::new(&dir).resume(true)).unwrap();
+        let recomputed: u32 = c2.run_if("chunk", || 14, |v| *v == 0);
+        assert_eq!(recomputed, 14, "unjournaled value must recompute");
+        let replayed: u32 = c2.run_if("ok", || panic!("must replay"), |_| true);
+        assert_eq!(replayed, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn finish_writes_manifest_atomically() {
+        let _g = GLOBAL.lock().unwrap_or_else(PoisonError::into_inner);
+        let dir = scratch("manifest");
+        let c = Campaign::open(CampaignCfg::new(&dir)).unwrap();
+        let _: u32 = c.run("x", || 9);
+        let m = c.finish("run-xyz").unwrap();
+        let text = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+        let on_disk: Manifest = serde_json::from_str(&text).unwrap();
+        assert_eq!(on_disk, m);
+        assert_eq!(on_disk.run_key, "run-xyz");
+        assert_eq!(on_disk.computed, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_deterministic() {
+        for attempt in 0..10 {
+            let d = backoff("some:key", attempt);
+            assert_eq!(d, backoff("some:key", attempt));
+            assert!(
+                d <= Duration::from_millis(4_000),
+                "attempt {attempt}: {d:?}"
+            );
+        }
+        assert_ne!(backoff("a", 0), backoff("b", 0), "jitter decorrelates keys");
+    }
+}

@@ -34,6 +34,7 @@ pub fn e1(ctx: &RunCtx) -> Vec<Table> {
             "steps",
             "peak alive",
             "alloc ms",
+            "lb src",
         ],
     );
     let baselines = default_baselines();
@@ -61,22 +62,19 @@ pub fn e1(ctx: &RunCtx) -> Vec<Table> {
         }
     }
     let results = empirical_ratios(&tasks, &baselines);
-    let cells = meta
-        .into_iter()
-        .zip(results)
-        .map(|((k, m, name), r)| (k, m, name, r.ratio_vs_best, r.ratio_vs_lb, r.stats));
-    for (k, m, name, lo, hi, stats) in cells {
+    for ((k, m, name), r) in meta.into_iter().zip(results) {
         let bound = (4.0 * gamma(k, 0.1) / (3.0 * 0.1)).powf(1.0 / f64::from(k));
         let mut row = vec![
             k.to_string(),
             m.to_string(),
             fnum(eta(k, eps)),
             name,
-            fnum(lo),
-            fnum(hi),
+            fnum(r.ratio_vs_best),
+            fnum(r.ratio_vs_lb),
             fnum(bound),
         ];
-        row.extend(stats_cells(&stats));
+        row.extend(stats_cells(&r.stats));
+        row.push(r.lb_provenance);
         table.push_row(row);
     }
     table.note("ratio>= is vs the best speed-1 baseline (lower estimate); ratio<= is vs the certified LP lower bound (upper estimate). The true competitive ratio on each instance lies between them.");
@@ -84,6 +82,7 @@ pub fn e1(ctx: &RunCtx) -> Vec<Table> {
     table.note(
         "steps/peak alive/alloc ms are engine counters from the evaluated RR run (SimStats).",
     );
+    table.note("lb src names the bound behind ratio<=: lp/2, size, or srpt-m; '(degraded)' marks a budget-exceeded LP solve that fell back to a closed-form bound (campaign --task-timeout).");
     vec![table]
 }
 
@@ -104,6 +103,13 @@ mod tests {
             // At 4k-speed RR must beat speed-1 baselines comfortably.
             assert!(lo <= 2.0, "unexpectedly large lower ratio: {row:?}");
             assert!(hi <= bound, "measured exceeded theory: {row:?}");
+            // Unbudgeted runs never degrade; the provenance column names
+            // the winning bound.
+            let src = row.last().unwrap().as_str();
+            assert!(
+                ["lp/2", "size", "srpt-m"].contains(&src),
+                "unexpected lb src: {row:?}"
+            );
         }
     }
 }

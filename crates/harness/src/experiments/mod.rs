@@ -108,6 +108,12 @@ const REGISTRY: &[(&str, ExperimentFn)] = &[
 /// given [`RunCtx`]. Returns `None` for unknown ids. The whole experiment
 /// is wrapped in a `harness.<id>` span so per-experiment wall-clock shows
 /// up in traces and the timing table.
+///
+/// Under an active campaign ([`crate::campaign`]) the finished table set
+/// is journaled per experiment, so a resumed run replays completed
+/// experiments verbatim — including wall-clock cells like "alloc ms"
+/// that would otherwise differ between runs — and only recomputes the
+/// one that was in flight when the previous run died.
 pub fn run_experiment_ctx(id: &str, ctx: &RunCtx) -> Option<Vec<Table>> {
     let id = id.to_ascii_lowercase();
     REGISTRY
@@ -115,7 +121,8 @@ pub fn run_experiment_ctx(id: &str, ctx: &RunCtx) -> Option<Vec<Table>> {
         .find(|(name, _)| *name == id)
         .map(|(name, f)| {
             let _span = tf_obs::span!("harness", *name);
-            f(ctx)
+            let key = format!("exp:{name}:{:?}", ctx.effort);
+            crate::campaign::run_or_replay(&key, || f(ctx))
         })
 }
 

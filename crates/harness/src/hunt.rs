@@ -25,9 +25,12 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 use tf_lowerbound::{exact_slotted_opt, ExactLimits};
 use tf_policies::Policy;
 use tf_simcore::{simulate, MachineConfig, SimOptions, Trace, TraceBuilder};
+
+use crate::campaign;
 
 /// Search configuration.
 #[derive(Debug, Clone, Copy)]
@@ -175,71 +178,134 @@ fn splitmix64(x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// One restart's journaled outcome: the instance it converged to, its
+/// certified ratio, and the evaluation count. This is the granularity
+/// the campaign journal checkpoints a hunt at — a killed hunt resumes
+/// at the first unfinished restart.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RestartOutcome {
+    arrivals: Vec<u16>,
+    sizes: Vec<u16>,
+    ratio: f64,
+    evaluated: u64,
+}
+
+impl RestartOutcome {
+    fn jobs(&self) -> Vec<(u16, u16)> {
+        self.arrivals
+            .iter()
+            .copied()
+            .zip(self.sizes.iter().copied())
+            .collect()
+    }
+}
+
+/// One seeded restart of the hill climb (extracted from [`hunt`] so the
+/// campaign journal can checkpoint per restart).
+fn run_restart(policy: Policy, cfg: &HuntConfig, restart_seed: u64) -> RestartOutcome {
+    let batch = cfg.batch.max(1);
+    let mut evaluated = 0u64;
+    let mut rng = StdRng::seed_from_u64(restart_seed);
+    let mut cur = random_instance(&mut rng, cfg);
+    let mut cur_ratio = loop {
+        evaluated += 1;
+        if let Some(r) = true_ratio(&build(&cur), policy, cfg) {
+            break r;
+        }
+        cur = random_instance(&mut rng, cfg);
+    };
+    for _ in 0..cfg.steps {
+        // One sequential draw per generation keeps the seed chain
+        // identical whatever the evaluation parallelism below.
+        let gen_seed: u64 = rng.gen();
+        let cands: Vec<Vec<(u16, u16)>> = (0..batch)
+            .map(|i| {
+                let mut crng = StdRng::seed_from_u64(splitmix64(gen_seed.wrapping_add(i as u64)));
+                mutate(&mut crng, &cur, cfg)
+            })
+            .collect();
+        evaluated += batch as u64;
+        // The expensive part — one exact-OPT solve per candidate —
+        // fans out across cores, order-preserving. Candidate `i`
+        // records onto logical track `i + 1` so trace structure is
+        // independent of the worker-thread count.
+        let indexed: Vec<(u32, &Vec<(u16, u16)>)> = (0u32..).zip(cands.iter()).collect();
+        let ratios: Vec<Option<f64>> = indexed
+            .par_iter()
+            .map(|&(i, c)| {
+                let _track = tf_obs::set_track(i + 1);
+                true_ratio(&build(c), policy, cfg)
+            })
+            .collect();
+        let mut winner: Option<(usize, f64)> = None;
+        for (i, r) in ratios.iter().enumerate() {
+            if let Some(r) = *r {
+                if r > cur_ratio && winner.is_none_or(|(_, w)| r > w) {
+                    winner = Some((i, r));
+                }
+            }
+        }
+        if let Some((i, r)) = winner {
+            cur_ratio = r;
+            cur.clone_from(&cands[i]);
+        }
+    }
+    let (arrivals, sizes) = cur.iter().copied().unzip();
+    RestartOutcome {
+        arrivals,
+        sizes,
+        ratio: cur_ratio,
+        evaluated,
+    }
+}
+
+/// Campaign journal key for one restart: policy + every search knob +
+/// the restart's index and seed.
+fn restart_key(policy: Policy, cfg: &HuntConfig, index: usize, seed: u64) -> String {
+    let mut bytes: Vec<u8> = Vec::with_capacity(96);
+    bytes.extend_from_slice(policy.to_string().as_bytes());
+    bytes.extend_from_slice(&(cfg.m as u64).to_le_bytes());
+    bytes.extend_from_slice(&cfg.speed.to_bits().to_le_bytes());
+    bytes.extend_from_slice(&cfg.k.to_le_bytes());
+    bytes.extend_from_slice(&(cfg.max_jobs as u64).to_le_bytes());
+    bytes.extend_from_slice(&cfg.max_size.to_le_bytes());
+    bytes.extend_from_slice(&cfg.max_arrival.to_le_bytes());
+    bytes.extend_from_slice(&(cfg.steps as u64).to_le_bytes());
+    bytes.extend_from_slice(&(cfg.batch as u64).to_le_bytes());
+    bytes.extend_from_slice(&(index as u64).to_le_bytes());
+    bytes.extend_from_slice(&seed.to_le_bytes());
+    format!("hunt:{:016x}", campaign::fingerprint(bytes))
+}
+
 /// Hill-climb for the worst certified ratio of `policy` under `cfg`.
 ///
 /// Deterministic in `cfg.seed` regardless of how many threads evaluate
 /// each generation: candidates are seeded by index and the accepted
 /// winner is the first index attaining the generation's maximum ratio.
+///
+/// Restart seeds are pre-drawn from the master RNG (the same draw
+/// sequence the restart loop used to make inline), so each restart is a
+/// pure function of its seed — the unit the campaign journal
+/// checkpoints and replays.
 pub fn hunt(policy: Policy, cfg: &HuntConfig) -> HuntResult {
     let mut obs_span = tf_obs::span!("harness", "hunt");
-    let batch = cfg.batch.max(1);
     let mut master = StdRng::seed_from_u64(cfg.seed);
+    let restart_seeds: Vec<u64> = (0..cfg.restarts).map(|_| master.gen()).collect();
+
     let mut best_jobs: Vec<(u16, u16)> = Vec::new();
     let mut best_ratio = 0.0f64;
     let mut restart_ratios = Vec::with_capacity(cfg.restarts);
     let mut evaluated = 0usize;
 
-    for _ in 0..cfg.restarts {
-        let mut rng = StdRng::seed_from_u64(master.gen());
-        let mut cur = random_instance(&mut rng, cfg);
-        let mut cur_ratio = loop {
-            evaluated += 1;
-            if let Some(r) = true_ratio(&build(&cur), policy, cfg) {
-                break r;
-            }
-            cur = random_instance(&mut rng, cfg);
-        };
-        for _ in 0..cfg.steps {
-            // One sequential draw per generation keeps the seed chain
-            // identical whatever the evaluation parallelism below.
-            let gen_seed: u64 = rng.gen();
-            let cands: Vec<Vec<(u16, u16)>> = (0..batch)
-                .map(|i| {
-                    let mut crng =
-                        StdRng::seed_from_u64(splitmix64(gen_seed.wrapping_add(i as u64)));
-                    mutate(&mut crng, &cur, cfg)
-                })
-                .collect();
-            evaluated += batch;
-            // The expensive part — one exact-OPT solve per candidate —
-            // fans out across cores, order-preserving. Candidate `i`
-            // records onto logical track `i + 1` so trace structure is
-            // independent of the worker-thread count.
-            let indexed: Vec<(u32, &Vec<(u16, u16)>)> = (0u32..).zip(cands.iter()).collect();
-            let ratios: Vec<Option<f64>> = indexed
-                .par_iter()
-                .map(|&(i, c)| {
-                    let _track = tf_obs::set_track(i + 1);
-                    true_ratio(&build(c), policy, cfg)
-                })
-                .collect();
-            let mut winner: Option<(usize, f64)> = None;
-            for (i, r) in ratios.iter().enumerate() {
-                if let Some(r) = *r {
-                    if r > cur_ratio && winner.is_none_or(|(_, w)| r > w) {
-                        winner = Some((i, r));
-                    }
-                }
-            }
-            if let Some((i, r)) = winner {
-                cur_ratio = r;
-                cur.clone_from(&cands[i]);
-            }
-        }
-        restart_ratios.push(cur_ratio);
-        if cur_ratio > best_ratio {
-            best_ratio = cur_ratio;
-            best_jobs = cur;
+    for (index, &seed) in restart_seeds.iter().enumerate() {
+        let outcome = campaign::run_or_replay(&restart_key(policy, cfg, index, seed), || {
+            run_restart(policy, cfg, seed)
+        });
+        evaluated += outcome.evaluated as usize;
+        restart_ratios.push(outcome.ratio);
+        if outcome.ratio > best_ratio {
+            best_ratio = outcome.ratio;
+            best_jobs = outcome.jobs();
         }
     }
 

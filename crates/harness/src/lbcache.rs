@@ -17,7 +17,9 @@
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use tf_lowerbound::{lk_lower_bound, LowerBound};
+use tf_lowerbound::{
+    lk_lower_bound, lk_lower_bound_budgeted, BudgetedBound, LowerBound, SolveBudget,
+};
 use tf_simcore::Trace;
 
 /// Version tag mixed into every cache key. Bump when the lower-bound
@@ -113,6 +115,43 @@ pub fn cached_lk_lower_bound(trace: &Trace, m: usize, k: u32) -> LowerBound {
     lb
 }
 
+/// [`cached_lk_lower_bound`] under a cooperative [`SolveBudget`]: cache
+/// hits are returned as usual (a cached entry is always the *full*
+/// bound, so it can only be better than a degraded recompute); on a miss
+/// the solve runs budgeted, and a degraded result — the LP abandoned,
+/// closed-form fallback — is **not** stored. Caching it would silently
+/// weaken later unlimited runs that trust cache entries to be full
+/// bounds.
+pub fn cached_lk_lower_bound_budgeted(
+    trace: &Trace,
+    m: usize,
+    k: u32,
+    budget: &SolveBudget,
+) -> BudgetedBound {
+    if !enabled() {
+        MISSES.fetch_add(1, Ordering::Relaxed);
+        return lk_lower_bound_budgeted(trace, m, k, budget);
+    }
+    let path = cache_dir().join(format!("lb-{}.json", key(trace, m, k)));
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        if let Ok(lb) = serde_json::from_str::<LowerBound>(&text) {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            tf_obs::instant!("cache", "hit");
+            return BudgetedBound {
+                bound: lb,
+                degraded: false,
+            };
+        }
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    tf_obs::instant!("cache", "miss");
+    let b = lk_lower_bound_budgeted(trace, m, k, budget);
+    if !b.degraded {
+        store(&path, &b.bound);
+    }
+    b
+}
+
 /// Monotone discriminator for temp-file names: the pid alone is not
 /// unique within a process, and two rayon workers computing the same key
 /// concurrently would otherwise write the *same* temp path — one's
@@ -182,6 +221,34 @@ mod tests {
         assert!(!enabled());
         assert_eq!(cached_lk_lower_bound(&t, 1, 1), lk_lower_bound(&t, 1, 1));
         set_enabled(true);
+    }
+
+    #[test]
+    fn degraded_bounds_are_never_cached() {
+        let _guard = ENABLED_LOCK.lock().unwrap();
+        if !enabled() {
+            return; // TF_LB_CACHE=0 in the environment: nothing to test
+        }
+        // A trace no other test uses, so this test owns its cache entry.
+        let t = Trace::from_pairs([(0.0, 3.0), (1.0, 4.0), (2.0, 2.0), (5.0, 1.0)]).unwrap();
+        let (m, k) = (1usize, 3u32);
+        let path = cache_dir().join(format!("lb-{}.json", key(&t, m, k)));
+        let _ = std::fs::remove_file(&path);
+
+        let spent = SolveBudget::with_timeout(std::time::Duration::ZERO);
+        let degraded = cached_lk_lower_bound_budgeted(&t, m, k, &spent);
+        assert!(degraded.degraded);
+        assert!(
+            !path.exists(),
+            "a budget-degraded bound must not poison the cache"
+        );
+
+        // A later unlimited call computes and caches the full bound.
+        let full = cached_lk_lower_bound_budgeted(&t, m, k, &SolveBudget::unlimited());
+        assert!(!full.degraded);
+        assert!(full.bound.value >= degraded.bound.value);
+        assert!(path.exists());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

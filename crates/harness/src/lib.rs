@@ -33,6 +33,7 @@
 //! renders them as text/markdown/CSV. All randomness is seeded — rerunning
 //! reproduces the tables exactly.
 
+pub mod campaign;
 pub mod corpus;
 pub mod experiments;
 pub mod hunt;

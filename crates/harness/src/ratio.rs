@@ -11,9 +11,11 @@
 //! The true competitive ratio on the instance lies inside
 //! `[ratio_vs_best, ratio_vs_lb]`.
 
-use crate::lbcache::cached_lk_lower_bound;
+use crate::campaign;
+use crate::lbcache::cached_lk_lower_bound_budgeted;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use tf_lowerbound::BoundKind;
 use tf_policies::Policy;
 use tf_simcore::{simulate, MachineConfig, SimOptions, SimStats, Trace};
 
@@ -36,6 +38,11 @@ pub struct RatioEstimate {
     /// Engine counters from the evaluated policy's run (not the
     /// baselines'): step breakdown, peak alive set, allocator time.
     pub stats: SimStats,
+    /// Which bound produced `lower_bound` (`"lp/2"`, `"size"`,
+    /// `"srpt-m"`), with ` (degraded)` appended when the LP solve was
+    /// abandoned for budget reasons and the value fell back to a
+    /// closed-form bound — the campaign's degradation provenance.
+    pub lb_provenance: String,
 }
 
 /// The default baseline set for OPT upper bounds: the clairvoyant
@@ -69,7 +76,23 @@ pub fn empirical_ratio(
     .expect("simulation of a registry policy on a valid trace");
     let alg_power_sum = alg.flow_power_sum(kf);
 
-    let lb = cached_lk_lower_bound(trace, m, k);
+    // The LP component runs under the active campaign's per-task budget
+    // (unlimited when no campaign / no --task-timeout). A degraded
+    // bound stays valid — only weaker — and its provenance is recorded.
+    let budgeted = cached_lk_lower_bound_budgeted(trace, m, k, &campaign::task_budget());
+    let lb = budgeted.bound;
+    let mut lb_provenance = match lb.kind {
+        BoundKind::Lp => "lp/2",
+        BoundKind::Size => "size",
+        BoundKind::SrptSuperMachine => "srpt-m",
+    }
+    .to_string();
+    if budgeted.degraded {
+        lb_provenance.push_str(" (degraded)");
+        if let Some(c) = campaign::active() {
+            c.note_degraded();
+        }
+    }
 
     let mut best_power_sum = f64::INFINITY;
     let mut best_policy = String::new();
@@ -106,6 +129,7 @@ pub fn empirical_ratio(
             f64::NAN
         },
         stats: alg.stats,
+        lb_provenance,
     }
 }
 
@@ -124,6 +148,31 @@ pub struct RatioTask {
     pub speed: f64,
     /// Norm exponent.
     pub k: u32,
+}
+
+impl RatioTask {
+    /// Content-addressed campaign journal key: every input that affects
+    /// the estimate (trace bytes, policy, m, speed, k, baseline set) is
+    /// hashed, so two tasks share a key exactly when their results are
+    /// interchangeable.
+    fn campaign_key(&self, baselines: &[Policy]) -> String {
+        let mut bytes: Vec<u8> = Vec::with_capacity(self.trace.len() * 24 + 64);
+        for j in self.trace.jobs() {
+            bytes.extend_from_slice(&j.arrival.to_bits().to_le_bytes());
+            bytes.extend_from_slice(&j.size.to_bits().to_le_bytes());
+            bytes.extend_from_slice(&j.weight.to_bits().to_le_bytes());
+        }
+        bytes.extend_from_slice(self.policy.to_string().as_bytes());
+        bytes.extend_from_slice(&(self.m as u64).to_le_bytes());
+        bytes.extend_from_slice(&self.speed.to_bits().to_le_bytes());
+        bytes.extend_from_slice(&self.k.to_le_bytes());
+        for b in baselines {
+            bytes.extend_from_slice(b.to_string().as_bytes());
+            bytes.push(b';');
+        }
+        bytes.extend_from_slice(&crate::lbcache::SOLVER_VERSION.to_le_bytes());
+        format!("ratio:{:016x}", campaign::fingerprint(bytes))
+    }
 }
 
 /// Evaluate a batch of ratio points in parallel, preserving task order.
@@ -148,7 +197,12 @@ pub fn empirical_ratios(tasks: &[RatioTask], baselines: &[Policy]) -> Vec<RatioE
             span.arg("m", t.m as f64);
             span.arg("speed", t.speed);
             span.arg("k", f64::from(t.k));
-            empirical_ratio(&t.trace, t.policy, t.m, t.speed, t.k, baselines)
+            // Under an active campaign each task journals on completion
+            // and replays on resume; the key is content-addressed, so
+            // replay is exact regardless of task order or thread count.
+            campaign::run_or_replay(&t.campaign_key(baselines), || {
+                empirical_ratio(&t.trace, t.policy, t.m, t.speed, t.k, baselines)
+            })
         })
         .collect()
 }

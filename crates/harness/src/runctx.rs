@@ -31,6 +31,8 @@ pub struct RunCtx {
     pub threads: Option<usize>,
     /// Tracing sink for this run ([`SinkSpec::Off`] = no tracing).
     pub trace: SinkSpec,
+    /// Crash-safe campaign journal (`--campaign DIR`); `None` = off.
+    pub campaign: Option<crate::campaign::CampaignCfg>,
 }
 
 impl Default for RunCtx {
@@ -41,6 +43,7 @@ impl Default for RunCtx {
             cache: true,
             threads: None,
             trace: SinkSpec::Off,
+            campaign: None,
         }
     }
 }
@@ -91,17 +94,33 @@ impl RunCtx {
         self
     }
 
+    /// Attach a crash-safe campaign journal (see [`crate::campaign`]).
+    pub fn campaign(mut self, cfg: crate::campaign::CampaignCfg) -> Self {
+        self.campaign = Some(cfg);
+        self
+    }
+
     /// Push the context into the process globals it governs: the
-    /// lower-bound cache gate, the rayon thread override, and the tf-obs
-    /// sink. Call once before running experiments; the settings stay in
-    /// effect afterwards (tests that flip them back hold the serializing
-    /// lock in `tests/determinism.rs`).
-    pub fn apply(&self) {
+    /// lower-bound cache gate, the rayon thread override, the tf-obs
+    /// sink, and (when configured) the campaign journal. Call once
+    /// before running experiments; the settings stay in effect
+    /// afterwards (tests that flip them back hold the serializing lock
+    /// in `tests/determinism.rs`).
+    ///
+    /// # Errors
+    /// Only campaign installation does I/O; every other knob is
+    /// infallible. `Err` means the campaign directory or journal could
+    /// not be opened.
+    pub fn apply(&self) -> std::io::Result<()> {
         crate::lbcache::set_enabled(self.cache);
         if let Some(n) = self.threads {
             rayon::set_thread_override(n);
         }
         tf_obs::install(self.trace.clone());
+        if let Some(cfg) = &self.campaign {
+            crate::campaign::install(cfg.clone())?;
+        }
+        Ok(())
     }
 }
 

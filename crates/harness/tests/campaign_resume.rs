@@ -1,0 +1,169 @@
+//! Campaign crash-safety, end to end: the `experiments` binary run under
+//! `--campaign` can be SIGKILLed at an arbitrary point and resumed with
+//! `--resume` to produce byte-identical tables (modulo the "alloc ms"
+//! column, the one intentionally wall-clock cell — the same masking as
+//! `tests/determinism.rs`).
+//!
+//! Spawning the real binary (`CARGO_BIN_EXE_experiments`) is the point:
+//! SIGKILL gives no chance to flush or unwind, so surviving it proves the
+//! journal's append+flush-per-task discipline, not a graceful shutdown
+//! path.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use std::time::Duration;
+use tf_harness::campaign::Manifest;
+
+const IDS: [&str; 2] = ["e1", "e2"];
+
+fn scratch(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("tf-campaign-it-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn experiments(campaign: Option<(&Path, bool)>) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_experiments"));
+    cmd.args(IDS).args(["--quick", "--format", "csv"]);
+    if let Some((dir, resume)) = campaign {
+        cmd.arg("--campaign").arg(dir);
+        if resume {
+            cmd.arg("--resume");
+        }
+    }
+    cmd
+}
+
+fn run(cmd: &mut Command) -> Output {
+    let out = cmd.output().expect("spawn experiments binary");
+    assert!(
+        out.status.success(),
+        "experiments failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+/// Mask every "alloc ms" cell in the CSV table stream (multiple tables,
+/// each starting with its own header line).
+fn masked_csv(stdout: &[u8]) -> String {
+    let text = String::from_utf8_lossy(stdout);
+    let mut alloc_col: Option<usize> = None;
+    let mut out = String::new();
+    for line in text.lines() {
+        let cells: Vec<&str> = line.split(',').collect();
+        if let Some(i) = cells.iter().position(|c| *c == "alloc ms") {
+            alloc_col = Some(i);
+            out.push_str(line);
+        } else if let Some(i) = alloc_col.filter(|&i| i < cells.len()) {
+            let masked: Vec<&str> = cells
+                .iter()
+                .enumerate()
+                .map(|(j, c)| if j == i { "<t>" } else { *c })
+                .collect();
+            out.push_str(&masked.join(","));
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn read_manifest(dir: &Path) -> Manifest {
+    let text = std::fs::read_to_string(dir.join("manifest.json")).expect("manifest.json exists");
+    serde_json::from_str(&text).expect("manifest parses")
+}
+
+/// A completed campaign resumed in a fresh process replays everything
+/// from the journal — zero recomputation, identical bytes out.
+#[test]
+fn full_replay_is_byte_identical_and_counted() {
+    let dir = scratch("replay");
+    let first = run(&mut experiments(Some((&dir, false))));
+    let m = read_manifest(&dir);
+    assert!(m.computed > 0, "first run must journal tasks: {m:?}");
+    assert_eq!(m.replays, 0, "nothing to replay on a fresh run: {m:?}");
+
+    let second = run(&mut experiments(Some((&dir, true))));
+    let m2 = read_manifest(&dir);
+    assert!(
+        m2.replays > 0,
+        "resume must replay from the journal: {m2:?}"
+    );
+    assert_eq!(m2.computed, 0, "a complete journal leaves no work: {m2:?}");
+
+    // Full replay reproduces even the wall-clock cells: the journal holds
+    // the first run's tables verbatim.
+    assert_eq!(
+        String::from_utf8_lossy(&first.stdout),
+        String::from_utf8_lossy(&second.stdout),
+        "full replay must be byte-identical, unmasked"
+    );
+    let stderr = String::from_utf8_lossy(&second.stderr);
+    assert!(
+        stderr.contains("replayed"),
+        "resume must report replay counters on stderr: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// SIGKILL the campaign at an arbitrary mid-run point; `--resume` must
+/// complete it to the same masked bytes as an uninterrupted run.
+#[test]
+fn sigkill_then_resume_matches_uninterrupted_run() {
+    let control_dir = scratch("kill-control");
+    // --no-cache on every run in this test: warm lower-bound cache would
+    // let the victim finish before the kill lands.
+    let control = run(experiments(Some((&control_dir, false))).arg("--no-cache"));
+
+    let dir = scratch("kill");
+    let mut child = experiments(Some((&dir, false)))
+        .arg("--no-cache")
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn experiments binary");
+    // Kill once the journal holds some-but-not-all tasks: a genuine
+    // mid-run kill point, with unflushed work guaranteed to be in flight.
+    // If the child beats the poll and exits, the test degenerates to the
+    // full-replay case — still a valid resume, just less interesting.
+    let journal = dir.join("journal.jsonl");
+    for _ in 0..200 {
+        let lines = std::fs::read_to_string(&journal)
+            .map(|t| t.lines().count())
+            .unwrap_or(0);
+        if lines >= 3 || child.try_wait().expect("poll child").is_some() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+
+    let resumed = run(experiments(Some((&dir, true))).arg("--no-cache"));
+    assert_eq!(
+        masked_csv(&control.stdout),
+        masked_csv(&resumed.stdout),
+        "kill+resume diverged from the uninterrupted run"
+    );
+    let m = read_manifest(&dir);
+    assert_eq!(
+        m.degradations, 0,
+        "no timeout was set, nothing may degrade: {m:?}"
+    );
+    std::fs::remove_dir_all(&control_dir).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Without `--campaign`, `--resume` is rejected (exit 2, usage).
+#[test]
+fn resume_without_campaign_is_an_error() {
+    let out = experiments(None)
+        .arg("--resume")
+        .output()
+        .expect("spawn experiments binary");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--campaign"), "unhelpful error: {stderr}");
+}

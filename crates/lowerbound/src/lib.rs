@@ -40,16 +40,18 @@
 //! both the combined bound and the raw LP value.
 
 pub mod bounds;
+pub mod budget;
 pub mod exact;
 pub mod lp;
 pub mod mcmf;
 
 pub use bounds::{size_bound, srpt_super_machine_bound};
+pub use budget::SolveBudget;
 pub use exact::{exact_slotted_opt, ExactLimits, ExactResult};
 pub use lp::{
     last_solve_stats, lp_relaxation_solution, lp_relaxation_value, lp_relaxation_value_at_horizon,
-    lp_relaxation_value_certified, lp_relaxation_value_reference, lp_relaxation_value_weighted,
-    LpSchedule, LpSolution, LpSolver,
+    lp_relaxation_value_budgeted, lp_relaxation_value_certified, lp_relaxation_value_reference,
+    lp_relaxation_value_weighted, LpSchedule, LpSolution, LpSolver,
 };
 pub use mcmf::{FlowResult, McmfGraph, McmfStats, MinCostFlow};
 
@@ -126,6 +128,81 @@ pub fn lk_lower_bound(trace: &Trace, m: usize, k: u32) -> LowerBound {
         }
     }
     best
+}
+
+/// A lower bound plus the record of whether its LP component was
+/// abandoned for budget reasons (see [`lk_lower_bound_budgeted`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BudgetedBound {
+    /// The best bound obtained within the budget. Always a *valid*
+    /// lower bound — degradation only weakens it, never corrupts it.
+    pub bound: LowerBound,
+    /// `true` if the LP solve was abandoned and the bound fell back to
+    /// the closed-form components. Degraded bounds must not be cached
+    /// as if they were the full bound.
+    pub degraded: bool,
+}
+
+/// [`lk_lower_bound`] under a cooperative [`SolveBudget`]: if the LP
+/// relaxation (the only super-linear component) exceeds the budget, the
+/// solve is abandoned cleanly and the result degrades to the best
+/// closed-form bound ([`size_bound`], and for `k = 1` the SRPT
+/// super-machine bound) with `degraded = true`. The campaign layer in
+/// `tf-harness` records that provenance in the output row instead of
+/// failing the run.
+pub fn lk_lower_bound_budgeted(
+    trace: &Trace,
+    m: usize,
+    k: u32,
+    budget: &SolveBudget,
+) -> BudgetedBound {
+    if budget.is_unlimited() {
+        return BudgetedBound {
+            bound: lk_lower_bound(trace, m, k),
+            degraded: false,
+        };
+    }
+    let mut obs_span = tf_obs::span!("lb", "lk_lower_bound");
+    obs_span.arg("n", trace.len() as f64);
+    obs_span.arg("m", m as f64);
+    obs_span.arg("k", f64::from(k));
+    let kf = f64::from(k);
+    let size = size_bound(trace, kf);
+    let mut best = LowerBound {
+        value: size,
+        kind: BoundKind::Size,
+        lp_raw: 0.0,
+    };
+    let mut degraded = false;
+
+    if trace.is_integral(1e-9) && !trace.is_empty() {
+        match lp::lp_relaxation_value_budgeted(trace, m, k, budget) {
+            Some(lp) => {
+                best.lp_raw = lp.objective;
+                let half = lp.objective / 2.0;
+                if half > best.value {
+                    best.value = half;
+                    best.kind = BoundKind::Lp;
+                }
+            }
+            None => {
+                degraded = true;
+                tf_obs::instant!("lb", "budget_degraded");
+            }
+        }
+    }
+
+    if k == 1 {
+        let srpt = srpt_super_machine_bound(trace, m);
+        if srpt > best.value {
+            best.value = srpt;
+            best.kind = BoundKind::SrptSuperMachine;
+        }
+    }
+    BudgetedBound {
+        bound: best,
+        degraded,
+    }
 }
 
 /// [`lk_lower_bound`] computed through the PR-1 reference LP solver
@@ -243,5 +320,46 @@ mod tests {
         let t = Trace::from_pairs(std::iter::empty()).unwrap();
         let lb = lk_lower_bound(&t, 1, 2);
         assert_eq!(lb.value, 0.0);
+    }
+
+    #[test]
+    fn unlimited_budget_matches_unbudgeted() {
+        let t = Trace::from_pairs([(0.0, 2.0), (1.0, 1.0), (1.0, 3.0), (4.0, 1.0)]).unwrap();
+        for (m, k) in [(1usize, 1u32), (2, 2), (1, 3)] {
+            let full = lk_lower_bound(&t, m, k);
+            let b = lk_lower_bound_budgeted(&t, m, k, &SolveBudget::unlimited());
+            assert!(!b.degraded);
+            assert_eq!(b.bound, full);
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_to_closed_form_and_stays_valid() {
+        let t = Trace::from_pairs([(0.0, 2.0), (1.0, 1.0), (1.0, 3.0), (4.0, 1.0)]).unwrap();
+        let spent = SolveBudget::with_timeout(std::time::Duration::ZERO);
+        for (m, k) in [(1usize, 1u32), (2, 2)] {
+            let b = lk_lower_bound_budgeted(&t, m, k, &spent);
+            assert!(b.degraded, "zero budget must skip the LP (m={m} k={k})");
+            assert_eq!(b.bound.lp_raw, 0.0);
+            assert!(!matches!(b.bound.kind, BoundKind::Lp));
+            // Degraded is weaker, never invalid: it lower-bounds the
+            // full bound, which lower-bounds every feasible schedule.
+            let full = lk_lower_bound(&t, m, k);
+            assert!(b.bound.value <= full.value * (1.0 + 1e-12));
+            assert!(b.bound.value > 0.0);
+        }
+    }
+
+    #[test]
+    fn cancel_flag_aborts_budgeted_solve() {
+        let t = Trace::from_pairs([(0.0, 2.0), (1.0, 1.0), (2.0, 3.0)]).unwrap();
+        let flag = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let b = lk_lower_bound_budgeted(
+            &t,
+            1,
+            2,
+            &SolveBudget::with_timeout(std::time::Duration::from_secs(3600)).cancelled_by(flag),
+        );
+        assert!(b.degraded);
     }
 }

@@ -250,6 +250,56 @@ impl LpSolver {
         }
     }
 
+    /// As [`LpSolver::value_at_horizon`] (tight horizon), but abandons
+    /// the solve and returns `None` once `budget` trips. The arena stays
+    /// reusable — the next `build` resets the graph — but an aborted
+    /// solve's partial flow is never surfaced: a partial LP cost is not
+    /// a lower bound on anything.
+    pub fn value_budgeted(
+        &mut self,
+        trace: &Trace,
+        m: usize,
+        k: u32,
+        weighted: bool,
+        budget: &crate::budget::SolveBudget,
+    ) -> Option<LpSolution> {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(
+            trace.is_integral(1e-9),
+            "LP relaxation needs integral traces"
+        );
+        assert!(m >= 1);
+        if trace.is_empty() {
+            return Some(LpSolution {
+                objective: 0.0,
+                horizon: 0,
+                routed: 0,
+            });
+        }
+        if budget.exhausted() {
+            return None; // don't even pay for the build
+        }
+        let horizon = tight_horizon(trace, m);
+        let b = {
+            let mut s = tf_obs::span!("lb", "build");
+            let b = self.build(trace, m, k, weighted, horizon, false);
+            s.arg("jobs", trace.len() as f64);
+            s.arg("horizon", horizon as f64);
+            b
+        };
+        let r = {
+            let _s = tf_obs::span!("lb", "solve");
+            self.graph
+                .solve_budgeted(b.source, b.sink, b.total_supply, budget)?
+        };
+        debug_assert_eq!(r.flow, b.total_supply, "horizon too small for feasibility");
+        Some(LpSolution {
+            objective: r.cost,
+            horizon,
+            routed: r.flow,
+        })
+    }
+
     /// Solve and then audit the flow with the independent negative-cycle
     /// certificate; panics if certification fails. Speed never costs
     /// certification: this is the optimized path plus the audit.
@@ -346,6 +396,21 @@ pub fn lp_relaxation_solution(trace: &Trace, m: usize, k: u32) -> LpSchedule {
 /// `k = 0`.
 pub fn lp_relaxation_value(trace: &Trace, m: usize, k: u32) -> LpSolution {
     lp_relaxation_value_weighted(trace, m, k, false)
+}
+
+/// As [`lp_relaxation_value`], abandoning the solve with `None` once
+/// `budget` trips (see [`crate::budget::SolveBudget`]). Uses the same
+/// per-thread arena; an aborted solve leaves it reusable.
+///
+/// # Panics
+/// As [`lp_relaxation_value`].
+pub fn lp_relaxation_value_budgeted(
+    trace: &Trace,
+    m: usize,
+    k: u32,
+    budget: &crate::budget::SolveBudget,
+) -> Option<LpSolution> {
+    SHARED_SOLVER.with(|s| s.borrow_mut().value_budgeted(trace, m, k, false, budget))
 }
 
 /// The weighted variant: minimizes a relaxation of `Σ_j w_j F_j^k` (the

@@ -28,6 +28,14 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::budget::SolveBudget;
+
+/// How many heap pops between budget polls inside Dijkstra. Polling
+/// reads `Instant::now()` (~20ns); at this stride the overhead is
+/// unmeasurable while a deadline is still honoured within ~a millisecond
+/// on any realistic graph.
+const BUDGET_POLL_POPS: u64 = 4096;
+
 /// One directed edge; edge `i ^ 1` is its residual twin.
 #[derive(Debug, Clone)]
 struct Edge {
@@ -419,7 +427,10 @@ impl McmfGraph {
 
     /// Shortest reduced-cost distances from `s`, stopping once `t` pops.
     /// Returns false iff `t` is unreachable in the residual graph.
-    fn dijkstra(&mut self, s: usize, t: usize) -> bool {
+    /// Returns `Some(reachable)` normally, `None` if `budget` tripped
+    /// mid-search (polled every [`BUDGET_POLL_POPS`] heap pops, so a
+    /// deadline is honoured even inside one long shortest-path pass).
+    fn dijkstra(&mut self, s: usize, t: usize, budget: &SolveBudget) -> Option<bool> {
         let n = self.n;
         self.dist.clear();
         self.dist.resize(n, f64::INFINITY);
@@ -447,9 +458,15 @@ impl McmfGraph {
         // Counters accumulate in locals so the loop body stays lean.
         let mut pops = 0u64;
         let mut scanned = 0u64;
+        let poll_budget = !budget.is_unlimited();
         while let Some(Reverse(HeapItem { dist: d, node })) = heap.pop() {
             let u = node as usize;
             pops += 1;
+            if poll_budget && pops.is_multiple_of(BUDGET_POLL_POPS) && budget.exhausted() {
+                stats.heap_pops += pops;
+                stats.arcs_scanned += scanned;
+                return None;
+            }
             if d > dist[u] {
                 continue;
             }
@@ -477,7 +494,7 @@ impl McmfGraph {
         }
         stats.heap_pops += pops;
         stats.arcs_scanned += scanned;
-        dist[t].is_finite()
+        Some(dist[t].is_finite())
     }
 
     /// BFS hop levels over the admissible residual subgraph. Returns
@@ -608,6 +625,22 @@ impl McmfGraph {
     /// accumulated deterministically arc-by-arc at the end (so it does
     /// not depend on the augmentation order).
     pub fn solve(&mut self, s: usize, t: usize, target: i64) -> FlowResult {
+        self.solve_budgeted(s, t, target, &SolveBudget::unlimited())
+            .expect("an unlimited budget never aborts a solve")
+    }
+
+    /// [`McmfGraph::solve`] under a cooperative [`SolveBudget`]: returns
+    /// `None` (instead of a partial, meaningless flow) as soon as the
+    /// budget trips — checked at every phase boundary and every few
+    /// thousand heap pops inside Dijkstra. On `None` the residual graph
+    /// is left mid-solve and must not be reused for another solve.
+    pub fn solve_budgeted(
+        &mut self,
+        s: usize,
+        t: usize,
+        target: i64,
+        budget: &SolveBudget,
+    ) -> Option<FlowResult> {
         assert!(s < self.n && t < self.n, "node out of range");
         let mut obs_span = tf_obs::span!("mcmf", "solve");
         if !self.csr_built {
@@ -616,11 +649,16 @@ impl McmfGraph {
         self.potential.clear();
         self.potential.resize(self.n, 0.0);
         self.stats = McmfStats::default();
+        let poll_budget = !budget.is_unlimited();
         let mut total_flow = 0i64;
         while total_flow < target {
+            if poll_budget && budget.exhausted() {
+                tf_obs::instant!("mcmf", "budget_abort");
+                return None;
+            }
             let reachable = {
                 let _s = tf_obs::span!("mcmf", "dijkstra");
-                self.dijkstra(s, t)
+                self.dijkstra(s, t, budget)?
             };
             if !reachable {
                 break;
@@ -667,10 +705,10 @@ impl McmfGraph {
                 total_cost += self.cost[a] * routed as f64;
             }
         }
-        FlowResult {
+        Some(FlowResult {
             flow: total_flow,
             cost: total_cost,
-        }
+        })
     }
 
     /// Independent optimality certificate: Bellman–Ford over the residual

@@ -3,12 +3,38 @@
 /// `Σ_j v_j^k` — the k-th power sum the paper's dual-fitting analysis
 /// bounds directly (it compares `RR^k` to `OPT^k` and takes k-th roots at
 /// the end).
+///
+/// The sum is at least `max_j v_j^k`, so for large `k` or large flows the
+/// *value itself* can exceed `f64::MAX` and saturate to `inf` — that is a
+/// property of the quantity, not an evaluation artifact. Ratio code that
+/// only needs the k-th *root* of a power-sum quotient should prefer
+/// [`lk_norm`], which evaluates in max-factored form and stays finite
+/// whenever the maximum is.
 pub fn flow_power_sum(values: &[f64], k: f64) -> f64 {
     values.iter().map(|&v| v.powf(k)).sum()
 }
 
+/// `Σ_j (v_j / max)^k` with `max = max_j v_j` — the scale-free part of
+/// the max-factored norm. Every term is in `[0, 1]`, so the sum is in
+/// `[1, n]` and never overflows. Returns 0 for an all-zero or empty
+/// input.
+fn scaled_power_sum(values: &[f64], k: f64) -> (f64, f64) {
+    let max = values.iter().fold(0.0f64, |a, &v| a.max(v));
+    if max <= 0.0 {
+        return (0.0, 0.0);
+    }
+    let sum = values.iter().map(|&v| (v / max).powf(k)).sum();
+    (max, sum)
+}
+
 /// The ℓk norm `(Σ_j v_j^k)^{1/k}`; `k = ∞` yields the maximum.
 /// `k = 1` is total flow time, `k = 2` the paper's headline objective.
+///
+/// Evaluated in max-factored form `max · (Σ_j (v_j/max)^k)^{1/k}` so the
+/// result is finite whenever the maximum is — the naive
+/// `flow_power_sum(..).powf(1/k)` overflows to `inf` for large `k` or
+/// large flows (e.g. `[1e60]` at `k = 6`), which silently corrupted
+/// large-k ratio tables.
 pub fn lk_norm(values: &[f64], k: f64) -> f64 {
     if values.is_empty() {
         return 0.0;
@@ -16,13 +42,18 @@ pub fn lk_norm(values: &[f64], k: f64) -> f64 {
     if k.is_infinite() {
         values.iter().fold(0.0, |a, &v| a.max(v))
     } else {
-        flow_power_sum(values, k).powf(1.0 / k)
+        let (max, sum) = scaled_power_sum(values, k);
+        max * sum.powf(1.0 / k)
     }
 }
 
 /// The ℓk norm normalized by `n^{1/k}` — a per-job "typical flow at the
 /// k-th moment", comparable across instance sizes. For k=1 this is the
 /// average flow time; as k→∞ it approaches the max.
+///
+/// Uses the same max-factored form as [`lk_norm`], dividing the scaled
+/// power sum by `n` *before* the root, so the normalization never
+/// evaluates `inf / inf`.
 pub fn normalized_lk_norm(values: &[f64], k: f64) -> f64 {
     if values.is_empty() {
         return 0.0;
@@ -30,7 +61,8 @@ pub fn normalized_lk_norm(values: &[f64], k: f64) -> f64 {
     if k.is_infinite() {
         lk_norm(values, k)
     } else {
-        lk_norm(values, k) / (values.len() as f64).powf(1.0 / k)
+        let (max, sum) = scaled_power_sum(values, k);
+        max * (sum / values.len() as f64).powf(1.0 / k)
     }
 }
 
@@ -87,5 +119,96 @@ mod tests {
         let l16 = normalized_lk_norm(&v, 16.0);
         assert!(l16 <= linf + 1e-9);
         assert!(linf - l16 < 2.0); // high k hugs the max
+    }
+
+    /// Regression: the naive `(Σ v^k)^{1/k}` evaluation overflowed to
+    /// `inf` here even though the norm (= 1e60 for a single value) is
+    /// perfectly representable.
+    #[test]
+    fn huge_single_value_stays_finite() {
+        let got = lk_norm(&[1e60], 6.0);
+        assert!(got.is_finite(), "lk_norm([1e60], 6) = {got}");
+        assert!((got - 1e60).abs() / 1e60 < 1e-12);
+        assert!(normalized_lk_norm(&[1e60], 6.0).is_finite());
+    }
+
+    /// Extreme magnitudes and exponents: finite, dominated by ℓ∞, and
+    /// converging to it as k grows.
+    #[test]
+    fn extreme_magnitudes_agree_with_linf_as_k_grows() {
+        let v = [1e80, 3e79, 2.5e80, 1e-3, 7e78];
+        let linf = lk_norm(&v, f64::INFINITY);
+        let mut prev_gap = f64::INFINITY;
+        for k in [2.0, 4.0, 8.0, 16.0, 32.0, 64.0] {
+            let norm = lk_norm(&v, k);
+            assert!(norm.is_finite(), "k={k}: {norm}");
+            // ℓk ≥ ℓ∞ always; the unnormalized gap above ℓ∞ shrinks
+            // toward 0 as k → ∞ (it is ≤ max·(n^{1/k}−1)).
+            assert!(norm >= linf * (1.0 - 1e-12), "k={k}");
+            let gap = norm / linf - 1.0;
+            assert!(gap <= prev_gap + 1e-12, "k={k}: gap {gap} > {prev_gap}");
+            prev_gap = gap;
+        }
+        assert!(prev_gap < 0.05, "l64 should hug the max: gap {prev_gap}");
+    }
+
+    #[test]
+    fn all_zero_values_give_zero() {
+        assert_eq!(lk_norm(&[0.0, 0.0], 3.0), 0.0);
+        assert_eq!(normalized_lk_norm(&[0.0, 0.0], 3.0), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Magnitudes spanning ~90 orders, including the overflow regime of
+    /// the old evaluation.
+    fn arb_values() -> impl Strategy<Value = Vec<f64>> {
+        prop::collection::vec((-10.0f64..80.0).prop_map(|e| 10f64.powf(e)), 1..12)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// For k ∈ 1..64 over magnitudes up to 1e80: the norm is finite,
+        /// sits between ℓ∞ and n^{1/k}·ℓ∞, and the normalized norm is
+        /// nondecreasing in k (power-mean inequality) while never
+        /// exceeding ℓ∞.
+        #[test]
+        fn lk_norm_finite_and_monotone_normalized(v in arb_values()) {
+            let linf = lk_norm(&v, f64::INFINITY);
+            let mut prev = 0.0f64;
+            for k in 1..=64u32 {
+                let kf = f64::from(k);
+                let norm = lk_norm(&v, kf);
+                prop_assert!(norm.is_finite(), "k={k}: {norm}");
+                prop_assert!(norm >= linf * (1.0 - 1e-9), "k={k}: {norm} < linf {linf}");
+                let cap = linf * (v.len() as f64).powf(1.0 / kf);
+                prop_assert!(norm <= cap * (1.0 + 1e-9), "k={k}: {norm} > cap {cap}");
+
+                let nn = normalized_lk_norm(&v, kf);
+                prop_assert!(nn.is_finite(), "k={k}: normalized {nn}");
+                prop_assert!(nn >= prev * (1.0 - 1e-9),
+                             "k={k}: normalized {nn} < previous {prev}");
+                prop_assert!(nn <= linf * (1.0 + 1e-9), "k={k}: normalized {nn} > linf");
+                prev = nn;
+            }
+            prop_assert!(linf >= prev * (1.0 - 1e-9));
+        }
+
+        /// Factored evaluation agrees with the naive one wherever the
+        /// naive one does not overflow.
+        #[test]
+        fn matches_naive_evaluation_in_range(
+            v in prop::collection::vec(0.0f64..100.0, 1..10), k in 1u32..8) {
+            let kf = f64::from(k);
+            let naive = flow_power_sum(&v, kf).powf(1.0 / kf);
+            let factored = lk_norm(&v, kf);
+            prop_assert!((naive - factored).abs() <= 1e-9 * (1.0 + naive),
+                         "k={k}: naive {naive} vs factored {factored}");
+        }
     }
 }

@@ -9,7 +9,7 @@
 use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
 
 use crate::sink::SinkSpec;
@@ -79,11 +79,23 @@ fn now_ns() -> u64 {
     EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
 }
 
+/// Lock the collector state, recovering from a poisoned mutex.
+///
+/// A panic under the lock (e.g. a panicking allocator hook, or a caller
+/// unwinding through a probe) poisons `STATE`; with a bare `unwrap()`
+/// every later probe in the process would then panic too, turning one
+/// failed task into a wedged run. The state is just a seq-counter map,
+/// an event buffer, and a sink spec — all valid after any partial
+/// mutation — so it is always safe to keep using.
+fn state() -> MutexGuard<'static, State> {
+    STATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Install a sink, replacing the previous one. Discards any buffered
 /// events and resets sequence counters; `SinkSpec::Off` disables
 /// collection entirely (probe sites return to their cheap path).
 pub fn install(spec: SinkSpec) {
-    let mut st = STATE.lock().unwrap();
+    let mut st = state();
     RUNTIME_ON.store(
         cfg!(feature = "enabled") && !spec.is_off(),
         Ordering::Relaxed,
@@ -102,13 +114,13 @@ pub fn install_collect() {
 
 /// The currently installed sink spec.
 pub fn installed() -> SinkSpec {
-    STATE.lock().unwrap().spec.clone()
+    state().spec.clone()
 }
 
 /// Take `(spec, events)` out of the collector, sorted by `(track, seq)`.
 /// Sequence counters reset; the sink stays installed.
 pub(crate) fn drain() -> (SinkSpec, Vec<Event>) {
-    let mut st = STATE.lock().unwrap();
+    let mut st = state();
     let mut events = std::mem::take(&mut st.events);
     st.track_seq.clear();
     events.sort_by_key(|e| (e.track, e.seq));
@@ -129,7 +141,7 @@ fn next_seq(st: &mut State, track: u32) -> u64 {
 }
 
 fn push(event: Event) {
-    let mut st = STATE.lock().unwrap();
+    let mut st = state();
     st.events.push(event);
 }
 
@@ -195,7 +207,7 @@ pub fn span(cat: &'static str, name: &'static str) -> SpanGuard {
         return SpanGuard::inert();
     }
     let track = CURRENT_TRACK.with(Cell::get);
-    let seq = next_seq(&mut STATE.lock().unwrap(), track);
+    let seq = next_seq(&mut state(), track);
     SpanGuard {
         live: true,
         cat,
@@ -214,7 +226,7 @@ pub fn counter(cat: &'static str, name: &'static str, value: f64) {
     }
     let track = CURRENT_TRACK.with(Cell::get);
     let ts_ns = now_ns();
-    let mut st = STATE.lock().unwrap();
+    let mut st = state();
     let seq = next_seq(&mut st, track);
     st.events.push(Event {
         kind: EventKind::Counter,
@@ -236,7 +248,7 @@ pub fn instant(cat: &'static str, name: &'static str) {
     }
     let track = CURRENT_TRACK.with(Cell::get);
     let ts_ns = now_ns();
-    let mut st = STATE.lock().unwrap();
+    let mut st = state();
     let seq = next_seq(&mut st, track);
     st.events.push(Event {
         kind: EventKind::Instant,
@@ -288,7 +300,7 @@ pub struct SpanSummary {
 /// Aggregate buffered span events by `(cat, name)`, sorted by key.
 /// Non-destructive: the buffer is left intact for a later flush.
 pub fn summary() -> Vec<SpanSummary> {
-    let st = STATE.lock().unwrap();
+    let st = state();
     let mut agg: BTreeMap<(&'static str, &'static str), (u64, u64)> = BTreeMap::new();
     for e in &st.events {
         if e.kind == EventKind::Span {
@@ -305,4 +317,44 @@ pub fn summary() -> Vec<SpanSummary> {
             total_ns,
         })
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: with the old bare `STATE.lock().unwrap()` at every
+    /// entry point, one panic while holding the collector lock poisoned
+    /// it for the life of the process — every later `span`/`counter`/
+    /// `install`/`summary` then panicked too. The `state()` helper
+    /// recovers the guard from the `PoisonError`; this test poisons the
+    /// mutex for real and exercises each public entry point afterwards.
+    /// (Fails on the pre-fix code at the first `span` call below.)
+    #[test]
+    fn all_entry_points_recover_from_a_poisoned_lock() {
+        install(SinkSpec::collect());
+
+        let joined = std::thread::spawn(|| {
+            let _guard = STATE.lock().unwrap();
+            panic!("poison the collector lock");
+        })
+        .join();
+        assert!(joined.is_err());
+        assert!(STATE.is_poisoned(), "the panic must have poisoned STATE");
+
+        {
+            let mut s = span("t", "after_poison");
+            s.arg("ok", 1.0);
+        }
+        counter("t", "ctr", 2.0);
+        instant("t", "mark");
+        assert!(!installed().is_off());
+        assert_eq!(summary().len(), 1);
+
+        let events = take_events();
+        let names: Vec<&str> = events.iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["after_poison", "ctr", "mark"]);
+
+        install(SinkSpec::Off);
+    }
 }

@@ -194,6 +194,38 @@ fn jsonl_sink_writes_one_valid_object_per_line() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A thread that panics mid-probe (its `SpanGuard` drops during
+/// unwinding) must not wedge later probes on other threads. The
+/// poisoned-lock regression proper lives in `collector.rs`'s unit
+/// tests, which can poison the private `STATE` mutex directly.
+#[test]
+fn panicking_thread_does_not_wedge_later_spans() {
+    let _g = LOCK.lock().unwrap();
+    tf_obs::install_collect();
+
+    let joined = std::thread::spawn(|| {
+        let _s = tf_obs::span("t", "doomed");
+        panic!("sink blew up");
+    })
+    .join();
+    assert!(joined.is_err(), "the probe thread must have panicked");
+
+    // Subsequent probes on the main thread must still work.
+    {
+        let mut s = tf_obs::span("t", "after_panic");
+        s.arg("ok", 1.0);
+    }
+    tf_obs::counter("t", "still_counting", 4.0);
+
+    let events = tf_obs::take_events();
+    let names: Vec<&str> = events.iter().map(|e| e.name).collect();
+    assert!(names.contains(&"after_panic"), "events: {names:?}");
+    assert!(names.contains(&"still_counting"));
+
+    tf_obs::install(SinkSpec::Off);
+    assert!(!tf_obs::enabled());
+}
+
 #[test]
 fn from_env_rejects_unknown_modes() {
     // Reads only explicit env we set; TF_TRACE is absent in the test env.

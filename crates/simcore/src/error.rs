@@ -30,6 +30,13 @@ pub enum SimError {
     NoMachines,
     /// Speed must be finite and positive.
     BadSpeed(f64),
+    /// A discrete-RR time quantum must be finite and positive. Reported
+    /// by the quantum/DRR simulators; an earlier revision reused
+    /// [`SimError::BadSpeed`] here, which printed a misleading "speed
+    /// ... must be finite and positive" diagnostic for a quantum error.
+    BadQuantum(f64),
+    /// A context-switch overhead must be finite and non-negative.
+    BadCtxSwitch(f64),
     /// An allocator returned a rate above the per-job cap (one machine of
     /// speed `s`), beyond tolerance.
     RateCapViolated {
@@ -88,6 +95,15 @@ impl fmt::Display for SimError {
             }
             SimError::NoMachines => write!(f, "machine count must be at least 1"),
             SimError::BadSpeed(s) => write!(f, "speed {s} must be finite and positive"),
+            SimError::BadQuantum(q) => {
+                write!(f, "quantum {q} must be finite and positive")
+            }
+            SimError::BadCtxSwitch(c) => {
+                write!(
+                    f,
+                    "context-switch overhead {c} must be finite and non-negative"
+                )
+            }
             SimError::RateCapViolated { job, rate, cap } => {
                 write!(f, "job {job}: rate {rate} exceeds per-job cap {cap}")
             }

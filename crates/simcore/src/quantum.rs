@@ -83,10 +83,10 @@ pub fn simulate_quantum_rr(
 ) -> Result<Schedule, SimError> {
     cfg.validate()?;
     if !opts.quantum.is_finite() || opts.quantum <= 0.0 {
-        return Err(SimError::BadSpeed(opts.quantum)); // reuse: bad positive scalar
+        return Err(SimError::BadQuantum(opts.quantum));
     }
     if !opts.ctx_switch.is_finite() || opts.ctx_switch < 0.0 {
-        return Err(SimError::BadSpeed(opts.ctx_switch));
+        return Err(SimError::BadCtxSwitch(opts.ctx_switch));
     }
 
     let n = trace.len();
@@ -199,7 +199,7 @@ pub fn simulate_drr(trace: &Trace, cfg: MachineConfig, quantum: f64) -> Result<S
         return Err(SimError::NoMachines); // DRR is a single-server discipline
     }
     if !quantum.is_finite() || quantum <= 0.0 {
-        return Err(SimError::BadSpeed(quantum));
+        return Err(SimError::BadQuantum(quantum));
     }
 
     let n = trace.len();
@@ -365,13 +365,31 @@ mod tests {
 
     #[test]
     fn rejects_bad_options() {
+        // Regression: these used to surface as BadSpeed, a misleading
+        // diagnostic ("speed 0 must be finite and positive" for a bad
+        // quantum). The dedicated variants name the offending field.
         let t = trace(&[(0.0, 1.0)]);
-        assert!(simulate_quantum_rr(&t, MachineConfig::new(1), QuantumOptions::new(0.0)).is_err());
+        assert!(matches!(
+            simulate_quantum_rr(&t, MachineConfig::new(1), QuantumOptions::new(0.0)),
+            Err(SimError::BadQuantum(q)) if q == 0.0
+        ));
+        assert!(matches!(
+            simulate_quantum_rr(&t, MachineConfig::new(1), QuantumOptions::new(f64::NAN)),
+            Err(SimError::BadQuantum(_))
+        ));
         let bad = QuantumOptions {
             quantum: 1.0,
             ctx_switch: -1.0,
         };
-        assert!(simulate_quantum_rr(&t, MachineConfig::new(1), bad).is_err());
+        assert!(matches!(
+            simulate_quantum_rr(&t, MachineConfig::new(1), bad),
+            Err(SimError::BadCtxSwitch(c)) if c == -1.0
+        ));
+        let msg = SimError::BadQuantum(0.0).to_string();
+        assert!(
+            msg.contains("quantum"),
+            "diagnostic should name the field: {msg}"
+        );
     }
 
     #[test]
@@ -434,7 +452,10 @@ mod tests {
         let s = simulate_drr(&t, MachineConfig::with_speed(1, 2.0), 1.0).unwrap();
         assert!((s.completion[0] - 1.0).abs() < 1e-12);
         assert!(simulate_drr(&t, MachineConfig::new(2), 1.0).is_err());
-        assert!(simulate_drr(&t, MachineConfig::new(1), 0.0).is_err());
+        assert!(matches!(
+            simulate_drr(&t, MachineConfig::new(1), 0.0),
+            Err(SimError::BadQuantum(q)) if q == 0.0
+        ));
     }
 
     #[test]
