@@ -15,7 +15,7 @@ use std::io::Write;
 use std::path::PathBuf;
 use std::time::Duration;
 use tf_harness::campaign::{self, CampaignCfg};
-use tf_harness::experiments::{all_ids, run_experiment_ctx};
+use tf_harness::experiments::{all_ids, family_ids, run_experiment_ctx};
 use tf_harness::table::timing_table;
 use tf_harness::{Effort, RunCtx, Table};
 
@@ -29,9 +29,12 @@ enum Format {
 fn usage() -> ! {
     let ids = all_ids();
     eprintln!(
-        "usage: experiments [{first} {second} ... | all] [--quick] [--no-cache] [--format text|md|csv] [--out DIR] [--threads N] [--trace PATH]\n\
+        "usage: experiments [{first} {second} ... | all | {families}] [--quick] [--no-cache] [--format text|md|csv] [--out DIR] [--threads N] [--trace PATH]\n\
          \x20                  [--campaign DIR] [--resume] [--task-timeout SECS]\n\
          Runs the {first}-{last} experiment suite (see DESIGN.md) and prints the tables.\n\
+         Named families ({families}) run only when requested: `stream` pushes 10^7 jobs\n\
+         through the bounded-memory open-workload engine and writes BENCH_4.json\n\
+         (scale overrides: TF_STREAM_N / TF_STREAM_RHO, comma-separated).\n\
          --no-cache         recompute lower bounds instead of reading results/cache/\n\
          --threads N        fix the worker-thread count (default: one per core)\n\
          --trace PATH       write the TF_TRACE-selected trace format to PATH\n\
@@ -41,6 +44,7 @@ fn usage() -> ! {
         first = ids.first().unwrap_or(&"e1"),
         second = ids.get(1).unwrap_or(&"e2"),
         last = ids.last().unwrap_or(&"e1"),
+        families = family_ids().join(" "),
     );
     std::process::exit(2);
 }
@@ -124,7 +128,11 @@ fn main() {
 
     for id in &ids {
         let Some(tables) = run_experiment_ctx(id, &ctx) else {
-            eprintln!("unknown experiment: {id} (known: {})", all_ids().join(", "));
+            eprintln!(
+                "unknown experiment: {id} (known: {}, {})",
+                all_ids().join(", "),
+                family_ids().join(", ")
+            );
             std::process::exit(2);
         };
         for (i, t) in tables.iter().enumerate() {

@@ -1,0 +1,223 @@
+//! Golden equivalence: the streaming engine against the materialised one.
+//!
+//! [`tf_simcore::simulate_stream`] claims to be *numerically identical*
+//! to [`tf_simcore::simulate`] — same admission rule, step selection,
+//! arrival snapping, and completion threshold, differing only in what it
+//! retains. This suite pins that claim across **every** policy in the
+//! registry on closed traces (n ≤ 10³): each streamed completion must
+//! match the materialised one bit for bit, not merely within tolerance.
+//! Any divergence — a reordered float operation, a different step choice
+//! — shows up as a failed `to_bits` comparison naming the first job.
+//!
+//! A second group pins the streaming accumulators (`tf_metrics`) against
+//! the materialised statistics on the same schedules: exact agreement
+//! for moments and norms, rank-error-bounded agreement for the t-digest
+//! percentiles.
+
+use tf_metrics::{flow_stats, lk_norm, StreamingFlowStats, StreamingNorm};
+use tf_policies::Policy;
+use tf_simcore::{
+    simulate, simulate_stream, CompletedJob, MachineConfig, SimOptions, StreamOptions, Trace,
+    TraceSource, ABS_EPS,
+};
+use tf_workload::{PoissonWorkload, SizeDist};
+
+/// The closed golden instances: (label, trace, machine environment).
+fn golden_instances() -> Vec<(String, Trace, MachineConfig)> {
+    let mut out = Vec::new();
+
+    // M/G/1 at moderate load, exponential sizes.
+    let t = PoissonWorkload::new(400, 0.8, 1, SizeDist::Exponential { mean: 1.0 }, 11).generate();
+    out.push(("poisson-exp".into(), t, MachineConfig::new(1)));
+
+    // Heavy-tailed sizes on two machines, briefly overloaded.
+    let t = PoissonWorkload::new(
+        250,
+        1.3,
+        2,
+        SizeDist::Pareto {
+            alpha: 1.8,
+            min: 0.5,
+        },
+        12,
+    )
+    .generate();
+    out.push(("poisson-pareto-m2".into(), t, MachineConfig::new(2)));
+
+    // Tie-heavy integral batch trace: many simultaneous arrivals and
+    // equal sizes stress completion-threshold and snapping order.
+    let t = Trace::from_pairs((0..300).map(|i| ((i / 10) as f64, 1.0 + (i % 4) as f64))).unwrap();
+    out.push(("batched-ties".into(), t, MachineConfig::new(1)));
+
+    // Fractional speed: exercises job_cap clamping and the speed-scaled
+    // adaptive step on continuous policies.
+    let t =
+        PoissonWorkload::new(200, 0.9, 1, SizeDist::Uniform { lo: 0.1, hi: 3.0 }, 13).generate();
+    out.push((
+        "poisson-uniform-s1.5".into(),
+        t,
+        MachineConfig::with_speed(1, 1.5),
+    ));
+
+    out
+}
+
+/// The materialised engine's default adaptive step for `trace` — computed
+/// here explicitly so the *same* value can be handed to both engines
+/// (`simulate` would derive it internally; `simulate_stream` cannot, as a
+/// stream has no whole-trace mean size).
+fn engine_default_max_step(trace: &Trace, cfg: &MachineConfig) -> f64 {
+    let n = trace.len();
+    let mean = if n > 0 {
+        trace.total_size() / n as f64
+    } else {
+        1.0
+    };
+    (mean / cfg.speed / 64.0).max(ABS_EPS)
+}
+
+#[test]
+fn streamed_completions_are_bit_identical_for_all_policies() {
+    for (label, trace, cfg) in golden_instances() {
+        for policy in Policy::all() {
+            let mut mat_alloc = policy.make();
+            let continuous = mat_alloc.continuous();
+            let max_step = continuous.then(|| engine_default_max_step(&trace, &cfg));
+
+            let sched = simulate(
+                &trace,
+                mat_alloc.as_mut(),
+                cfg,
+                SimOptions {
+                    max_step,
+                    ..SimOptions::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("{label}/{policy}: materialised run failed: {e}"));
+
+            let mut stream_alloc = policy.make();
+            let mut source = TraceSource::new(&trace);
+            let mut streamed: Vec<CompletedJob> = Vec::with_capacity(trace.len());
+            let report = simulate_stream(
+                &mut source,
+                stream_alloc.as_mut(),
+                cfg,
+                StreamOptions {
+                    max_step,
+                    ..StreamOptions::default()
+                },
+                &mut |job| streamed.push(job),
+            )
+            .unwrap_or_else(|e| panic!("{label}/{policy}: streamed run failed: {e}"));
+
+            assert_eq!(
+                report.completed as usize,
+                trace.len(),
+                "{label}/{policy}: not every job completed"
+            );
+            assert_eq!(
+                report.events, sched.events,
+                "{label}/{policy}: event counts diverged"
+            );
+            assert_eq!(
+                report.stats.peak_alive, sched.stats.peak_alive,
+                "{label}/{policy}: peak alive diverged"
+            );
+
+            // Streamed jobs retire in completion order; compare per job id.
+            for job in &streamed {
+                let id = job.id as usize;
+                assert_eq!(
+                    job.completion.to_bits(),
+                    sched.completion[id].to_bits(),
+                    "{label}/{policy}: completion of job {id} diverged \
+                     (streamed {} vs materialised {})",
+                    job.completion,
+                    sched.completion[id]
+                );
+                assert_eq!(
+                    job.flow.to_bits(),
+                    sched.flow[id].to_bits(),
+                    "{label}/{policy}: flow of job {id} diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn streaming_accumulators_match_materialised_stats_on_schedules() {
+    for (label, trace, cfg) in golden_instances() {
+        // One representative policy per instance is enough here — the
+        // accumulators only see the flow vector, not the policy.
+        let mut alloc = Policy::Rr.make();
+        let sched = simulate(&trace, alloc.as_mut(), cfg, SimOptions::default()).unwrap();
+
+        let mut acc = StreamingFlowStats::new(128);
+        let mut l2 = StreamingNorm::new(2.0);
+        let mut linf = StreamingNorm::new(f64::INFINITY);
+        for &f in &sched.flow {
+            acc.push(f);
+            l2.push(f);
+            linf.push(f);
+        }
+        let s = acc.finish();
+        let exact = flow_stats(&sched.flow);
+
+        assert_eq!(s.n, exact.n, "{label}: n");
+        assert_eq!(s.min.to_bits(), exact.min.to_bits(), "{label}: min");
+        assert_eq!(s.max.to_bits(), exact.max.to_bits(), "{label}: max");
+        let rel = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1e-300);
+        assert!(
+            rel(s.total, exact.total),
+            "{label}: total {} vs {}",
+            s.total,
+            exact.total
+        );
+        assert!(
+            rel(s.mean, exact.mean),
+            "{label}: mean {} vs {}",
+            s.mean,
+            exact.mean
+        );
+        assert!(
+            (s.variance - exact.variance).abs() <= 1e-6 * exact.variance.max(1e-300),
+            "{label}: variance {} vs {}",
+            s.variance,
+            exact.variance
+        );
+
+        // t-digest percentiles are rank-accurate, not value-accurate: in
+        // a heavy tail a handful of ranks can span a wide value range, so
+        // the check is on the *rank* of the reported quantile. With
+        // compression 128 and n ≤ 10³ the digest holds ≲ 2 samples per
+        // centroid, so a few ranks of slack is generous.
+        let mut sorted = sched.flow.clone();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len() as f64;
+        let slack = 3.0_f64.max(2.0 * n / 128.0);
+        for (q, digest_p) in [(0.5, s.p50), (0.9, s.p90), (0.99, s.p99)] {
+            let below = sorted.partition_point(|&x| x < digest_p) as f64;
+            let at_or_below = sorted.partition_point(|&x| x <= digest_p) as f64;
+            let target = q * n;
+            assert!(
+                below - slack <= target && target <= at_or_below + slack,
+                "{label}: p{q}: digest {digest_p} sits at ranks \
+                 [{below}, {at_or_below}] of {n}, target {target} ± {slack}"
+            );
+        }
+
+        let exact_l2 = lk_norm(&sched.flow, 2.0);
+        assert!(
+            rel(l2.value(), exact_l2),
+            "{label}: l2 {} vs {}",
+            l2.value(),
+            exact_l2
+        );
+        assert_eq!(
+            linf.value().to_bits(),
+            exact.max.to_bits(),
+            "{label}: l-infinity"
+        );
+    }
+}

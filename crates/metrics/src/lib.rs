@@ -13,12 +13,17 @@
 //!   a schedule splits the machines among alive jobs at each instant (RR is
 //!   1.0 by construction);
 //! * [`stretch`] — slowdown `F_j / p_j` statistics.
+//! * [`streaming`] — mergeable one-pass accumulators
+//!   ([`StreamingFlowStats`], [`StreamingNorm`], [`TDigest`]) computing
+//!   the same objectives without materialising the flow vector, for the
+//!   bounded-memory streaming engine.
 
 pub mod fairness;
 pub mod norms;
 pub mod occupancy;
 pub mod queueing;
 pub mod stats;
+pub mod streaming;
 pub mod stretch;
 pub mod weighted;
 
@@ -27,5 +32,6 @@ pub use norms::{flow_power_sum, lk_norm, normalized_lk_norm};
 pub use occupancy::{alive_series, occupancy_stats, OccupancyStats};
 pub use queueing::{mg1_fcfs_mean_flow, mg1_ps_mean_flow, mg1_ps_mean_flow_of_size, mm1_mean_flow};
 pub use stats::{flow_stats, percentile, FlowStats};
+pub use streaming::{StreamingFlowStats, StreamingMoments, StreamingNorm, TDigest};
 pub use stretch::{stretch_stats, StretchStats};
 pub use weighted::{weighted_flow_power_sum, weighted_lk_norm, weighted_mean_flow};

@@ -30,12 +30,17 @@ pub struct FlowStats {
 
 /// Linear-interpolated percentile of a sample (`q ∈ [0, 1]`). Returns 0
 /// for an empty sample.
+///
+/// NaN values are **ignored** (a NaN flow is a sentinel for "never
+/// completed", not an order statistic); an all-NaN sample behaves as
+/// empty. ±∞ participates normally. An earlier revision sorted with
+/// `partial_cmp().unwrap()` and panicked on the first NaN.
 pub fn percentile(values: &[f64], q: f64) -> f64 {
-    if values.is_empty() {
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    if sorted.is_empty() {
         return 0.0;
     }
-    let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
     percentile_sorted(&sorted, q)
 }
 
@@ -48,13 +53,24 @@ fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
     let frac = pos - lo as f64;
+    if lo == hi {
+        // Exact order statistic: skip interpolation, whose `inf · 0`
+        // would turn an infinite sample value into NaN.
+        return sorted[lo];
+    }
     sorted[lo] * (1.0 - frac) + sorted[hi] * frac
 }
 
 /// Compute [`FlowStats`] for a sample. Returns an all-zero struct for an
 /// empty sample.
+///
+/// NaN values are **ignored** and do not count toward `n` (see
+/// [`percentile`] for the rationale); an all-NaN sample behaves as empty.
+/// An earlier revision panicked on the first NaN via
+/// `partial_cmp().unwrap()` in the percentile sort.
 pub fn flow_stats(values: &[f64]) -> FlowStats {
-    let n = values.len();
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    let n = sorted.len();
     if n == 0 {
         return FlowStats {
             n: 0,
@@ -69,11 +85,10 @@ pub fn flow_stats(values: &[f64]) -> FlowStats {
             max: 0.0,
         };
     }
-    let total: f64 = values.iter().sum();
+    let total: f64 = sorted.iter().sum();
     let mean = total / n as f64;
-    let variance = values.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
-    let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let variance = sorted.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+    sorted.sort_by(f64::total_cmp);
     FlowStats {
         n,
         total,
@@ -142,5 +157,105 @@ mod tests {
         let s = flow_stats(&[4.0; 10]);
         assert_eq!(s.variance, 0.0);
         assert_eq!(s.p99, 4.0);
+    }
+
+    /// Regression: both of these panicked before the `total_cmp` fix —
+    /// `partial_cmp().unwrap()` on the first NaN comparison. NaN samples
+    /// are now ignored and do not count toward `n`.
+    #[test]
+    fn nan_samples_are_ignored_not_panics() {
+        let s = flow_stats(&[3.0, f64::NAN, 1.0, f64::NAN, 2.0]);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.total, 6.0);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.p50, 2.0);
+        assert_eq!(percentile(&[5.0, f64::NAN, 1.0], 0.5), 3.0);
+    }
+
+    #[test]
+    fn all_nan_behaves_as_empty() {
+        let s = flow_stats(&[f64::NAN, f64::NAN]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(percentile(&[f64::NAN], 0.9), 0.0);
+    }
+
+    #[test]
+    fn infinities_participate_in_order_statistics() {
+        let s = flow_stats(&[1.0, f64::INFINITY, 2.0]);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.max, f64::INFINITY);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.p50, 2.0);
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Finite values mixed with NaN and +∞ in arbitrary positions.
+    fn arb_mixed() -> impl Strategy<Value = Vec<f64>> {
+        prop::collection::vec(
+            (0.0f64..1e6, 0u8..6).prop_map(|(x, tag)| match tag {
+                4 => f64::NAN,
+                5 => f64::INFINITY,
+                _ => x,
+            }),
+            0..40,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Over mixed samples: no panic, and the result equals the stats
+        /// of the NaN-filtered sample.
+        #[test]
+        fn mixed_samples_match_filtered(v in arb_mixed(), q in 0.0f64..1.0) {
+            let filtered: Vec<f64> = v.iter().copied().filter(|x| !x.is_nan()).collect();
+            let s = flow_stats(&v);
+            let f = flow_stats(&filtered);
+            prop_assert_eq!(s.n, filtered.len());
+            // Bitwise equality, field by field: same retained values, same
+            // arithmetic (NaN-valued moments from ∞ samples still match).
+            for (a, b) in [
+                (s.total, f.total),
+                (s.mean, f.mean),
+                (s.variance, f.variance),
+                (s.std_dev, f.std_dev),
+                (s.min, f.min),
+                (s.p50, f.p50),
+                (s.p90, f.p90),
+                (s.p99, f.p99),
+                (s.max, f.max),
+            ] {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            prop_assert_eq!(
+                percentile(&v, q).to_bits(),
+                percentile(&filtered, q).to_bits()
+            );
+        }
+
+        /// Percentiles are monotone in q and bracketed by min/max on
+        /// mixed samples with at least one non-NaN value.
+        #[test]
+        fn percentile_monotone_on_mixed(v in arb_mixed()) {
+            prop_assume!(v.iter().any(|x| !x.is_nan()));
+            let s = flow_stats(&v);
+            let mut prev = f64::NEG_INFINITY;
+            for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+                let p = percentile(&v, q);
+                prop_assert!(!p.is_nan());
+                prop_assert!(p >= prev);
+                prev = p;
+            }
+            prop_assert_eq!(percentile(&v, 0.0), s.min);
+            prop_assert_eq!(percentile(&v, 1.0), s.max);
+        }
     }
 }

@@ -76,6 +76,18 @@ pub enum SimError {
         /// Number of alive jobs at the stall.
         alive: usize,
     },
+    /// A continuously-varying policy was run on the streaming engine
+    /// without an explicit [`crate::StreamOptions::max_step`]. The
+    /// materialised engine derives a default step from the mean job size
+    /// of the whole trace; a stream has no such aggregate, so the caller
+    /// must choose the integration step.
+    MissingMaxStep,
+    /// A job source produced more jobs than [`crate::JobId`] can address
+    /// (`u32::MAX`); the streaming engine refuses to wrap ids.
+    JobLimitExceeded {
+        /// The id space that was exhausted.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -118,6 +130,15 @@ impl fmt::Display for SimError {
             }
             SimError::Stalled { time, alive } => {
                 write!(f, "simulation stalled at t={time} with {alive} alive jobs")
+            }
+            SimError::MissingMaxStep => {
+                write!(
+                    f,
+                    "streaming a continuously-varying policy requires an explicit max_step"
+                )
+            }
+            SimError::JobLimitExceeded { limit } => {
+                write!(f, "job source exceeded the {limit}-job id space")
             }
         }
     }

@@ -45,6 +45,7 @@ pub mod quantum;
 pub mod schedule;
 pub mod sim;
 pub mod stats;
+pub mod stream;
 pub mod trace;
 pub mod validate;
 
@@ -56,6 +57,10 @@ pub use profile::{Profile, Segment, SegmentRef};
 pub use schedule::Schedule;
 pub use sim::Simulation;
 pub use stats::SimStats;
+pub use stream::{
+    simulate_stream, CompletedJob, JobSource, ProfileWindow, SourcedJob, StreamOptions,
+    StreamReport, TraceSource,
+};
 /// Re-export of the observability layer, so downstream code can reach
 /// sinks and the registry without naming `tf_obs` in its own manifest.
 pub use tf_obs as obs;

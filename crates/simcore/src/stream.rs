@@ -1,0 +1,743 @@
+//! Streaming simulation: open workloads in bounded memory.
+//!
+//! [`crate::simulate`] materialises the whole instance up front — a
+//! [`crate::Trace`] plus dense completion/flow vectors plus (optionally) a
+//! full [`crate::Profile`]. That caps experiments at the memory of the
+//! trace, far below the "millions of jobs" regime heavy-traffic questions
+//! live in. This module provides the unbounded-`n` path:
+//!
+//! * [`JobSource`] — a pull-based generator of jobs in arrival order; the
+//!   engine materialises at most **one** not-yet-arrived job at a time.
+//! * [`simulate_stream`] — the same exact event loop as
+//!   [`crate::simulate`] (identical step selection, identical arithmetic,
+//!   so closed traces replay **bit-identically** — pinned by the golden
+//!   tests in `tf-harness`), but completed jobs are *retired*: their
+//!   completion is handed to a caller-supplied sink and their state is
+//!   dropped. Memory is `O(peak alive set + window)`, independent of the
+//!   number of jobs streamed.
+//! * [`ProfileWindow`] — a ring buffer retaining the execution profile
+//!   only over a trailing time window, for dual-fitting-style analyses
+//!   over a sliding horizon.
+//!
+//! Flow-time statistics over the full stream are computed by feeding the
+//! sink into the mergeable streaming accumulators of `tf-metrics`
+//! (`StreamingFlowStats`, `StreamingNorm`), which never need the
+//! completion vector either.
+
+use crate::alloc::{check_rates, AliveJob, MachineConfig, RateAllocator};
+use crate::error::SimError;
+use crate::job::JobId;
+use crate::profile::{Segment, SegmentRef};
+use crate::stats::SimStats;
+use crate::trace::Trace;
+use crate::{ABS_EPS, REL_EPS};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// One job emitted by a [`JobSource`]: everything a [`crate::Job`] carries
+/// except the id, which the streaming engine assigns densely in emission
+/// order (so ids equal arrival ranks, exactly as in a [`Trace`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SourcedJob {
+    /// Arrival time `r_j`; must be non-decreasing across the stream.
+    pub arrival: f64,
+    /// Size `p_j`; finite and positive.
+    pub size: f64,
+    /// Weight; finite and positive (1.0 in the unweighted setting).
+    pub weight: f64,
+}
+
+impl SourcedJob {
+    /// An unweighted job.
+    pub fn new(arrival: f64, size: f64) -> Self {
+        SourcedJob {
+            arrival,
+            size,
+            weight: 1.0,
+        }
+    }
+}
+
+/// A pull-based source of jobs in non-decreasing arrival order.
+///
+/// The engine validates every emitted job (finite positive size/weight,
+/// finite non-decreasing arrival) and fails the run with the same typed
+/// [`SimError`]s the [`crate::TraceBuilder`] would raise, so a buggy
+/// generator cannot silently poison a long stream.
+pub trait JobSource {
+    /// The next job, or `None` when the stream is exhausted. Arrivals
+    /// must be non-decreasing.
+    fn next_job(&mut self) -> Option<SourcedJob>;
+}
+
+/// Adapter presenting a materialised [`Trace`] as a [`JobSource`] — the
+/// bridge the golden equivalence tests use to replay closed traces
+/// through the streaming engine.
+#[derive(Debug, Clone)]
+pub struct TraceSource<'a> {
+    trace: &'a Trace,
+    next: usize,
+}
+
+impl<'a> TraceSource<'a> {
+    /// Stream `trace`'s jobs in id (= arrival) order.
+    pub fn new(trace: &'a Trace) -> Self {
+        TraceSource { trace, next: 0 }
+    }
+}
+
+impl JobSource for TraceSource<'_> {
+    fn next_job(&mut self) -> Option<SourcedJob> {
+        let j = self.trace.jobs().get(self.next)?;
+        self.next += 1;
+        Some(SourcedJob {
+            arrival: j.arrival,
+            size: j.size,
+            weight: j.weight,
+        })
+    }
+}
+
+/// A retired job delivered to the completion sink of [`simulate_stream`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletedJob {
+    /// Dense id in emission order (= arrival rank).
+    pub id: JobId,
+    /// Arrival time `r_j`.
+    pub arrival: f64,
+    /// Size `p_j`.
+    pub size: f64,
+    /// Weight.
+    pub weight: f64,
+    /// Completion time `C_j`.
+    pub completion: f64,
+    /// Flow time `F_j = C_j − r_j`.
+    pub flow: f64,
+}
+
+/// Knobs for [`simulate_stream`]. Unlike [`crate::SimOptions`] there is no
+/// full-profile switch — streaming retains at most a [`ProfileWindow`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamOptions {
+    /// Maximum step length for continuously-varying policies. **Required**
+    /// for policies with [`RateAllocator::continuous`] `== true` (the
+    /// materialised engine defaults this from the whole-trace mean size,
+    /// which a stream cannot know); ignored otherwise unless set.
+    pub max_step: Option<f64>,
+    /// Hard cap on engine events. `None` = unlimited (the stream's own
+    /// bound is expected to terminate the run).
+    pub max_events: Option<u64>,
+    /// Retain the execution profile over a trailing window of this
+    /// duration (see [`ProfileWindow`]). `None` = record nothing.
+    pub window: Option<f64>,
+}
+
+impl StreamOptions {
+    /// Options with a trailing profile window of duration `w`.
+    pub fn with_window(w: f64) -> Self {
+        StreamOptions {
+            window: Some(w),
+            ..Default::default()
+        }
+    }
+}
+
+/// Summary of one [`simulate_stream`] run. There is deliberately no
+/// per-job data here — that went to the completion sink as the run
+/// progressed.
+#[derive(Debug)]
+pub struct StreamReport {
+    /// Name of the policy that ran.
+    pub policy: String,
+    /// Machine environment of the run.
+    pub cfg: MachineConfig,
+    /// Jobs admitted and completed (every admitted job completes when the
+    /// run returns `Ok`).
+    pub completed: u64,
+    /// Engine events processed.
+    pub events: u64,
+    /// Simulation time when the last job completed (the stream makespan).
+    pub end_time: f64,
+    /// The usual engine counters ([`SimStats`]); `peak_alive` is the
+    /// memory high-water mark of the run.
+    pub stats: SimStats,
+    /// The trailing profile window, when [`StreamOptions::window`] was
+    /// set.
+    pub profile: Option<ProfileWindow>,
+}
+
+/// A sliding-window execution profile: the piecewise-constant rate record
+/// of [`crate::Profile`], but only over the trailing `window` time units.
+/// Segments whose end falls out of the window are evicted from the front
+/// and their rate buffers recycled, so memory is bounded by the event
+/// density of the window — flat in stream length.
+#[derive(Debug, Clone)]
+pub struct ProfileWindow {
+    window: f64,
+    segs: VecDeque<Segment>,
+    /// Recycled rate buffers from evicted segments.
+    pool: Vec<Vec<(JobId, f64)>>,
+    evicted: u64,
+    /// Machine count the schedule ran on.
+    pub m: usize,
+    /// Machine speed the schedule ran at.
+    pub speed: f64,
+}
+
+impl ProfileWindow {
+    /// An empty window of duration `window` for the given environment.
+    pub fn new(window: f64, m: usize, speed: f64) -> Self {
+        ProfileWindow {
+            window,
+            segs: VecDeque::new(),
+            pool: Vec::new(),
+            evicted: 0,
+            m,
+            speed,
+        }
+    }
+
+    /// The configured window duration.
+    #[inline]
+    pub fn window(&self) -> f64 {
+        self.window
+    }
+
+    /// Append a segment and evict everything that has slid out of the
+    /// window ending at `t1`.
+    pub fn push(&mut self, t0: f64, t1: f64, rates: impl IntoIterator<Item = (JobId, f64)>) {
+        let mut buf = self.pool.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend(rates);
+        self.segs.push_back(Segment { t0, t1, rates: buf });
+        self.evict_before(t1 - self.window);
+    }
+
+    /// Drop all segments entirely before `cut` (i.e. with `t1 <= cut`).
+    pub fn evict_before(&mut self, cut: f64) {
+        while self.segs.front().is_some_and(|s| s.t1 <= cut) {
+            let s = self.segs.pop_front().expect("front exists");
+            self.pool.push(s.rates);
+            self.evicted += 1;
+        }
+    }
+
+    /// Extend the last segment's end to `t` if beyond it (the arrival-snap
+    /// adjustment, identical to [`crate::Profile::stretch_last_end`]).
+    pub fn stretch_last_end(&mut self, t: f64) {
+        if let Some(s) = self.segs.back_mut() {
+            s.t1 = s.t1.max(t);
+        }
+    }
+
+    /// Segments currently retained, oldest first.
+    pub fn segments(&self) -> impl Iterator<Item = SegmentRef<'_>> {
+        self.segs.iter().map(|s| s.as_ref())
+    }
+
+    /// Number of retained segments.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// True iff nothing is retained.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    /// Segments evicted so far.
+    #[inline]
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Start of the oldest retained segment (0 when empty).
+    pub fn start(&self) -> f64 {
+        self.segs.front().map_or(0.0, |s| s.t0)
+    }
+
+    /// End of the newest retained segment (0 when empty).
+    pub fn end(&self) -> f64 {
+        self.segs.back().map_or(0.0, |s| s.t1)
+    }
+
+    /// Work processed across the retained window (`Σ rate·duration`).
+    pub fn total_work(&self) -> f64 {
+        self.segments().map(|s| s.total_rate() * s.duration()).sum()
+    }
+
+    /// Work received by `job` within the retained window.
+    pub fn work_of(&self, job: JobId) -> f64 {
+        self.segments()
+            .filter_map(|s| s.rate_of(job).map(|r| r * s.duration()))
+            .sum()
+    }
+}
+
+/// Simulate `policy` over the jobs pulled from `source`, delivering every
+/// completed job to `on_complete` and retiring it.
+///
+/// The event loop is numerically identical to [`crate::simulate`]: the
+/// same admission rule, step selection, arrival snapping, and completion
+/// threshold, in the same order — a closed trace streamed through
+/// [`TraceSource`] reproduces the materialised completions **bit for
+/// bit**. The differences are purely about retention: per-job state lives
+/// only while the job is alive, and the profile (if any) covers only a
+/// trailing window.
+///
+/// # Errors
+/// Those of [`crate::simulate`], plus [`SimError::MissingMaxStep`] for
+/// continuous policies without an explicit step, and per-job validation
+/// errors ([`SimError::BadJobSize`] / [`SimError::BadArrival`] /
+/// [`SimError::BadWeight`]) if the source emits an invalid or
+/// out-of-order job.
+pub fn simulate_stream(
+    source: &mut dyn JobSource,
+    policy: &mut dyn RateAllocator,
+    cfg: MachineConfig,
+    opts: StreamOptions,
+    on_complete: &mut dyn FnMut(CompletedJob),
+) -> Result<StreamReport, SimError> {
+    cfg.validate()?;
+    policy.reset();
+
+    let mut obs_span = tf_obs::span!("sim", "stream");
+    let time_alloc = tf_obs::enabled();
+
+    let continuous = policy.continuous();
+    if continuous && opts.max_step.is_none() {
+        return Err(SimError::MissingMaxStep);
+    }
+    let max_step = opts.max_step.unwrap_or(f64::INFINITY);
+    let event_budget = opts.max_events.unwrap_or(u64::MAX);
+
+    let mut profile = opts.window.map(|w| ProfileWindow::new(w, cfg.m, cfg.speed));
+    let mut stats = SimStats::default();
+
+    let mut alive: Vec<AliveJob> = Vec::new();
+    let mut next_id: u64 = 0;
+    let mut last_arrival = 0.0_f64;
+    let mut completed: u64 = 0;
+    let mut time = 0.0_f64;
+    let mut events: u64 = 0;
+    let mut zero_steps_in_a_row = 0u32;
+
+    // The single look-ahead job: pulled, validated, not yet arrived.
+    let mut pending = pull(source, &mut next_id, &mut last_arrival)?;
+
+    // Reusable scratch, sized once per high-water mark.
+    let mut rates: Vec<f64> = Vec::new();
+
+    loop {
+        // Admit all jobs that have arrived by `time` (same rule as the
+        // materialised engine: `arrival <= time`).
+        while pending.as_ref().is_some_and(|p| p.arrival <= time) {
+            alive.push(pending.take().expect("checked above"));
+            pending = pull(source, &mut next_id, &mut last_arrival)?;
+            events += 1;
+            stats.jobs_admitted += 1;
+        }
+        if alive.len() > stats.peak_alive {
+            stats.peak_alive = alive.len();
+        }
+
+        if alive.is_empty() {
+            match &pending {
+                None => break, // stream exhausted, all work done
+                Some(p) => {
+                    time = p.arrival;
+                    continue;
+                }
+            }
+        }
+
+        if events > event_budget {
+            return Err(SimError::EventBudgetExhausted { events });
+        }
+
+        rates.clear();
+        rates.resize(alive.len(), 0.0);
+        let alloc_started = time_alloc.then(Instant::now);
+        policy.allocate(time, &alive, &cfg, &mut rates);
+        if let Some(t0) = alloc_started {
+            stats.alloc_ns += t0.elapsed().as_nanos() as u64;
+        }
+        check_rates(&alive, &cfg, &rates, REL_EPS)?;
+        for r in rates.iter_mut() {
+            *r = r.clamp(0.0, cfg.job_cap());
+        }
+
+        // Earliest next event — identical selection order to `simulate`.
+        let mut dt = f64::INFINITY;
+        let mut reason = StepReason::AdaptiveStep;
+        if let Some(p) = &pending {
+            let d = p.arrival - time;
+            if d < dt {
+                dt = d;
+                reason = StepReason::Arrival(p.arrival);
+            }
+        }
+        for (a, &r) in alive.iter().zip(&rates) {
+            if r > ABS_EPS {
+                let d = a.remaining / r;
+                if d < dt {
+                    dt = d;
+                    reason = StepReason::Completion;
+                }
+            }
+        }
+        if let Some(rev) = policy.review_in(time, &alive, &cfg) {
+            let rev = rev.max(ABS_EPS);
+            if rev < dt {
+                dt = rev;
+                reason = StepReason::Review;
+            }
+        }
+        if continuous && max_step < dt {
+            dt = max_step;
+            reason = StepReason::AdaptiveStep;
+        }
+
+        if !dt.is_finite() {
+            return Err(SimError::Stalled {
+                time,
+                alive: alive.len(),
+            });
+        }
+
+        if dt <= 0.0 {
+            zero_steps_in_a_row += 1;
+            if zero_steps_in_a_row > 2 {
+                return Err(SimError::Stalled {
+                    time,
+                    alive: alive.len(),
+                });
+            }
+        } else {
+            zero_steps_in_a_row = 0;
+        }
+
+        if dt > 0.0 {
+            if let Some(p) = profile.as_mut() {
+                p.push(
+                    time,
+                    time + dt,
+                    alive.iter().zip(&rates).map(|(a, &r)| (a.id, r)),
+                );
+                stats.segments_recorded += 1;
+            }
+        }
+        let mut any_done = false;
+        for (a, &r) in alive.iter_mut().zip(&rates) {
+            let w = r * dt;
+            a.attained += w;
+            a.remaining -= w;
+            any_done |= a.remaining <= a.size * REL_EPS + ABS_EPS;
+        }
+        let step_end = time + dt;
+        time = match reason {
+            StepReason::Arrival(at) => at, // snap exactly onto the arrival
+            _ => step_end,
+        };
+        if let Some(p) = profile.as_mut() {
+            debug_assert!(
+                time - step_end <= ABS_EPS + REL_EPS * time.abs(),
+                "arrival snap stretched the window by {} at t={time}",
+                time - step_end
+            );
+            p.stretch_last_end(time);
+        }
+        events += 1;
+        match reason {
+            StepReason::Arrival(_) => stats.arrival_steps += 1,
+            StepReason::Completion => stats.completion_steps += 1,
+            StepReason::Review => stats.review_steps += 1,
+            StepReason::AdaptiveStep => stats.adaptive_steps += 1,
+        }
+
+        // Retire completed jobs: same compaction as the materialised
+        // engine, but the record goes to the sink instead of a dense Vec.
+        if any_done {
+            alive.retain(|a| {
+                if a.remaining <= a.size * REL_EPS + ABS_EPS {
+                    on_complete(CompletedJob {
+                        id: a.id,
+                        arrival: a.arrival,
+                        size: a.size,
+                        weight: a.weight,
+                        completion: time,
+                        flow: time - a.arrival,
+                    });
+                    completed += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+    }
+
+    if tf_obs::enabled() {
+        obs_span.arg("n", completed as f64);
+        obs_span.arg("m", cfg.m as f64);
+        obs_span.arg("speed", cfg.speed);
+        obs_span.arg("events", events as f64);
+        tf_obs::counter!("sim", "stream_events", events as f64);
+        tf_obs::counter!("sim", "stream_completed", completed as f64);
+        tf_obs::counter!("sim", "peak_alive", stats.peak_alive as f64);
+    }
+
+    Ok(StreamReport {
+        policy: policy.name().to_string(),
+        cfg,
+        completed,
+        events,
+        end_time: time,
+        stats,
+        profile,
+    })
+}
+
+/// Pull and validate the next job from the source, assigning the next
+/// dense id. `last_arrival` enforces stream monotonicity.
+fn pull(
+    source: &mut dyn JobSource,
+    next_id: &mut u64,
+    last_arrival: &mut f64,
+) -> Result<Option<AliveJob>, SimError> {
+    let Some(j) = source.next_job() else {
+        return Ok(None);
+    };
+    if *next_id > JobId::MAX as u64 {
+        return Err(SimError::JobLimitExceeded {
+            limit: JobId::MAX as u64,
+        });
+    }
+    let id = *next_id as JobId;
+    if !j.size.is_finite() || j.size <= 0.0 {
+        return Err(SimError::BadJobSize {
+            job: id,
+            size: j.size,
+        });
+    }
+    if !j.arrival.is_finite() || j.arrival < 0.0 || j.arrival < *last_arrival {
+        return Err(SimError::BadArrival {
+            job: id,
+            arrival: j.arrival,
+        });
+    }
+    if !j.weight.is_finite() || j.weight <= 0.0 {
+        return Err(SimError::BadWeight {
+            job: id,
+            weight: j.weight,
+        });
+    }
+    *next_id += 1;
+    *last_arrival = j.arrival;
+    Ok(Some(AliveJob {
+        id,
+        arrival: j.arrival,
+        size: j.size,
+        weight: j.weight,
+        remaining: j.size,
+        attained: 0.0,
+        seq: id,
+    }))
+}
+
+/// Why the engine chose a particular step length (mirror of the private
+/// enum in `engine.rs`; kept local so the two loops stay independently
+/// readable).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum StepReason {
+    Arrival(f64),
+    Completion,
+    Review,
+    AdaptiveStep,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate, SimOptions};
+
+    /// Inline RR so these tests do not depend on the policies crate.
+    struct Rr;
+    impl RateAllocator for Rr {
+        fn name(&self) -> &'static str {
+            "RR"
+        }
+        fn allocate(
+            &mut self,
+            _now: f64,
+            alive: &[AliveJob],
+            cfg: &MachineConfig,
+            rates: &mut [f64],
+        ) {
+            let share = cfg.speed * (cfg.m as f64 / alive.len() as f64).min(1.0);
+            rates.fill(share);
+        }
+    }
+
+    fn trace(pairs: &[(f64, f64)]) -> Trace {
+        Trace::from_pairs(pairs.iter().copied()).unwrap()
+    }
+
+    fn stream_completions(t: &Trace, opts: StreamOptions) -> (Vec<f64>, StreamReport) {
+        let mut got: Vec<(JobId, f64)> = Vec::new();
+        let mut src = TraceSource::new(t);
+        let report = simulate_stream(&mut src, &mut Rr, MachineConfig::new(1), opts, &mut |c| {
+            got.push((c.id, c.completion))
+        })
+        .unwrap();
+        let mut completion = vec![f64::NAN; t.len()];
+        for (id, c) in got {
+            completion[id as usize] = c;
+        }
+        (completion, report)
+    }
+
+    #[test]
+    fn matches_materialised_engine_bitwise() {
+        let t = trace(&[
+            (0.0, 3.0),
+            (0.5, 1.0),
+            (0.5, 2.0),
+            (2.0, 0.25),
+            (7.0, 5.0),
+            (7.0, 1.0),
+        ]);
+        let direct = simulate(&t, &mut Rr, MachineConfig::new(1), SimOptions::default()).unwrap();
+        let (streamed, report) = stream_completions(&t, StreamOptions::default());
+        for (a, b) in direct.completion.iter().zip(&streamed) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(report.completed, t.len() as u64);
+        assert_eq!(report.events, direct.events);
+        assert_eq!(report.stats, direct.stats);
+    }
+
+    #[test]
+    fn empty_stream_is_fine() {
+        let t = Trace::from_pairs(std::iter::empty()).unwrap();
+        let (c, report) = stream_completions(&t, StreamOptions::default());
+        assert!(c.is_empty());
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.end_time, 0.0);
+    }
+
+    #[test]
+    fn window_profile_is_bounded_and_covers_the_tail() {
+        // 50 well-separated unit jobs: the full profile would hold 50
+        // segments; a window of 5 time units holds a bounded suffix.
+        let t = Trace::from_pairs((0..50).map(|i| (2.0 * i as f64, 1.0))).unwrap();
+        let (_, report) = stream_completions(&t, StreamOptions::with_window(5.0));
+        let w = report.profile.unwrap();
+        assert!(w.len() <= 4, "window retained {} segments", w.len());
+        assert!(w.evicted() > 40);
+        assert_eq!(w.end(), report.end_time);
+        assert!(w.end() - w.start() <= 5.0 + 1e-9);
+        // The tail work is intact: last job ran at rate 1 for 1 unit.
+        assert!((w.work_of(49) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_non_monotone_arrivals() {
+        struct Backwards(u32);
+        impl JobSource for Backwards {
+            fn next_job(&mut self) -> Option<SourcedJob> {
+                self.0 += 1;
+                match self.0 {
+                    1 => Some(SourcedJob::new(5.0, 1.0)),
+                    2 => Some(SourcedJob::new(1.0, 1.0)),
+                    _ => None,
+                }
+            }
+        }
+        let e = simulate_stream(
+            &mut Backwards(0),
+            &mut Rr,
+            MachineConfig::new(1),
+            StreamOptions::default(),
+            &mut |_| {},
+        );
+        assert!(matches!(e, Err(SimError::BadArrival { job: 1, .. })));
+    }
+
+    #[test]
+    fn rejects_invalid_sourced_jobs() {
+        struct Bad;
+        impl JobSource for Bad {
+            fn next_job(&mut self) -> Option<SourcedJob> {
+                Some(SourcedJob::new(0.0, f64::NAN))
+            }
+        }
+        let e = simulate_stream(
+            &mut Bad,
+            &mut Rr,
+            MachineConfig::new(1),
+            StreamOptions::default(),
+            &mut |_| {},
+        );
+        assert!(matches!(e, Err(SimError::BadJobSize { .. })));
+    }
+
+    #[test]
+    fn continuous_policy_without_max_step_is_rejected() {
+        struct Cont;
+        impl RateAllocator for Cont {
+            fn name(&self) -> &'static str {
+                "cont"
+            }
+            fn allocate(&mut self, _: f64, _: &[AliveJob], cfg: &MachineConfig, r: &mut [f64]) {
+                r[0] = cfg.speed;
+            }
+            fn continuous(&self) -> bool {
+                true
+            }
+        }
+        let t = trace(&[(0.0, 1.0)]);
+        let e = simulate_stream(
+            &mut TraceSource::new(&t),
+            &mut Cont,
+            MachineConfig::new(1),
+            StreamOptions::default(),
+            &mut |_| {},
+        );
+        assert!(matches!(e, Err(SimError::MissingMaxStep)));
+    }
+
+    #[test]
+    fn event_budget_guard() {
+        let t = trace(&[(0.0, 1.0), (5.0, 1.0), (10.0, 1.0)]);
+        let opts = StreamOptions {
+            max_events: Some(1),
+            ..Default::default()
+        };
+        let mut src = TraceSource::new(&t);
+        let e = simulate_stream(&mut src, &mut Rr, MachineConfig::new(1), opts, &mut |_| {});
+        assert!(matches!(e, Err(SimError::EventBudgetExhausted { .. })));
+    }
+
+    #[test]
+    fn flow_and_sink_order() {
+        // Completions arrive in completion-time order with exact flows.
+        let t = trace(&[(0.0, 1.0), (10.0, 1.0)]);
+        let mut got = Vec::new();
+        simulate_stream(
+            &mut TraceSource::new(&t),
+            &mut Rr,
+            MachineConfig::new(1),
+            StreamOptions::default(),
+            &mut |c| got.push(c),
+        )
+        .unwrap();
+        assert_eq!(got.len(), 2);
+        assert!((got[0].completion - 1.0).abs() < 1e-12);
+        assert!((got[0].flow - 1.0).abs() < 1e-12);
+        assert!((got[1].completion - 11.0).abs() < 1e-12);
+        assert!((got[1].flow - 1.0).abs() < 1e-12);
+    }
+}

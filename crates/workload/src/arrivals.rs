@@ -1,5 +1,6 @@
 //! Arrival processes.
 
+use crate::error::WorkloadError;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -41,6 +42,44 @@ pub enum ArrivalProcess {
 }
 
 impl ArrivalProcess {
+    /// Check every parameter, rejecting values that would silently produce
+    /// garbage arrivals: `Poisson { rate: 0.0 }` yields `inf` arrival
+    /// times, a zero `interval` collapses all batches onto t=0, and a
+    /// diurnal `amplitude ≥ 1` makes the instantaneous rate negative
+    /// (nonsensical thinning acceptance probabilities).
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        let finite_pos = |v: f64| v.is_finite() && v > 0.0;
+        match *self {
+            ArrivalProcess::Poisson { rate } => {
+                if !finite_pos(rate) {
+                    return Err(WorkloadError::BadRate(rate));
+                }
+            }
+            ArrivalProcess::Periodic { interval } | ArrivalProcess::Batched { interval, .. } => {
+                if !finite_pos(interval) {
+                    return Err(WorkloadError::BadInterval(interval));
+                }
+            }
+            ArrivalProcess::AllAtOnce => {}
+            ArrivalProcess::Diurnal {
+                base,
+                amplitude,
+                period,
+            } => {
+                if !finite_pos(base) {
+                    return Err(WorkloadError::BadRate(base));
+                }
+                if !(0.0..1.0).contains(&amplitude) {
+                    return Err(WorkloadError::BadAmplitude(amplitude));
+                }
+                if !finite_pos(period) {
+                    return Err(WorkloadError::BadPeriod(period));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Generate `n` arrival times (non-decreasing, starting at 0).
     pub fn generate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<f64> {
         let mut out = Vec::with_capacity(n);
@@ -103,7 +142,13 @@ impl ArrivalProcess {
             ArrivalProcess::Batched {
                 interval,
                 per_batch,
-            } => per_batch as f64 / interval,
+            } => {
+                // `generate()` clamps `per_batch` to 1; clamp identically
+                // here so load/ρ computations never divide by a rate the
+                // generator cannot produce (per_batch = 0 used to report
+                // rate 0 while the generator emitted one job per interval).
+                per_batch.max(1) as f64 / interval
+            }
             ArrivalProcess::AllAtOnce => f64::INFINITY,
             ArrivalProcess::Diurnal { base, .. } => base,
         }
@@ -165,6 +210,85 @@ mod tests {
         let peak =
             times.iter().filter(|&&t| (t % 100.0) < 50.0).count() as f64 / times.len() as f64;
         assert!(peak > 0.6, "no diurnal bias: {peak}");
+    }
+
+    #[test]
+    fn batched_zero_per_batch_rate_matches_generator() {
+        // Regression: `generate()` clamps per_batch to 1, so `rate()` must
+        // report the clamped rate rather than 0 (which made downstream ρ
+        // computations divide by a rate the generator never produced).
+        let p = ArrivalProcess::Batched {
+            interval: 2.0,
+            per_batch: 0,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let times = p.generate(3, &mut rng);
+        assert_eq!(times, vec![0.0, 2.0, 4.0]); // one job per interval
+        assert_eq!(p.rate(), 0.5); // 1 job / 2 time units — not 0
+    }
+
+    #[test]
+    fn validate_accepts_good_and_rejects_bad() {
+        use crate::error::WorkloadError;
+        assert!(ArrivalProcess::Poisson { rate: 1.0 }.validate().is_ok());
+        assert!(ArrivalProcess::AllAtOnce.validate().is_ok());
+        assert!(ArrivalProcess::Diurnal {
+            base: 2.0,
+            amplitude: 0.0,
+            period: 10.0
+        }
+        .validate()
+        .is_ok());
+
+        assert_eq!(
+            ArrivalProcess::Poisson { rate: 0.0 }.validate(),
+            Err(WorkloadError::BadRate(0.0))
+        );
+        assert!(ArrivalProcess::Poisson { rate: f64::NAN }
+            .validate()
+            .is_err());
+        assert!(ArrivalProcess::Poisson {
+            rate: f64::INFINITY
+        }
+        .validate()
+        .is_err());
+        assert_eq!(
+            ArrivalProcess::Periodic { interval: 0.0 }.validate(),
+            Err(WorkloadError::BadInterval(0.0))
+        );
+        assert_eq!(
+            ArrivalProcess::Batched {
+                interval: -1.0,
+                per_batch: 2
+            }
+            .validate(),
+            Err(WorkloadError::BadInterval(-1.0))
+        );
+        assert_eq!(
+            ArrivalProcess::Diurnal {
+                base: 1.0,
+                amplitude: 1.0,
+                period: 10.0
+            }
+            .validate(),
+            Err(WorkloadError::BadAmplitude(1.0))
+        );
+        assert!(ArrivalProcess::Diurnal {
+            base: 1.0,
+            amplitude: -0.1,
+            period: 10.0
+        }
+        .validate()
+        .is_err());
+        assert!(matches!(
+            ArrivalProcess::Diurnal {
+                base: 1.0,
+                amplitude: 0.5,
+                period: f64::NAN
+            }
+            .validate(),
+            Err(WorkloadError::BadPeriod(p)) if p.is_nan()
+        ));
     }
 
     #[test]

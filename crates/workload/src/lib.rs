@@ -17,14 +17,27 @@
 //!   sharing), the long-job-plus-short-stream *PS killer*, the geometric
 //!   cascade driving RR's low-speed blow-up (experiment E3), and the
 //!   SRPT-starvation instance motivating temporal fairness (experiment E7);
+//! * [`OpenWorkload`] — *open* (streaming) workloads for the
+//!   bounded-memory engine: jobs generated on the fly from Poisson, MMPP,
+//!   heavy-tailed renewal, or empirical-histogram arrival processes, with
+//!   per-stream seeded RNGs and count/duration bounds;
 //! * [`traceio`] — JSON (de)serialization of traces and workload specs.
+//!
+//! All parameters are validated with typed [`WorkloadError`]s before any
+//! generation ([`ArrivalProcess::validate`], [`SizeDist::validate`],
+//! [`OpenWorkload::validate`]), so a NaN rate or a zero interval fails at
+//! construction rather than poisoning a long run.
 
 pub mod adversarial;
 pub mod arrivals;
+pub mod error;
 pub mod sizes;
 pub mod spec;
+pub mod stream;
 pub mod traceio;
 
 pub use arrivals::ArrivalProcess;
+pub use error::WorkloadError;
 pub use sizes::SizeDist;
 pub use spec::{PoissonWorkload, WorkloadSpec};
+pub use stream::{Histogram, OpenJobStream, OpenWorkload, StreamArrivals, StreamBound};

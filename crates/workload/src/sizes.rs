@@ -1,5 +1,6 @@
 //! Job-size distributions with reproducible hand-rolled samplers.
 
+use crate::error::WorkloadError;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -50,6 +51,68 @@ pub enum SizeDist {
 }
 
 impl SizeDist {
+    /// Check every parameter, rejecting configurations whose samples would
+    /// not be finite positive sizes (or whose mean — used to target a
+    /// utilization — is not finite): `Pareto { alpha ≤ 1 }` has an
+    /// infinite mean, `Exponential { mean: 0.0 }` emits zero sizes, NaN
+    /// anywhere poisons the whole trace.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        let bad = |dist, param, value: f64| WorkloadError::BadSizeParam { dist, param, value };
+        let finite_pos = |v: f64| v.is_finite() && v > 0.0;
+        match *self {
+            SizeDist::Deterministic(p) => {
+                if !finite_pos(p) {
+                    return Err(bad("deterministic", "size", p));
+                }
+            }
+            SizeDist::Uniform { lo, hi } => {
+                if !finite_pos(lo) {
+                    return Err(bad("uniform", "lo", lo));
+                }
+                if !hi.is_finite() || hi < lo {
+                    return Err(bad("uniform", "hi", hi));
+                }
+            }
+            SizeDist::Exponential { mean } => {
+                if !finite_pos(mean) {
+                    return Err(bad("exponential", "mean", mean));
+                }
+            }
+            SizeDist::Pareto { alpha, min } => {
+                if !alpha.is_finite() || alpha <= 1.0 {
+                    return Err(bad("pareto", "alpha", alpha));
+                }
+                if !finite_pos(min) {
+                    return Err(bad("pareto", "min", min));
+                }
+            }
+            SizeDist::Bimodal {
+                small,
+                large,
+                p_large,
+            } => {
+                if !finite_pos(small) {
+                    return Err(bad("bimodal", "small", small));
+                }
+                if !finite_pos(large) {
+                    return Err(bad("bimodal", "large", large));
+                }
+                if !(0.0..=1.0).contains(&p_large) {
+                    return Err(bad("bimodal", "p_large", p_large));
+                }
+            }
+            SizeDist::LogNormal { mu, sigma } => {
+                if !mu.is_finite() {
+                    return Err(bad("lognormal", "mu", mu));
+                }
+                if !sigma.is_finite() || sigma < 0.0 {
+                    return Err(bad("lognormal", "sigma", sigma));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Expected job size.
     pub fn mean(&self) -> f64 {
         match *self {
@@ -246,6 +309,73 @@ mod tests {
             (0..10).map(|_| d.sample(&mut rng)).collect()
         };
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validate_accepts_good_and_rejects_bad() {
+        use crate::error::WorkloadError;
+        for good in [
+            SizeDist::Deterministic(2.0),
+            SizeDist::Uniform { lo: 1.0, hi: 1.0 },
+            SizeDist::Exponential { mean: 0.5 },
+            SizeDist::Pareto {
+                alpha: 1.5,
+                min: 0.5,
+            },
+            SizeDist::Bimodal {
+                small: 1.0,
+                large: 100.0,
+                p_large: 0.0,
+            },
+            SizeDist::LogNormal {
+                mu: -1.0,
+                sigma: 0.0,
+            },
+        ] {
+            assert!(good.validate().is_ok(), "{good:?}");
+        }
+        for bad in [
+            SizeDist::Deterministic(0.0),
+            SizeDist::Deterministic(f64::NAN),
+            SizeDist::Uniform { lo: 0.0, hi: 1.0 },
+            SizeDist::Uniform { lo: 2.0, hi: 1.0 },
+            SizeDist::Exponential { mean: 0.0 },
+            SizeDist::Exponential {
+                mean: f64::INFINITY,
+            },
+            // alpha = 1 has infinite mean: no utilization can be targeted.
+            SizeDist::Pareto {
+                alpha: 1.0,
+                min: 1.0,
+            },
+            SizeDist::Pareto {
+                alpha: 2.0,
+                min: 0.0,
+            },
+            SizeDist::Bimodal {
+                small: 1.0,
+                large: 2.0,
+                p_large: 1.5,
+            },
+            SizeDist::Bimodal {
+                small: -1.0,
+                large: 2.0,
+                p_large: 0.5,
+            },
+            SizeDist::LogNormal {
+                mu: f64::NAN,
+                sigma: 1.0,
+            },
+            SizeDist::LogNormal {
+                mu: 0.0,
+                sigma: -1.0,
+            },
+        ] {
+            assert!(
+                matches!(bad.validate(), Err(WorkloadError::BadSizeParam { .. })),
+                "{bad:?}"
+            );
+        }
     }
 
     #[test]

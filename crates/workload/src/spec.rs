@@ -1,6 +1,7 @@
 //! Declarative workload specifications.
 
 use crate::arrivals::ArrivalProcess;
+use crate::error::WorkloadError;
 use crate::sizes::SizeDist;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -22,15 +23,33 @@ pub struct WorkloadSpec {
 }
 
 impl WorkloadSpec {
-    /// Generate the trace.
-    pub fn generate(&self) -> Trace {
+    /// Check arrival and size parameters without generating anything.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        self.arrivals.validate()?;
+        self.sizes.validate()
+    }
+
+    /// Generate the trace after validating the spec, returning a typed
+    /// error instead of emitting garbage (e.g. `Poisson { rate: 0.0 }`
+    /// used to silently produce `inf` arrival times).
+    pub fn try_generate(&self) -> Result<Trace, WorkloadError> {
+        self.validate()?;
         let mut rng = StdRng::seed_from_u64(self.seed);
         let arrivals = self.arrivals.generate(self.n, &mut rng);
         let mut b = TraceBuilder::new();
         for a in arrivals {
             b.push(a, self.sizes.sample(&mut rng));
         }
-        b.build().expect("generated jobs are valid")
+        Ok(b.build().expect("validated spec generates valid jobs"))
+    }
+
+    /// Generate the trace.
+    ///
+    /// # Panics
+    /// On invalid parameters (with the typed [`WorkloadError`] in the
+    /// message); use [`WorkloadSpec::try_generate`] to handle them.
+    pub fn generate(&self) -> Trace {
+        self.try_generate().expect("invalid workload spec")
     }
 
     /// Label for tables: `"n=100 poisson pareto(1.5)"`-style.
@@ -110,6 +129,46 @@ mod tests {
         let t = w.generate();
         let rho = t.utilization(4, 1.0);
         assert!((rho - 0.8).abs() < 0.05, "{rho}");
+    }
+
+    #[test]
+    fn try_generate_rejects_bad_specs_with_typed_errors() {
+        use crate::error::WorkloadError;
+        let bad_rate = WorkloadSpec {
+            n: 10,
+            arrivals: ArrivalProcess::Poisson { rate: 0.0 },
+            sizes: SizeDist::Exponential { mean: 1.0 },
+            seed: 1,
+        };
+        assert_eq!(bad_rate.try_generate(), Err(WorkloadError::BadRate(0.0)));
+        let bad_size = WorkloadSpec {
+            sizes: SizeDist::Pareto {
+                alpha: 1.0,
+                min: 1.0,
+            },
+            ..bad_rate
+        };
+        // Arrivals are checked first; make them valid to reach sizes.
+        let bad_size = WorkloadSpec {
+            arrivals: ArrivalProcess::Poisson { rate: 1.0 },
+            ..bad_size
+        };
+        assert!(matches!(
+            bad_size.try_generate(),
+            Err(WorkloadError::BadSizeParam { dist: "pareto", .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid workload spec")]
+    fn generate_panics_loudly_on_bad_spec() {
+        WorkloadSpec {
+            n: 10,
+            arrivals: ArrivalProcess::Poisson { rate: f64::NAN },
+            sizes: SizeDist::Deterministic(1.0),
+            seed: 0,
+        }
+        .generate();
     }
 
     #[test]
