@@ -15,11 +15,17 @@
 //!   total flow on `m = 1`, FCFS minimizes max flow on `m = 1`)?
 //! * **X-checks** — cross-layer oracles tying the simulator, the
 //!   certified LP lower bound, and the dual-fitting certificate together:
-//!   the lower bound never exceeds any policy's cost, the optimized LP
-//!   solver agrees with the PR-1 reference solver, and the Theorem 1
-//!   certificate verifies on RR schedules at the prescribed speed.
+//!   the lower bound never exceeds any policy's cost (X1), the Theorem 1
+//!   certificate verifies on RR schedules at the prescribed speed (X2),
+//!   the optimized LP solver agrees with the PR-1 reference solver (X3),
+//!   a warm-started column-generation solve reproduces the cold exact
+//!   bound (X4), and the interval-aggregated bound sandwiches the exact
+//!   LP without ever beating the exact combined bound (X5).
 
-use tf_lowerbound::{lk_lower_bound, lk_lower_bound_reference};
+use tf_lowerbound::{
+    lk_lower_bound, lk_lower_bound_aggregated, lk_lower_bound_colgen_budgeted,
+    lk_lower_bound_reference, AggConfig, SolveBudget,
+};
 use tf_policies::{Policy, RoundRobin};
 use tf_simcore::validate::validate_schedule;
 use tf_simcore::{simulate, MachineConfig, Profile, Schedule, SimOptions, Trace};
@@ -43,6 +49,14 @@ pub struct AuditConfig {
     /// Run the Theorem 1 certificate check X2 (simulates RR at speed
     /// `η = 2k(1+10ε)` internally).
     pub check_certificate: bool,
+    /// Run the warm-start equivalence check X4: a column-generation
+    /// solve seeded with a *neighbouring* instance's dual handle must
+    /// reproduce the cold exact bound (integral traces only).
+    pub check_warm_start: bool,
+    /// Run the aggregation soundness check X5: the interval-aggregated
+    /// bound must sandwich the exact LP (`lp_lo ≤ LP ≤ lp_hi`) and never
+    /// beat the exact combined bound (integral traces only).
+    pub check_aggregation: bool,
     /// Skip the expensive cross-layer checks (X2, X3) on traces with
     /// more jobs than this.
     pub max_exact_jobs: usize,
@@ -57,6 +71,8 @@ impl Default for AuditConfig {
             check_lower_bound: true,
             check_reference_solver: true,
             check_certificate: true,
+            check_warm_start: true,
+            check_aggregation: true,
             max_exact_jobs: 12,
         }
     }
@@ -444,7 +460,8 @@ fn differential_oracles(
 }
 
 /// X1 (lower bound dominates no policy), X2 (Theorem 1 certificate), X3
-/// (optimized LP solver ≡ reference solver).
+/// (optimized LP solver ≡ reference solver), X4 (warm-started colgen ≡
+/// cold exact bound), X5 (aggregated bound sandwiches the exact LP).
 fn cross_layer_checks(
     trace: &Trace,
     m: usize,
@@ -493,6 +510,84 @@ fn cross_layer_checks(
                         lb.value, lb.lp_raw, reference.value, reference.lp_raw
                     ),
                 );
+            }
+        }
+    }
+
+    // X4/X5 audit the scale-path solvers (warm-started column
+    // generation, interval aggregation) against the exact bound. The LP
+    // is speed-independent, so these run at any simulation speed.
+    if (cfg.check_warm_start || cfg.check_aggregation)
+        && trace.len() <= cfg.max_exact_jobs
+        && trace.is_integral(1e-9)
+    {
+        let exact = lk_lower_bound(trace, m, cfg.k);
+        let tol = cfg.rel_tol * exact.value.abs().max(1.0);
+
+        if cfg.check_warm_start {
+            rep.ran();
+            // Seed the handle from a *different* instance (m+1) so the
+            // check exercises genuine dual remapping, not a no-op reuse.
+            let unlimited = SolveBudget::unlimited();
+            let neighbour = lk_lower_bound_colgen_budgeted(trace, m + 1, cfg.k, &unlimited, None);
+            let handle = neighbour.as_ref().map(|(_, h, _)| h);
+            match lk_lower_bound_colgen_budgeted(trace, m, cfg.k, &unlimited, handle) {
+                Some((warm, _, _)) => {
+                    if (warm.value - exact.value).abs() > tol {
+                        rep.fail(
+                            "X4-WARMSTART-EQUIV",
+                            None,
+                            format!(
+                                "warm-started colgen bound {} != cold exact {} (m={m}, k={})",
+                                warm.value, exact.value, cfg.k
+                            ),
+                        );
+                    }
+                }
+                None => rep.fail(
+                    "X4-WARMSTART-EQUIV",
+                    None,
+                    "unlimited-budget colgen solve reported a budget trip".to_string(),
+                ),
+            }
+        }
+
+        if cfg.check_aggregation {
+            rep.ran();
+            match lk_lower_bound_aggregated(
+                trace,
+                m,
+                cfg.k,
+                &AggConfig::default(),
+                &SolveBudget::unlimited(),
+            ) {
+                Some(agg) => {
+                    let lp_tol = cfg.rel_tol * exact.lp_raw.abs().max(1.0);
+                    if agg.lp_lo > exact.lp_raw + lp_tol || exact.lp_raw > agg.lp_hi + lp_tol {
+                        rep.fail(
+                            "X5-AGG-SOUND",
+                            None,
+                            format!(
+                                "aggregated LP sandwich [{}, {}] misses the exact LP {} (m={m}, k={})",
+                                agg.lp_lo, agg.lp_hi, exact.lp_raw, cfg.k
+                            ),
+                        );
+                    } else if agg.value > exact.value + tol {
+                        rep.fail(
+                            "X5-AGG-SOUND",
+                            None,
+                            format!(
+                                "aggregated bound {} beats the exact bound {} (m={m}, k={})",
+                                agg.value, exact.value, cfg.k
+                            ),
+                        );
+                    }
+                }
+                None => rep.fail(
+                    "X5-AGG-SOUND",
+                    None,
+                    "unlimited-budget aggregated solve reported a budget trip".to_string(),
+                ),
             }
         }
     }
@@ -623,6 +718,26 @@ mod tests {
             &mut rep,
         );
         assert!(rep.has("X1-LB-DOMINANCE"), "{:?}", rep.violations);
+    }
+
+    #[test]
+    fn scale_path_checks_run_and_pass_on_clean_traces() {
+        // X4/X5 are speed-independent: they must run (and pass) even at
+        // speed ≠ 1, where X1/X3 are skipped.
+        let t = small_trace();
+        let full = audit_trace(&t, 2, 3.0, &[Policy::Rr], &AuditConfig::default());
+        assert!(full.ok(), "{:?}", full.violations);
+        let without = AuditConfig {
+            check_warm_start: false,
+            check_aggregation: false,
+            ..AuditConfig::default()
+        };
+        let fewer = audit_trace(&t, 2, 3.0, &[Policy::Rr], &without);
+        assert_eq!(
+            full.checks_run,
+            fewer.checks_run + 2,
+            "X4 and X5 each count as one evaluated check"
+        );
     }
 
     #[test]

@@ -277,6 +277,8 @@ fn chunk_key(cfg: &FuzzConfig, lo: usize, hi: usize) -> String {
     bytes.push(u8::from(cfg.audit.check_lower_bound));
     bytes.push(u8::from(cfg.audit.check_reference_solver));
     bytes.push(u8::from(cfg.audit.check_certificate));
+    bytes.push(u8::from(cfg.audit.check_warm_start));
+    bytes.push(u8::from(cfg.audit.check_aggregation));
     bytes.extend_from_slice(&(cfg.audit.max_exact_jobs as u64).to_le_bytes());
     bytes.push(u8::from(cfg.metamorphic));
     format!("audit:{:016x}:{lo}-{hi}", campaign::fingerprint(bytes))

@@ -18,7 +18,9 @@
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use tf_lowerbound::{
-    lk_lower_bound, lk_lower_bound_budgeted, BudgetedBound, LowerBound, SolveBudget,
+    lk_lower_bound, lk_lower_bound_aggregated, lk_lower_bound_budgeted,
+    lk_lower_bound_colgen_budgeted, AggConfig, AggregatedBound, BudgetedBound, LowerBound,
+    LpWarmStart, SolveBudget,
 };
 use tf_simcore::Trace;
 
@@ -28,7 +30,44 @@ use tf_simcore::Trace;
 /// v2: arena-based multi-unit MCMF solver with per-job horizon pruning
 /// (same optima up to f64 rounding, but rounding may differ in the last
 /// ulps, so old entries must not be reused).
-pub const SOLVER_VERSION: u32 = 2;
+///
+/// v3: settled-region-restricted blocking flow plus the column-generation
+/// and interval-aggregation solve paths. Keys now also carry a
+/// [`Method`] discriminator, so an aggregated entry (exact only up to its
+/// certified `±δ` gap) can never shadow — or be shadowed by — an exact
+/// entry for the same `(trace, m, k)`.
+pub const SOLVER_VERSION: u32 = 3;
+
+/// Which solve path produced a cache entry. Mixed into [`key`] so the
+/// differently-certified paths never alias: `Exact` and `Colgen` both
+/// produce the exact bound but may differ in the last ulps (different
+/// augmentation order), and `Agg` is only exact up to its certified
+/// relative gap — whose *target* is part of the identity, since a run
+/// asking for `±0.1%` must not reuse a `±1%` entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Method {
+    /// Full-arena (or unit-SSP) exact solve: [`lk_lower_bound`].
+    Exact,
+    /// Delayed column generation: [`lk_lower_bound_colgen_budgeted`].
+    Colgen,
+    /// Interval aggregation with this target relative gap:
+    /// [`lk_lower_bound_aggregated`].
+    Agg { target_rel_gap: f64 },
+}
+
+impl Method {
+    /// Stable byte tag appended to the key material.
+    fn tag(self, bytes: &mut Vec<u8>) {
+        match self {
+            Method::Exact => bytes.push(0),
+            Method::Colgen => bytes.push(1),
+            Method::Agg { target_rel_gap } => {
+                bytes.push(2);
+                bytes.extend_from_slice(&target_rel_gap.to_bits().to_le_bytes());
+            }
+        }
+    }
+}
 
 static ENABLED: AtomicBool = AtomicBool::new(true);
 static HITS: AtomicU64 = AtomicU64::new(0);
@@ -77,9 +116,10 @@ fn fnv1a(bytes: impl IntoIterator<Item = u8>, seed: u64) -> u64 {
     h
 }
 
-/// 128-bit content key over the trace's job data and the bound parameters.
-fn key(trace: &Trace, m: usize, k: u32) -> String {
-    let mut bytes: Vec<u8> = Vec::with_capacity(trace.len() * 24 + 16);
+/// 128-bit content key over the trace's job data, the bound parameters,
+/// and the solve [`Method`].
+fn key(trace: &Trace, m: usize, k: u32, method: Method) -> String {
+    let mut bytes: Vec<u8> = Vec::with_capacity(trace.len() * 24 + 32);
     for j in trace.jobs() {
         bytes.extend_from_slice(&j.arrival.to_bits().to_le_bytes());
         bytes.extend_from_slice(&j.size.to_bits().to_le_bytes());
@@ -88,6 +128,7 @@ fn key(trace: &Trace, m: usize, k: u32) -> String {
     bytes.extend_from_slice(&(m as u64).to_le_bytes());
     bytes.extend_from_slice(&k.to_le_bytes());
     bytes.extend_from_slice(&SOLVER_VERSION.to_le_bytes());
+    method.tag(&mut bytes);
     let lo = fnv1a(bytes.iter().copied(), 0);
     let hi = fnv1a(bytes.iter().copied(), 0x9e3779b97f4a7c15);
     format!("{hi:016x}{lo:016x}")
@@ -100,7 +141,7 @@ pub fn cached_lk_lower_bound(trace: &Trace, m: usize, k: u32) -> LowerBound {
         MISSES.fetch_add(1, Ordering::Relaxed);
         return lk_lower_bound(trace, m, k);
     }
-    let path = cache_dir().join(format!("lb-{}.json", key(trace, m, k)));
+    let path = cache_dir().join(format!("lb-{}.json", key(trace, m, k, Method::Exact)));
     if let Ok(text) = std::fs::read_to_string(&path) {
         if let Ok(lb) = serde_json::from_str::<LowerBound>(&text) {
             HITS.fetch_add(1, Ordering::Relaxed);
@@ -132,7 +173,7 @@ pub fn cached_lk_lower_bound_budgeted(
         MISSES.fetch_add(1, Ordering::Relaxed);
         return lk_lower_bound_budgeted(trace, m, k, budget);
     }
-    let path = cache_dir().join(format!("lb-{}.json", key(trace, m, k)));
+    let path = cache_dir().join(format!("lb-{}.json", key(trace, m, k, Method::Exact)));
     if let Ok(text) = std::fs::read_to_string(&path) {
         if let Ok(lb) = serde_json::from_str::<LowerBound>(&text) {
             HITS.fetch_add(1, Ordering::Relaxed);
@@ -152,6 +193,75 @@ pub fn cached_lk_lower_bound_budgeted(
     b
 }
 
+/// [`tf_lowerbound::lk_lower_bound_colgen_budgeted`] with on-disk
+/// memoization under its own [`Method::Colgen`] key — the colgen value is
+/// the exact LP optimum, but its augmentation order differs from the
+/// full-arena solve, so the two may disagree in the last ulps and must
+/// not share entries.
+///
+/// A cache hit returns an empty warm-start handle (there was no solve to
+/// harvest duals from) and `false` for warm acceptance. A budget-tripped
+/// solve returns `None` and stores nothing.
+pub fn cached_lk_lower_bound_colgen_budgeted(
+    trace: &Trace,
+    m: usize,
+    k: u32,
+    budget: &SolveBudget,
+    warm: Option<&LpWarmStart>,
+) -> Option<(LowerBound, LpWarmStart, bool)> {
+    if !enabled() {
+        MISSES.fetch_add(1, Ordering::Relaxed);
+        return lk_lower_bound_colgen_budgeted(trace, m, k, budget, warm);
+    }
+    let path = cache_dir().join(format!("lb-{}.json", key(trace, m, k, Method::Colgen)));
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        if let Ok(lb) = serde_json::from_str::<LowerBound>(&text) {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            tf_obs::instant!("cache", "hit");
+            return Some((lb, LpWarmStart::default(), false));
+        }
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    tf_obs::instant!("cache", "miss");
+    let (lb, handle, accepted) = lk_lower_bound_colgen_budgeted(trace, m, k, budget, warm)?;
+    store(&path, &lb);
+    Some((lb, handle, accepted))
+}
+
+/// [`tf_lowerbound::lk_lower_bound_aggregated`] with on-disk memoization
+/// under a [`Method::Agg`] key carrying the *target* relative gap — a run
+/// asking for a tighter certificate never reuses a looser entry, and
+/// aggregated entries can never shadow exact ones. A budget-tripped
+/// solve (`None`) certifies nothing and stores nothing.
+pub fn cached_lk_lower_bound_aggregated(
+    trace: &Trace,
+    m: usize,
+    k: u32,
+    cfg: &AggConfig,
+    budget: &SolveBudget,
+) -> Option<AggregatedBound> {
+    if !enabled() {
+        MISSES.fetch_add(1, Ordering::Relaxed);
+        return lk_lower_bound_aggregated(trace, m, k, cfg, budget);
+    }
+    let method = Method::Agg {
+        target_rel_gap: cfg.target_rel_gap,
+    };
+    let path = cache_dir().join(format!("lb-{}.json", key(trace, m, k, method)));
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        if let Ok(b) = serde_json::from_str::<AggregatedBound>(&text) {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            tf_obs::instant!("cache", "hit");
+            return Some(b);
+        }
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    tf_obs::instant!("cache", "miss");
+    let b = lk_lower_bound_aggregated(trace, m, k, cfg, budget)?;
+    store_agg(&path, &b);
+    Some(b)
+}
+
 /// Monotone discriminator for temp-file names: the pid alone is not
 /// unique within a process, and two rayon workers computing the same key
 /// concurrently would otherwise write the *same* temp path — one's
@@ -163,10 +273,20 @@ static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 /// only on the final rename — and both rename complete, equal-bytes
 /// files.
 fn store(path: &std::path::Path, lb: &LowerBound) {
+    store_json(path, lb)
+}
+
+/// As [`store`], for aggregated entries (different payload type, same
+/// atomic write discipline).
+fn store_agg(path: &std::path::Path, b: &AggregatedBound) {
+    store_json(path, b)
+}
+
+fn store_json<T: serde::Serialize>(path: &std::path::Path, value: &T) {
     if std::fs::create_dir_all(cache_dir()).is_err() {
         return;
     }
-    let Ok(json) = serde_json::to_string(lb) else {
+    let Ok(json) = serde_json::to_string(value) else {
         return;
     };
     let tmp = path.with_extension(format!(
@@ -190,11 +310,109 @@ mod tests {
     #[test]
     fn key_is_content_addressed() {
         let t = trace();
-        assert_eq!(key(&t, 1, 2), key(&trace(), 1, 2));
-        assert_ne!(key(&t, 1, 2), key(&t, 2, 2));
-        assert_ne!(key(&t, 1, 2), key(&t, 1, 3));
+        let e = Method::Exact;
+        assert_eq!(key(&t, 1, 2, e), key(&trace(), 1, 2, e));
+        assert_ne!(key(&t, 1, 2, e), key(&t, 2, 2, e));
+        assert_ne!(key(&t, 1, 2, e), key(&t, 1, 3, e));
         let other = Trace::from_pairs([(0.0, 2.0), (1.0, 1.0), (1.0, 3.5)]).unwrap();
-        assert_ne!(key(&t, 1, 2), key(&other, 1, 2));
+        assert_ne!(key(&t, 1, 2, e), key(&other, 1, 2, e));
+    }
+
+    /// The pre-fix key ignored the solve method, so an aggregated entry
+    /// (exact only up to its ±δ gap) could be read back by an exact
+    /// lookup of the same `(trace, m, k)` — this test fails on that key.
+    #[test]
+    fn solve_methods_never_alias_in_the_key() {
+        let t = trace();
+        let exact = key(&t, 2, 2, Method::Exact);
+        let colgen = key(&t, 2, 2, Method::Colgen);
+        let agg1 = key(
+            &t,
+            2,
+            2,
+            Method::Agg {
+                target_rel_gap: 0.01,
+            },
+        );
+        let agg2 = key(
+            &t,
+            2,
+            2,
+            Method::Agg {
+                target_rel_gap: 0.001,
+            },
+        );
+        assert_ne!(exact, colgen);
+        assert_ne!(exact, agg1);
+        assert_ne!(colgen, agg1);
+        assert_ne!(
+            agg1, agg2,
+            "the δ target is part of an Agg entry's identity"
+        );
+    }
+
+    #[test]
+    fn cached_colgen_matches_the_solver_and_is_stored_separately() {
+        let _guard = ENABLED_LOCK.lock().unwrap();
+        if !enabled() {
+            return; // TF_LB_CACHE=0 in the environment: nothing to test
+        }
+        // A trace no other test uses, so this test owns its cache entries.
+        let t = Trace::from_pairs([(0.0, 2.0), (0.0, 1.0), (2.0, 3.0), (4.0, 1.0), (4.0, 2.0)])
+            .unwrap();
+        let (m, k) = (2usize, 2u32);
+        let cg_path = cache_dir().join(format!("lb-{}.json", key(&t, m, k, Method::Colgen)));
+        let ex_path = cache_dir().join(format!("lb-{}.json", key(&t, m, k, Method::Exact)));
+        let _ = std::fs::remove_file(&cg_path);
+        let _ = std::fs::remove_file(&ex_path);
+
+        let unlimited = SolveBudget::unlimited();
+        let (cold, _, _) =
+            cached_lk_lower_bound_colgen_budgeted(&t, m, k, &unlimited, None).unwrap();
+        assert_eq!(cold, lk_lower_bound(&t, m, k));
+        assert!(cg_path.exists(), "colgen entry written under its own key");
+        assert!(!ex_path.exists(), "the exact key must stay untouched");
+        let (hit, _, _) =
+            cached_lk_lower_bound_colgen_budgeted(&t, m, k, &unlimited, None).unwrap();
+        assert_eq!(hit, cold);
+
+        // A zero budget returns None and never caches.
+        let _ = std::fs::remove_file(&cg_path);
+        let spent = SolveBudget::with_timeout(std::time::Duration::ZERO);
+        assert!(cached_lk_lower_bound_colgen_budgeted(&t, m, k, &spent, None).is_none());
+        assert!(!cg_path.exists(), "a tripped colgen solve must not cache");
+        let _ = std::fs::remove_file(&cg_path);
+    }
+
+    #[test]
+    fn cached_aggregated_roundtrips_and_never_caches_tripped_solves() {
+        let _guard = ENABLED_LOCK.lock().unwrap();
+        if !enabled() {
+            return; // TF_LB_CACHE=0 in the environment: nothing to test
+        }
+        // A trace no other test uses, so this test owns its cache entry.
+        let t = Trace::from_pairs([(0.0, 3.0), (0.0, 2.0), (3.0, 1.0), (4.0, 4.0), (7.0, 2.0)])
+            .unwrap();
+        let (m, k) = (1usize, 2u32);
+        let cfg = AggConfig::default();
+        let method = Method::Agg {
+            target_rel_gap: cfg.target_rel_gap,
+        };
+        let path = cache_dir().join(format!("lb-{}.json", key(&t, m, k, method)));
+        let _ = std::fs::remove_file(&path);
+
+        let spent = SolveBudget::with_timeout(std::time::Duration::ZERO);
+        assert!(cached_lk_lower_bound_aggregated(&t, m, k, &cfg, &spent).is_none());
+        assert!(!path.exists(), "a tripped aggregated solve must not cache");
+
+        let unlimited = SolveBudget::unlimited();
+        let cold = cached_lk_lower_bound_aggregated(&t, m, k, &cfg, &unlimited).unwrap();
+        assert!(path.exists());
+        let hit = cached_lk_lower_bound_aggregated(&t, m, k, &cfg, &unlimited).unwrap();
+        assert_eq!(cold, hit);
+        // The aggregated value stays a genuine lower bound on the exact one.
+        assert!(cold.value <= lk_lower_bound(&t, m, k).value + 1e-9);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
@@ -232,7 +450,7 @@ mod tests {
         // A trace no other test uses, so this test owns its cache entry.
         let t = Trace::from_pairs([(0.0, 3.0), (1.0, 4.0), (2.0, 2.0), (5.0, 1.0)]).unwrap();
         let (m, k) = (1usize, 3u32);
-        let path = cache_dir().join(format!("lb-{}.json", key(&t, m, k)));
+        let path = cache_dir().join(format!("lb-{}.json", key(&t, m, k, Method::Exact)));
         let _ = std::fs::remove_file(&path);
 
         let spent = SolveBudget::with_timeout(std::time::Duration::ZERO);
@@ -261,7 +479,7 @@ mod tests {
         let t = Trace::from_pairs([(0.0, 4.0), (1.0, 2.0), (3.0, 3.0), (3.0, 1.0), (6.0, 2.0)])
             .unwrap();
         let (m, k) = (2usize, 2u32);
-        let path = cache_dir().join(format!("lb-{}.json", key(&t, m, k)));
+        let path = cache_dir().join(format!("lb-{}.json", key(&t, m, k, Method::Exact)));
         let expect = lk_lower_bound(&t, m, k);
 
         // Both threads start cold on the same key and race the full

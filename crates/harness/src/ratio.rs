@@ -12,10 +12,13 @@
 //! `[ratio_vs_best, ratio_vs_lb]`.
 
 use crate::campaign;
-use crate::lbcache::cached_lk_lower_bound_budgeted;
+use crate::lbcache::{
+    cached_lk_lower_bound_aggregated, cached_lk_lower_bound_budgeted,
+    cached_lk_lower_bound_colgen_budgeted,
+};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use tf_lowerbound::BoundKind;
+use tf_lowerbound::{AggConfig, BoundKind, LpWarmStart};
 use tf_policies::Policy;
 use tf_simcore::{simulate, MachineConfig, SimOptions, SimStats, Trace};
 
@@ -81,12 +84,7 @@ pub fn empirical_ratio(
     // bound stays valid — only weaker — and its provenance is recorded.
     let budgeted = cached_lk_lower_bound_budgeted(trace, m, k, &campaign::task_budget());
     let lb = budgeted.bound;
-    let mut lb_provenance = match lb.kind {
-        BoundKind::Lp => "lp/2",
-        BoundKind::Size => "size",
-        BoundKind::SrptSuperMachine => "srpt-m",
-    }
-    .to_string();
+    let mut lb_provenance = lb.kind.label().to_string();
     if budgeted.degraded {
         lb_provenance.push_str(" (degraded)");
         if let Some(c) = campaign::active() {
@@ -131,6 +129,155 @@ pub fn empirical_ratio(
         stats: alg.stats,
         lb_provenance,
     }
+}
+
+/// Shared tail of every `empirical_ratio*` variant: evaluate the policy
+/// and the baselines, then assemble the bracket around the given
+/// certified lower bound.
+#[allow(clippy::too_many_arguments)]
+fn assemble_estimate(
+    trace: &Trace,
+    policy: Policy,
+    m: usize,
+    speed: f64,
+    k: u32,
+    baselines: &[Policy],
+    lb_value: f64,
+    lb_provenance: String,
+) -> RatioEstimate {
+    let kf = f64::from(k);
+    let mut alloc = policy.make();
+    let alg = simulate(
+        trace,
+        alloc.as_mut(),
+        MachineConfig::with_speed(m, speed),
+        SimOptions::default().timed(),
+    )
+    .expect("simulation of a registry policy on a valid trace");
+    let alg_power_sum = alg.flow_power_sum(kf);
+    let (best_power_sum, best_policy) = best_baseline_power(trace, m, k, baselines);
+    let root = |x: f64| x.powf(1.0 / kf);
+    RatioEstimate {
+        alg_power_sum,
+        lower_bound: lb_value,
+        best_power_sum,
+        best_policy,
+        ratio_vs_lb: if lb_value > 0.0 {
+            root(alg_power_sum / lb_value)
+        } else {
+            f64::NAN
+        },
+        ratio_vs_best: if best_power_sum > 0.0 {
+            root(alg_power_sum / best_power_sum)
+        } else {
+            f64::NAN
+        },
+        stats: alg.stats,
+        lb_provenance,
+    }
+}
+
+/// [`empirical_ratio`] with the lower bound computed by the certified
+/// interval-aggregated LP (`tf_lowerbound::lk_lower_bound_aggregated`)
+/// instead of the exact one. When the aggregated LP wins the bound, the
+/// provenance column carries its certified gap as `lp-agg(±δ%)`; the
+/// value is then a rigorous lower bound on `OPTᵏ` that may sit up to `δ`
+/// below the exact LP bound, so `ratio_vs_lb` is (slightly) looser but
+/// never wrong. A budget-tripped aggregated solve certifies nothing and
+/// degrades to the closed-form bounds, exactly like the exact path —
+/// and, like every degraded result, is never cached.
+pub fn empirical_ratio_aggregated(
+    trace: &Trace,
+    policy: Policy,
+    m: usize,
+    speed: f64,
+    k: u32,
+    baselines: &[Policy],
+    agg: &AggConfig,
+) -> RatioEstimate {
+    let budget = campaign::task_budget();
+    let (lb_value, lb_provenance) =
+        match cached_lk_lower_bound_aggregated(trace, m, k, agg, &budget) {
+            Some(b) => {
+                let provenance = if b.kind == BoundKind::LpAgg {
+                    format!("lp-agg(\u{b1}{:.2}%)", b.rel_gap * 100.0)
+                } else {
+                    b.kind.label().to_string()
+                };
+                (b.value, provenance)
+            }
+            None => {
+                // Aggregation ran out of budget mid-solve: fall back to the
+                // budgeted exact path, which degrades to closed-form bounds
+                // on its own spent budget.
+                let budgeted = cached_lk_lower_bound_budgeted(trace, m, k, &budget);
+                let mut provenance = budgeted.bound.kind.label().to_string();
+                if budgeted.degraded {
+                    provenance.push_str(" (degraded)");
+                    if let Some(c) = campaign::active() {
+                        c.note_degraded();
+                    }
+                }
+                (budgeted.bound.value, provenance)
+            }
+        };
+    assemble_estimate(
+        trace,
+        policy,
+        m,
+        speed,
+        k,
+        baselines,
+        lb_value,
+        lb_provenance,
+    )
+}
+
+/// [`empirical_ratio`] with the lower bound computed by the
+/// column-generation solver, threading a dual warm-start handle between
+/// neighbouring calls (sweeps over `m`, `k`, or nearby traces). The
+/// bound value is the exact LP bound — colgen terminates on a clean
+/// pricing certificate — so the estimate's semantics match
+/// [`empirical_ratio`]; only wall-clock differs. Returns the handle to
+/// pass to the next neighbour (`None` if the solve degraded).
+pub fn empirical_ratio_warm(
+    trace: &Trace,
+    policy: Policy,
+    m: usize,
+    speed: f64,
+    k: u32,
+    baselines: &[Policy],
+    warm: Option<&LpWarmStart>,
+) -> (RatioEstimate, Option<LpWarmStart>) {
+    let budget = campaign::task_budget();
+    let (lb_value, lb_provenance, handle) =
+        match cached_lk_lower_bound_colgen_budgeted(trace, m, k, &budget, warm) {
+            Some((lb, handle, _accepted)) => (lb.value, lb.kind.label().to_string(), Some(handle)),
+            None => {
+                let budgeted = cached_lk_lower_bound_budgeted(trace, m, k, &budget);
+                let mut provenance = budgeted.bound.kind.label().to_string();
+                if budgeted.degraded {
+                    provenance.push_str(" (degraded)");
+                    if let Some(c) = campaign::active() {
+                        c.note_degraded();
+                    }
+                }
+                (budgeted.bound.value, provenance, None)
+            }
+        };
+    (
+        assemble_estimate(
+            trace,
+            policy,
+            m,
+            speed,
+            k,
+            baselines,
+            lb_value,
+            lb_provenance,
+        ),
+        handle,
+    )
 }
 
 /// One (trace, policy, m, speed, k) evaluation for the batched fan-out
@@ -333,6 +480,62 @@ mod tests {
             assert_eq!(got.best_policy, want.best_policy);
             assert_eq!(got.ratio_vs_lb, want.ratio_vs_lb);
             assert_eq!(got.ratio_vs_best, want.ratio_vs_best);
+        }
+    }
+
+    #[test]
+    fn aggregated_ratio_is_a_sound_looser_bracket() {
+        let t = trace();
+        let exact = empirical_ratio(&t, Policy::Rr, 1, 2.0, 2, &default_baselines());
+        let agg = empirical_ratio_aggregated(
+            &t,
+            Policy::Rr,
+            1,
+            2.0,
+            2,
+            &default_baselines(),
+            &AggConfig::default(),
+        );
+        assert_eq!(agg.alg_power_sum, exact.alg_power_sum);
+        assert_eq!(agg.best_power_sum, exact.best_power_sum);
+        // The aggregated bound never exceeds the exact one, so its
+        // upper ratio estimate is never tighter than the exact one's.
+        assert!(agg.lower_bound <= exact.lower_bound + 1e-9);
+        assert!(agg.ratio_vs_lb >= exact.ratio_vs_lb - 1e-9);
+        assert!(
+            agg.lb_provenance.starts_with("lp-agg(\u{b1}")
+                || ["lp/2", "size", "srpt-m"].contains(&agg.lb_provenance.as_str()),
+            "{}",
+            agg.lb_provenance
+        );
+    }
+
+    #[test]
+    fn warm_ratio_matches_the_exact_bracket_and_chains_handles() {
+        // Big enough to exercise the colgen path (not the SSP crossover).
+        let t = Trace::from_pairs((0..100).map(|i| ((i / 2) as f64, (1 + (i * 7 + 3) % 4) as f64)))
+            .unwrap();
+        let mut warm: Option<LpWarmStart> = None;
+        for m in [1usize, 2] {
+            let exact = empirical_ratio(&t, Policy::Rr, m, 1.0, 2, &default_baselines());
+            let (r, handle) = empirical_ratio_warm(
+                &t,
+                Policy::Rr,
+                m,
+                1.0,
+                2,
+                &default_baselines(),
+                warm.as_ref(),
+            );
+            assert_eq!(r.alg_power_sum, exact.alg_power_sum, "m={m}");
+            assert!(
+                (r.lower_bound - exact.lower_bound).abs() <= 1e-7 * exact.lower_bound,
+                "m={m}: warm {} vs exact {}",
+                r.lower_bound,
+                exact.lower_bound
+            );
+            assert!(!r.lb_provenance.contains("degraded"), "m={m}");
+            warm = handle;
         }
     }
 

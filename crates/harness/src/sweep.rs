@@ -7,7 +7,7 @@
 //! next to the results they produced.
 
 use crate::corpus::integral_poisson;
-use crate::ratio::{default_baselines, empirical_ratio};
+use crate::ratio::{default_baselines, empirical_ratio, RatioEstimate};
 use crate::table::{fnum, Table};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -38,7 +38,7 @@ pub enum SweepInstance {
 }
 
 /// A full sweep specification.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct SweepConfig {
     /// Instances to evaluate.
     pub instances: Vec<SweepInstance>,
@@ -51,6 +51,36 @@ pub struct SweepConfig {
     pub ks: Vec<u32>,
     /// Machine counts.
     pub ms: Vec<usize>,
+    /// Opt-in: compute lower bounds with the warm-started
+    /// column-generation solver, chaining each grid point's dual handle
+    /// into the next point of the same instance (same certified exact
+    /// bound, fewer solver phases on large grids). Off by default — the
+    /// default path is byte-identical to previous releases.
+    pub warm_lb: bool,
+}
+
+/// Hand-written (the vendored derive has no `#[serde(default)]`) so
+/// configs written before `warm_lb` existed still parse, defaulting to
+/// the exact-solver path.
+impl serde::Deserialize for SweepConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("map for struct SweepConfig", v))?;
+        let req =
+            |f: &'static str| serde::map_get(m, f).ok_or_else(|| serde::Error::missing_field(f));
+        Ok(SweepConfig {
+            instances: serde::Deserialize::from_value(req("instances")?)?,
+            policies: serde::Deserialize::from_value(req("policies")?)?,
+            speeds: serde::Deserialize::from_value(req("speeds")?)?,
+            ks: serde::Deserialize::from_value(req("ks")?)?,
+            ms: serde::Deserialize::from_value(req("ms")?)?,
+            warm_lb: match serde::map_get(m, "warm_lb") {
+                Some(v) => serde::Deserialize::from_value(v)?,
+                None => false,
+            },
+        })
+    }
 }
 
 impl SweepConfig {
@@ -87,6 +117,9 @@ fn materialize(inst: &SweepInstance, m: usize) -> Result<(String, Trace), String
     }
 }
 
+/// One materialized grid point: (instance name, trace, policy, m, speed, k).
+type SweepPoint = (String, Trace, Policy, usize, f64, u32);
+
 /// Run the sweep, producing one row per grid point.
 pub fn run_sweep(cfg: &SweepConfig) -> Result<Table, String> {
     let mut obs_span = tf_obs::span!("harness", "sweep");
@@ -100,7 +133,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<Table, String> {
     );
 
     // Materialize instances per machine count (Poisson load depends on m).
-    let mut points = Vec::new();
+    let mut points: Vec<SweepPoint> = Vec::new();
     for m in &cfg.ms {
         for inst in &cfg.instances {
             let (name, trace) = materialize(inst, *m)?;
@@ -115,28 +148,77 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<Table, String> {
     }
     // Grid point `i` records onto logical track `i + 1` (track 0 is the
     // main thread), keeping trace structure thread-count independent.
-    let indexed: Vec<(u32, _)> = (0u32..).zip(points.iter()).collect();
-    let rows: Vec<_> = indexed
-        .par_iter()
-        .map(|&(i, (name, trace, p, m, s, k))| {
-            let _track = tf_obs::set_track(i + 1);
-            let mut span = tf_obs::span!("harness", "sweep_point");
-            span.arg("point", f64::from(i));
-            let r = empirical_ratio(trace, *p, *m, *s, *k, &baselines);
-            vec![
-                name.clone(),
-                p.to_string(),
-                m.to_string(),
-                fnum(*s),
-                k.to_string(),
-                fnum(r.alg_power_sum),
-                fnum(r.lower_bound),
-                fnum(r.best_power_sum),
-                fnum(r.ratio_vs_best),
-                fnum(r.ratio_vs_lb),
-            ]
-        })
-        .collect();
+    let render = |name: &str, p: &Policy, m: usize, s: f64, k: u32, r: &RatioEstimate| {
+        vec![
+            name.to_string(),
+            p.to_string(),
+            m.to_string(),
+            fnum(s),
+            k.to_string(),
+            fnum(r.alg_power_sum),
+            fnum(r.lower_bound),
+            fnum(r.best_power_sum),
+            fnum(r.ratio_vs_best),
+            fnum(r.ratio_vs_lb),
+        ]
+    };
+    let rows: Vec<_> = if cfg.warm_lb {
+        // Warm path: points of one instance share a dual warm-start
+        // chain, so they must run sequentially; distinct instances still
+        // fan out in parallel. Row order matches the default path — the
+        // groups are contiguous runs of the point list.
+        let mut groups: Vec<(u32, Vec<&SweepPoint>)> = Vec::new();
+        for (idx, point) in points.iter().enumerate() {
+            let start_new = match groups.last().and_then(|(_, g)| g.last()) {
+                Some(prev) => prev.0 != point.0 || prev.3 != point.3,
+                None => true,
+            };
+            if start_new {
+                groups.push((idx as u32, Vec::new()));
+            }
+            groups.last_mut().expect("just pushed").1.push(point);
+        }
+        let mut rows: Vec<Vec<String>> = Vec::with_capacity(points.len());
+        let group_rows: Vec<Vec<Vec<String>>> = groups
+            .par_iter()
+            .map(|(first, group)| {
+                let mut warm = None;
+                let mut out = Vec::with_capacity(group.len());
+                for (off, (name, trace, p, m, s, k)) in group.iter().enumerate() {
+                    let i = *first + off as u32;
+                    let _track = tf_obs::set_track(i + 1);
+                    let mut span = tf_obs::span!("harness", "sweep_point");
+                    span.arg("point", f64::from(i));
+                    let (r, handle) = crate::ratio::empirical_ratio_warm(
+                        trace,
+                        *p,
+                        *m,
+                        *s,
+                        *k,
+                        &baselines,
+                        warm.as_ref(),
+                    );
+                    warm = handle;
+                    out.push(render(name, p, *m, *s, *k, &r));
+                }
+                out
+            })
+            .collect();
+        rows.extend(group_rows.into_iter().flatten());
+        rows
+    } else {
+        let indexed: Vec<(u32, _)> = (0u32..).zip(points.iter()).collect();
+        indexed
+            .par_iter()
+            .map(|&(i, (name, trace, p, m, s, k))| {
+                let _track = tf_obs::set_track(i + 1);
+                let mut span = tf_obs::span!("harness", "sweep_point");
+                span.arg("point", f64::from(i));
+                let r = empirical_ratio(trace, *p, *m, *s, *k, &baselines);
+                render(name, p, *m, *s, *k, &r)
+            })
+            .collect()
+    };
     for row in rows {
         table.push_row(row);
     }
@@ -166,6 +248,7 @@ mod tests {
             speeds: vec![1.0, 2.0],
             ks: vec![1, 2],
             ms: vec![1],
+            warm_lb: false,
         }
     }
 
@@ -179,6 +262,38 @@ mod tests {
             let hi: f64 = row[9].parse().unwrap();
             assert!(lo <= hi + 1e-9, "{row:?}");
         }
+    }
+
+    #[test]
+    fn warm_sweep_matches_the_default_bracket() {
+        let mut cfg = tiny_cfg();
+        cfg.ms = vec![1, 2];
+        let cold = run_sweep(&cfg).unwrap();
+        cfg.warm_lb = true;
+        let warm = run_sweep(&cfg).unwrap();
+        assert_eq!(cold.rows.len(), warm.rows.len());
+        for (c, w) in cold.rows.iter().zip(&warm.rows) {
+            // Identity columns are byte-equal; the LB column is the same
+            // exact LP bound computed by a different augmentation order,
+            // so compare numerically.
+            assert_eq!(c[..6], w[..6], "identity/alg columns differ");
+            for col in 6..10 {
+                let cv: f64 = c[col].parse().unwrap();
+                let wv: f64 = w[col].parse().unwrap();
+                assert!(
+                    (cv - wv).abs() <= 1e-6 * (1.0 + cv.abs()),
+                    "col {col}: {cv} vs {wv}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn config_without_warm_lb_field_still_parses() {
+        let json = r#"{"instances":[{"Poisson":{"n":8,"rho":0.8,"sizes":{"Uniform":{"lo":1.0,"hi":3.0}},"seed":1}}],
+                       "policies":["rr"],"speeds":[1.0],"ks":[1],"ms":[1]}"#;
+        let cfg: SweepConfig = serde_json::from_str(json).unwrap();
+        assert!(!cfg.warm_lb, "missing field defaults to the exact path");
     }
 
     #[test]
@@ -209,6 +324,7 @@ mod tests {
             speeds: vec![1.0],
             ks: vec![2],
             ms: vec![1],
+            warm_lb: false,
         };
         let t = run_sweep(&cfg).unwrap();
         assert_eq!(t.rows.len(), 1);

@@ -1,0 +1,624 @@
+//! Certified interval-aggregated LP lower bounds (`lp-agg(±δ)`).
+//!
+//! The exact time-indexed LP (see [`crate::lp`]) has one arc per
+//! (job, slot) pair: at `n = 5000` Poisson-loaded jobs that is tens of
+//! millions of arcs — unbuildable, let alone solvable. This module
+//! solves the LP on a **coarsened interval grid** instead and certifies
+//! how much was lost, sandwiching the exact LP value between two
+//! rigorous bounds:
+//!
+//! * **Lower side `V_lo ≤ LP`** — jobs route flow to *intervals*
+//!   `I = [a, b)` rather than slots. The arc for job `j` and interval
+//!   `I` has capacity `min(|I ∩ [r_j, H_j)|, p_j)` (the per-slot rate
+//!   cap `x_jt ≤ 1` aggregated over the overlap) and cost
+//!   `c_j(max(a, r_j))` — the *cheapest* slot of the overlap, since
+//!   per-job slot costs increase with `t`. Interval `I`'s capacity to
+//!   the sink is `m · |I|`. Any exact optimal solution supported below
+//!   the per-job horizons (one always exists — the pruning exchange
+//!   argument in `docs/SOLVER.md`) maps into this network with no more
+//!   cost, so the aggregated *optimum* is at most the exact LP value.
+//! * **Upper side `V_hi ≥ LP`** — the aggregated optimum is
+//!   *disaggregated* into an explicit feasible solution of the exact
+//!   LP: every unit of interval flow is re-placed on a concrete slot by
+//!   a left-to-right sweep that serves, per slot, up to `m` distinct
+//!   jobs with released pending work (oldest release first). The sweep
+//!   enforces every exact-LP constraint (`t ≥ r_j`, per-slot cap `m`,
+//!   per-job per-slot cap 1, all `p_j` units placed), so its true cost
+//!   is the value of a feasible point — an upper bound on the exact
+//!   minimum. Slots may spill past the build horizon; the exact LP has
+//!   no upper time limit, so that stays feasible.
+//!
+//! `δ = V_hi − V_lo` then bounds the aggregation error: the exact LP
+//! value lies in `[V_lo, V_hi]`, and `V_lo / 2` is a certified lower
+//! bound on `OPT`'s k-th power sum exactly as in the exact pipeline —
+//! only weaker by at most `δ/2`, never wrong. Reported provenance is
+//! `lp-agg(±δ)`; results are **never** written to the exact lb cache
+//! (the cache key embeds the aggregation discriminator — see
+//! `tf-harness`'s `lbcache`).
+//!
+//! Refinement: intervals whose flow spans the widest cost range (the
+//! per-interval residual `Σ_j f_jI · (c_j(last slot) − c_j(first
+//! slot))`, an upper bound on what splitting that interval can recover)
+//! are split at their midpoint and the instance re-solved, warm-started
+//! from the previous grid's duals (children inherit the parent
+//! interval's potential; the solver revalidates before trusting them).
+//! A grid refined all the way to unit width *is* the exact LP, so the
+//! loop converges; in practice a few rounds reach `δ ≤ 1%`.
+
+use crate::budget::SolveBudget;
+use crate::lp::{ipow, job_horizon, tight_horizon};
+use crate::mcmf::{McmfGraph, WarmStart};
+use crate::{size_bound, srpt_super_machine_bound, BoundKind};
+use serde::{Deserialize, Serialize};
+use tf_simcore::Trace;
+
+/// Poll cadence for the disaggregation sweep, matching the solver's
+/// `BUDGET_POLL_POPS` discipline.
+const BUDGET_POLL_SLOTS: u64 = 4096;
+
+/// Tuning for [`lk_lower_bound_aggregated`].
+#[derive(Debug, Clone, Copy)]
+pub struct AggConfig {
+    /// Stop refining once `(V_hi − V_lo) / V_lo` is at or below this.
+    pub target_rel_gap: f64,
+    /// Hard cap on refinement rounds (each round re-solves the grid).
+    pub max_refinements: u32,
+    /// Geometric growth factor of the initial interval widths: slot-fine
+    /// near `t = 0` (where most cost concentrates) and coarse late.
+    pub growth: f64,
+}
+
+impl Default for AggConfig {
+    fn default() -> Self {
+        AggConfig {
+            target_rel_gap: 0.01,
+            max_refinements: 24,
+            growth: 1.10,
+        }
+    }
+}
+
+/// A certified aggregated lower bound: `value` is a rigorous lower
+/// bound on `Σ_j F_j^k` of the optimal schedule, `rel_gap` certifies
+/// how far the aggregated LP can be from the exact one.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AggregatedBound {
+    /// The certified bound on the k-th power sum: the best of
+    /// `lp_lo / 2`, the size bound, and (for `k = 1`) the SRPT
+    /// super-machine bound.
+    pub value: f64,
+    /// Which component won `value`.
+    pub kind: BoundKind,
+    /// Aggregated LP optimum — a lower bound on the exact LP value.
+    pub lp_lo: f64,
+    /// Cost of the explicit disaggregated feasible solution — an upper
+    /// bound on the exact LP value.
+    pub lp_hi: f64,
+    /// Certified relative aggregation gap `(lp_hi − lp_lo) / lp_lo`.
+    pub rel_gap: f64,
+    /// Intervals in the final grid.
+    pub intervals: usize,
+    /// Refinement rounds performed (0 = initial grid sufficed).
+    pub refinements: u32,
+}
+
+impl AggregatedBound {
+    /// The implied lower bound on the ℓk *norm*: `value^{1/k}`.
+    pub fn norm(&self, k: f64) -> f64 {
+        self.value.powf(1.0 / k)
+    }
+}
+
+/// One job→interval arc of the aggregated network, with everything the
+/// disaggregation and refinement passes need to re-read it.
+struct AggArc {
+    job: u32,
+    interval: u32,
+    /// First usable slot of the overlap: `max(a, r_j)`.
+    lo: u64,
+    /// One past the last usable slot: `min(b, H_j)`.
+    hi: u64,
+    edge_id: usize,
+}
+
+/// Per-job constants hoisted out of the build loops.
+struct JobInfo {
+    r: u64,
+    p: i64,
+    size: f64,
+    pk: f64,
+    h_j: u64,
+}
+
+/// Exact per-unit slot cost of job `j` at slot `t ≥ r_j`.
+#[inline]
+fn slot_cost(job: &JobInfo, t: u64, k: u32) -> f64 {
+    (ipow((t - job.r) as f64, k) + job.pk) / job.size
+}
+
+/// Initial geometric grid boundaries `0 = b_0 < … < b_K = horizon`.
+fn initial_grid(horizon: u64, growth: f64) -> Vec<u64> {
+    let mut bounds = vec![0u64];
+    let mut width = 1.0f64;
+    let mut cur = 0u64;
+    while cur < horizon {
+        let step = (width.round() as u64).max(1);
+        cur = (cur + step).min(horizon);
+        bounds.push(cur);
+        width *= growth;
+    }
+    bounds
+}
+
+/// Certified lower bound on `Σ_j F_j^k` via the interval-aggregated LP,
+/// with a certified aggregation gap. Returns `None` iff `budget`
+/// tripped (a partial aggregated solve certifies nothing and must not
+/// be cached — the harness degrades to closed-form bounds instead).
+///
+/// # Panics
+/// If the trace is not integral, `k = 0`, `m = 0`, or the solver's dual
+/// certificate fails (solver bug, never an input property).
+pub fn lk_lower_bound_aggregated(
+    trace: &Trace,
+    m: usize,
+    k: u32,
+    cfg: &AggConfig,
+    budget: &SolveBudget,
+) -> Option<AggregatedBound> {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(m >= 1);
+    assert!(
+        trace.is_integral(1e-9),
+        "aggregated LP needs integral traces"
+    );
+    assert!(
+        cfg.growth >= 1.0 && cfg.growth.is_finite(),
+        "growth must be ≥ 1"
+    );
+    let kf = f64::from(k);
+    if trace.is_empty() {
+        return Some(AggregatedBound {
+            value: 0.0,
+            kind: BoundKind::Size,
+            lp_lo: 0.0,
+            lp_hi: 0.0,
+            rel_gap: 0.0,
+            intervals: 0,
+            refinements: 0,
+        });
+    }
+
+    let mut obs_span = tf_obs::span!("lb", "lk_lower_bound_agg");
+    obs_span.arg("n", trace.len() as f64);
+    obs_span.arg("m", m as f64);
+    obs_span.arg("k", kf);
+
+    let horizon = tight_horizon(trace, m);
+    let total_work: i64 = trace.jobs().iter().map(|j| j.size.round() as i64).sum();
+    let jobs: Vec<JobInfo> = trace
+        .jobs()
+        .iter()
+        .map(|j| {
+            let p = j.size.round() as i64;
+            let r = j.arrival.round() as u64;
+            JobInfo {
+                r,
+                p,
+                size: j.size,
+                pk: ipow(j.size, k),
+                h_j: job_horizon(horizon, r, p, total_work - p, m),
+            }
+        })
+        .collect();
+
+    let mut bounds = initial_grid(horizon, cfg.growth);
+    let mut graph = McmfGraph::new();
+    let mut warm: Option<WarmStart> = None;
+    let mut refinements = 0u32;
+    // Diagnostics for tuning runs, off in normal operation.
+    let log = std::env::var_os("TF_AGG_LOG").is_some();
+    let t0 = std::time::Instant::now();
+    let (lp_lo, lp_hi, intervals) = loop {
+        let (v_lo, v_hi, arcs) =
+            solve_grid(&mut graph, &jobs, &bounds, m, k, warm.as_ref(), budget)?;
+        let rel_gap = (v_hi - v_lo) / v_lo.max(f64::MIN_POSITIVE);
+        if log {
+            let st = graph.stats();
+            eprintln!(
+                "agg: n={} round={refinements} intervals={} gap={rel_gap:.5} elapsed={:.2?} \
+                 phases={} pops={} arcs_scanned={} pushes={} fallbacks={}",
+                jobs.len(),
+                bounds.len() - 1,
+                t0.elapsed(),
+                st.phases,
+                st.heap_pops,
+                st.arcs_scanned,
+                st.blocking_pushes,
+                st.fallback_augments
+            );
+        }
+        if rel_gap <= cfg.target_rel_gap || refinements >= cfg.max_refinements {
+            break (v_lo, v_hi, bounds.len() - 1);
+        }
+        let split = pick_splits(&graph, &jobs, &bounds, &arcs, k);
+        if split.is_empty() {
+            break (v_lo, v_hi, bounds.len() - 1); // grid already slot-exact where it matters
+        }
+        let old_bounds = std::mem::take(&mut bounds);
+        bounds = refine_grid(&old_bounds, &split);
+        warm = Some(remap_interval_potentials(
+            &graph,
+            jobs.len(),
+            &old_bounds,
+            &bounds,
+        ));
+        refinements += 1;
+        tf_obs::instant!("lb", "agg_refine");
+    };
+
+    let mut best = AggregatedBound {
+        value: lp_lo / 2.0,
+        kind: BoundKind::LpAgg,
+        lp_lo,
+        lp_hi,
+        rel_gap: (lp_hi - lp_lo) / lp_lo.max(f64::MIN_POSITIVE),
+        intervals,
+        refinements,
+    };
+    let size = size_bound(trace, kf);
+    if size > best.value {
+        best.value = size;
+        best.kind = BoundKind::Size;
+    }
+    if k == 1 {
+        let srpt = srpt_super_machine_bound(trace, m);
+        if srpt > best.value {
+            best.value = srpt;
+            best.kind = BoundKind::SrptSuperMachine;
+        }
+    }
+    obs_span.arg("rel_gap", best.rel_gap);
+    obs_span.arg("intervals", intervals as f64);
+    Some(best)
+}
+
+/// Build the aggregated network for `bounds`, solve it (warm-started
+/// when a handle is given), certify the duals, and disaggregate.
+/// Returns `(V_lo, V_hi, arcs)`; `None` iff the budget tripped.
+fn solve_grid(
+    graph: &mut McmfGraph,
+    jobs: &[JobInfo],
+    bounds: &[u64],
+    m: usize,
+    k: u32,
+    warm: Option<&WarmStart>,
+    budget: &SolveBudget,
+) -> Option<(f64, f64, Vec<AggArc>)> {
+    let n = jobs.len();
+    let intervals = bounds.len() - 1;
+    let source = 0usize;
+    let job0 = 1usize;
+    let iv0 = job0 + n;
+    let sink = iv0 + intervals;
+
+    let mut arcs: Vec<AggArc> = Vec::new();
+    let mut total_supply = 0i64;
+    {
+        let mut s = tf_obs::span!("lb", "build");
+        graph.reset(sink + 1);
+        for (ji, job) in jobs.iter().enumerate() {
+            total_supply += job.p;
+            graph.add_edge(source, job0 + ji, job.p, 0.0);
+            // Intervals overlapping [r_j, h_j): binary search the first.
+            let start = bounds.partition_point(|&b| b <= job.r) - 1;
+            for iv in start..intervals {
+                let a = bounds[iv];
+                if a >= job.h_j {
+                    break;
+                }
+                let lo = a.max(job.r);
+                let hi = bounds[iv + 1].min(job.h_j);
+                if hi <= lo {
+                    continue;
+                }
+                let cap = ((hi - lo) as i64).min(job.p);
+                let cost = slot_cost(job, lo, k);
+                let edge_id = graph.add_edge(job0 + ji, iv0 + iv, cap, cost);
+                arcs.push(AggArc {
+                    job: ji as u32,
+                    interval: iv as u32,
+                    lo,
+                    hi,
+                    edge_id,
+                });
+            }
+        }
+        for iv in 0..intervals {
+            let width = (bounds[iv + 1] - bounds[iv]) as i64;
+            graph.add_edge(iv0 + iv, sink, m as i64 * width, 0.0);
+        }
+        s.arg("jobs", n as f64);
+        s.arg("intervals", intervals as f64);
+        s.arg("arcs", arcs.len() as f64);
+    }
+
+    let (res, _warm_accepted) = {
+        let _s = tf_obs::span!("lb", "solve");
+        graph.solve_warm_budgeted(source, sink, total_supply, warm, budget)?
+    };
+    assert_eq!(
+        res.flow, total_supply,
+        "aggregated grid must be feasible by construction"
+    );
+    // O(E) dual certificate: the aggregated V_lo is only a sound bound
+    // if this solve is *optimal*, so a failure here is a solver bug and
+    // certification failures are hard errors, as everywhere else.
+    {
+        let _s = tf_obs::span!("lb", "certify");
+        assert!(
+            graph.certify_current_duals(),
+            "aggregated LP solve left dual-infeasible potentials"
+        );
+    }
+    let v_hi = disaggregate(graph, jobs, &arcs, m, k, total_supply, budget)?;
+    assert!(
+        v_hi >= res.cost - 1e-9 * (1.0 + res.cost.abs()),
+        "disaggregated cost {v_hi} below aggregated optimum {} — \
+         the sandwich inverted, which certifies a bug",
+        res.cost
+    );
+    Some((res.cost, v_hi, arcs))
+}
+
+/// Disaggregate the solved interval flow into an explicit feasible
+/// exact-LP solution and return its true cost (`V_hi`).
+///
+/// Left-to-right sweep: a unit of flow on arc `(j, I)` becomes pending
+/// at `lo = max(a, r_j)`; each slot serves up to `m` distinct pending
+/// jobs, oldest release first, one unit each (so `t ≥ r_j`, per-slot
+/// `≤ m`, per-job per-slot `≤ 1` all hold by construction). Pending
+/// work may spill past the interval — and the horizon — which only
+/// raises this upper bound, never breaks feasibility.
+fn disaggregate(
+    graph: &McmfGraph,
+    jobs: &[JobInfo],
+    arcs: &[AggArc],
+    m: usize,
+    k: u32,
+    total_supply: i64,
+    budget: &SolveBudget,
+) -> Option<f64> {
+    // (activation, job, units) chunks, sorted by activation slot.
+    let mut chunks: Vec<(u64, u32, i64)> = arcs
+        .iter()
+        .filter_map(|a| {
+            let f = graph.flow_on(a.edge_id);
+            (f > 0).then_some((a.lo, a.job, f))
+        })
+        .collect();
+    chunks.sort_unstable();
+
+    let mut pending = vec![0i64; jobs.len()];
+    let mut active: std::collections::BTreeSet<(u64, u32)> = std::collections::BTreeSet::new();
+    let mut served_jobs: Vec<(u64, u32)> = Vec::with_capacity(m);
+    let mut idx = 0usize;
+    let mut remaining = total_supply;
+    let mut t = chunks.first().map_or(0, |c| c.0);
+    let mut v_hi = 0.0f64;
+    let poll_budget = !budget.is_unlimited();
+    let mut slots_swept = 0u64;
+    while remaining > 0 {
+        slots_swept += 1;
+        if poll_budget && slots_swept.is_multiple_of(BUDGET_POLL_SLOTS) && budget.exhausted() {
+            return None;
+        }
+        while idx < chunks.len() && chunks[idx].0 <= t {
+            let (_, j, units) = chunks[idx];
+            if pending[j as usize] == 0 {
+                active.insert((jobs[j as usize].r, j));
+            }
+            pending[j as usize] += units;
+            idx += 1;
+        }
+        if active.is_empty() {
+            // Jump to the next activation instead of sweeping dead air.
+            t = chunks[idx].0;
+            continue;
+        }
+        served_jobs.clear();
+        for &(r, j) in active.iter().take(m) {
+            pending[j as usize] -= 1;
+            v_hi += slot_cost(&jobs[j as usize], t, k);
+            if pending[j as usize] == 0 {
+                served_jobs.push((r, j));
+            }
+            remaining -= 1;
+        }
+        for key in &served_jobs {
+            active.remove(key);
+        }
+        t += 1;
+    }
+    Some(v_hi)
+}
+
+/// Rank intervals by the cost range their flow spans —
+/// `Σ_j f_jI · (c_j(hi−1) − c_j(lo))`, an upper bound on what refining
+/// interval `I` to unit width could recover — and return the indices
+/// worth splitting (width ≥ 2, residual within 4× of the worst).
+fn pick_splits(
+    graph: &McmfGraph,
+    jobs: &[JobInfo],
+    bounds: &[u64],
+    arcs: &[AggArc],
+    k: u32,
+) -> Vec<usize> {
+    let intervals = bounds.len() - 1;
+    let mut residual = vec![0.0f64; intervals];
+    for a in arcs {
+        let f = graph.flow_on(a.edge_id);
+        if f > 0 && a.hi - a.lo >= 2 {
+            let job = &jobs[a.job as usize];
+            let span = slot_cost(job, a.hi - 1, k) - slot_cost(job, a.lo, k);
+            residual[a.interval as usize] += f as f64 * span;
+        }
+    }
+    let max_residual = residual.iter().cloned().fold(0.0f64, f64::max);
+    if max_residual <= 0.0 {
+        return Vec::new();
+    }
+    (0..intervals)
+        .filter(|&iv| bounds[iv + 1] - bounds[iv] >= 2 && residual[iv] >= max_residual / 4.0)
+        .collect()
+}
+
+/// New boundary list with each selected interval split at its midpoint.
+fn refine_grid(bounds: &[u64], split: &[usize]) -> Vec<u64> {
+    let mut is_split = vec![false; bounds.len() - 1];
+    for &iv in split {
+        is_split[iv] = true;
+    }
+    let mut out = Vec::with_capacity(bounds.len() + split.len());
+    for iv in 0..bounds.len() - 1 {
+        out.push(bounds[iv]);
+        if is_split[iv] {
+            out.push(bounds[iv] + (bounds[iv + 1] - bounds[iv]) / 2);
+        }
+    }
+    out.push(*bounds.last().unwrap());
+    out
+}
+
+/// Carry the old grid's duals onto the refined grid: source, jobs, and
+/// sink keep theirs; each new interval inherits the potential of the
+/// old interval containing its start. The solver's repair sweep +
+/// feasibility revalidation decide whether to trust the result.
+fn remap_interval_potentials(
+    graph: &McmfGraph,
+    n: usize,
+    old_bounds: &[u64],
+    new_bounds: &[u64],
+) -> WarmStart {
+    let pot = graph.potentials();
+    let old_intervals = old_bounds.len() - 1;
+    let new_intervals = new_bounds.len() - 1;
+    debug_assert_eq!(pot.len(), 2 + n + old_intervals);
+    let mut out = Vec::with_capacity(2 + n + new_intervals);
+    out.extend_from_slice(&pot[..1 + n]); // source + jobs
+    for &start in new_bounds.iter().take(new_intervals) {
+        let parent = old_bounds.partition_point(|&b| b <= start) - 1;
+        out.push(pot[1 + n + parent.min(old_intervals - 1)]);
+    }
+    out.push(pot[1 + n + old_intervals]); // sink
+    WarmStart::from_potentials(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lk_lower_bound, lp_relaxation_value};
+
+    fn poisson_like(n: usize) -> Trace {
+        // Deterministic, integral, bursty-ish arrivals with mixed sizes.
+        let pairs: Vec<(f64, f64)> = (0..n)
+            .map(|i| ((i / 3) as f64, (1 + (i * 13 + 5) % 5) as f64))
+            .collect();
+        Trace::from_pairs(pairs).unwrap()
+    }
+
+    #[test]
+    fn sandwich_brackets_the_exact_lp() {
+        for n in [12usize, 40, 100] {
+            let t = poisson_like(n);
+            for (m, k) in [(1usize, 1u32), (2, 2), (4, 2)] {
+                let exact = lp_relaxation_value(&t, m, k);
+                let agg = lk_lower_bound_aggregated(
+                    &t,
+                    m,
+                    k,
+                    &AggConfig::default(),
+                    &SolveBudget::unlimited(),
+                )
+                .unwrap();
+                let tol = 1e-9 * (1.0 + exact.objective.abs());
+                assert!(
+                    agg.lp_lo <= exact.objective + tol,
+                    "n={n} m={m} k={k}: V_lo {} above exact {}",
+                    agg.lp_lo,
+                    exact.objective
+                );
+                assert!(
+                    agg.lp_hi >= exact.objective - tol,
+                    "n={n} m={m} k={k}: V_hi {} below exact {}",
+                    agg.lp_hi,
+                    exact.objective
+                );
+                assert!(agg.rel_gap >= -1e-12);
+                assert!(
+                    agg.rel_gap <= AggConfig::default().target_rel_gap + 1e-12,
+                    "n={n} m={m} k={k}: refinement stalled at gap {}",
+                    agg.rel_gap
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aggregated_bound_is_a_valid_lower_bound() {
+        // The headline property: value never exceeds the exact pipeline's
+        // certified bound by more than fp noise (it lower-bounds the same
+        // OPT through a weaker LP).
+        let t = poisson_like(60);
+        for (m, k) in [(1usize, 1u32), (2, 2)] {
+            let exact = lk_lower_bound(&t, m, k);
+            let agg = lk_lower_bound_aggregated(
+                &t,
+                m,
+                k,
+                &AggConfig::default(),
+                &SolveBudget::unlimited(),
+            )
+            .unwrap();
+            assert!(
+                agg.value <= exact.value * (1.0 + 1e-9) + 1e-9,
+                "m={m} k={k}: aggregated {} above exact {}",
+                agg.value,
+                exact.value
+            );
+            assert!(agg.value > 0.0);
+        }
+    }
+
+    #[test]
+    fn unit_width_grid_is_exact() {
+        // growth = 1.0 → every interval is one slot → V_lo = V_hi = LP.
+        let t = poisson_like(20);
+        let cfg = AggConfig {
+            growth: 1.0,
+            ..AggConfig::default()
+        };
+        let exact = lp_relaxation_value(&t, 2, 2);
+        let agg = lk_lower_bound_aggregated(&t, 2, 2, &cfg, &SolveBudget::unlimited()).unwrap();
+        let tol = 1e-9 * (1.0 + exact.objective.abs());
+        assert!((agg.lp_lo - exact.objective).abs() <= tol);
+        assert!((agg.lp_hi - exact.objective).abs() <= tol);
+        assert_eq!(agg.refinements, 0);
+    }
+
+    #[test]
+    fn budget_trips_cleanly() {
+        let t = poisson_like(80);
+        let spent = SolveBudget::with_timeout(std::time::Duration::ZERO);
+        assert!(lk_lower_bound_aggregated(&t, 2, 2, &AggConfig::default(), &spent).is_none());
+    }
+
+    #[test]
+    fn empty_trace_gives_zero() {
+        let t = Trace::from_pairs(std::iter::empty()).unwrap();
+        let agg =
+            lk_lower_bound_aggregated(&t, 1, 2, &AggConfig::default(), &SolveBudget::unlimited())
+                .unwrap();
+        assert_eq!(agg.value, 0.0);
+        assert_eq!(agg.rel_gap, 0.0);
+    }
+}

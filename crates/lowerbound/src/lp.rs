@@ -30,11 +30,41 @@
 //! ([`lp_relaxation_value_reference`]) keeps the PR-1 successive-
 //! shortest-paths build verbatim as a property-test oracle.
 
-use crate::mcmf::{McmfGraph, McmfStats, MinCostFlow};
+use crate::mcmf::{McmfGraph, McmfStats, MinCostFlow, WarmStart};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use tf_policies::Fcfs;
 use tf_simcore::{simulate, MachineConfig, SimOptions, Trace};
+
+/// Below this many jobs the LP dispatches to the unit-SSP
+/// [`MinCostFlow`] solver instead of the [`McmfGraph`] arena: the
+/// arena's phase machinery (CSR rebuild, level BFS, blocking-flow DFS)
+/// costs more than it saves on tiny networks. BENCH_3 measured
+/// `lower_bound_speedup_vs_ssp` at 0.955 (n=40) and 0.989 (n=80) — the
+/// arena only pulls ahead above ≈80 jobs — and the `ssp_crossover`
+/// group in BENCH_5.json re-measures the boundary. Both solvers return
+/// the exact transportation optimum (pinned against each other by
+/// `optimized_matches_reference_oracle` and the proptests), so the
+/// dispatch is a pure perf decision.
+pub const SSP_CROSSOVER_JOBS: usize = 80;
+
+/// Budget poll cadence for the column-generation pricing scan, matching
+/// the solver's `BUDGET_POLL_POPS` discipline: the scan streams over
+/// `Σ_j |window_j|` candidate columns, which at `n = 5000` is tens of
+/// millions — a deadline must be honoured inside one pass.
+const BUDGET_POLL_COLS: u64 = 4096;
+
+/// Column-generation round cap before falling back to the full arena
+/// build. Each round either adds a priced-in column or widens an
+/// unsaturated job's window, so termination is guaranteed anyway; the
+/// cap just bounds the worst case to one predictable full solve.
+const COLGEN_MAX_ROUNDS: u32 = 64;
+
+/// Initial active window padding beyond `p_j` slots per job (see
+/// [`LpSolver::value_colgen_budgeted`]). Chosen from the BENCH_5 probe:
+/// smaller pads price in more rounds, larger pads inflate round-1
+/// networks on lightly-loaded instances.
+const COLGEN_INIT_PAD: u64 = 8;
 
 /// Exact solution of the LP relaxation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -50,7 +80,7 @@ pub struct LpSolution {
 
 /// Integer power helper (exact for the exponents the paper uses).
 #[inline]
-fn ipow(base: f64, k: u32) -> f64 {
+pub(crate) fn ipow(base: f64, k: u32) -> f64 {
     base.powi(k as i32)
 }
 
@@ -63,7 +93,22 @@ fn ipow(base: f64, k: u32) -> f64 {
 /// rerouted off slots `≥ H` without increasing cost — restricting the
 /// horizon to `H` preserves the optimum while shrinking the network by an
 /// order of magnitude on moderately loaded instances.
-fn tight_horizon(trace: &Trace, m: usize) -> u64 {
+pub(crate) fn tight_horizon(trace: &Trace, m: usize) -> u64 {
+    fcfs_horizon(trace, m).0
+}
+
+/// [`tight_horizon`] plus the per-job FCFS window ends it is derived
+/// from: `ends[j]` is one past the last slot the FCFS witness schedule
+/// serves job `j` in (`⌈C_j⌉`, padded by one slot for fp slack).
+///
+/// The witness property is what makes these useful as *initial* column
+/// windows for [`LpSolver::value_colgen_budgeted`]: the FCFS schedule
+/// routes every job's full work through slots `[r_j, ends[j])`, so the
+/// restricted network seeded with those windows carries the whole
+/// supply (fractional feasibility implies integral max-flow = supply by
+/// max-flow/min-cut) — the colgen loop starts from a *feasible*
+/// restricted LP and never needs infeasibility-driven widening rounds.
+pub(crate) fn fcfs_horizon(trace: &Trace, m: usize) -> (u64, Vec<u64>) {
     let mut fcfs = Fcfs::new();
     let sched = simulate(
         trace,
@@ -72,7 +117,26 @@ fn tight_horizon(trace: &Trace, m: usize) -> u64 {
         SimOptions::default(),
     )
     .expect("FCFS on a valid trace cannot fail");
-    (sched.makespan()).ceil() as u64 + 1
+    // SRPT completions widen the windows where the LP optimum — itself
+    // SRPT-shaped — finishes *later* than FCFS (large jobs it preempts).
+    // Taking the per-job max keeps the FCFS witness inside every window
+    // (feasibility) while covering most of the LP support (few or no
+    // pricing rounds in practice).
+    let mut srpt = tf_policies::Srpt::new();
+    let srpt_sched = simulate(
+        trace,
+        &mut srpt,
+        MachineConfig::new(m),
+        SimOptions::default(),
+    )
+    .expect("SRPT on a valid trace cannot fail");
+    let ends = sched
+        .completion
+        .iter()
+        .zip(&srpt_sched.completion)
+        .map(|(&c, &cs)| c.max(cs).ceil() as u64 + 1)
+        .collect();
+    ((sched.makespan()).ceil() as u64 + 1, ends)
 }
 
 /// The optimal LP *solution* (not just its value): per-job slot
@@ -118,7 +182,7 @@ impl LpSchedule {
 /// already uses it (≤ p_j slots) or other jobs fill all `m` units
 /// (≤ ⌊W_j/m⌋ slots), so all of `j`'s work fits below the bound. Arcs at
 /// or beyond it can be dropped without changing the LP optimum.
-fn job_horizon(global: u64, r: u64, p: i64, others_work: i64, m: usize) -> u64 {
+pub(crate) fn job_horizon(global: u64, r: u64, p: i64, others_work: i64, m: usize) -> u64 {
     let spill = (others_work + m as i64 - 1) / m as i64;
     global.min(r + p as u64 + spill as u64 + 1)
 }
@@ -133,6 +197,11 @@ fn job_horizon(global: u64, r: u64, p: i64, others_work: i64, m: usize) -> u64 {
 pub struct LpSolver {
     graph: McmfGraph,
     edge_ids: Vec<Vec<(u64, usize)>>,
+    /// When the last solve dispatched to the unit-SSP solver (small
+    /// instances, see [`SSP_CROSSOVER_JOBS`]), the solved graph lives
+    /// here so [`LpSolver::certified_value`] audits the network that was
+    /// actually solved. `None` after an arena solve.
+    last_ssp: Option<MinCostFlow>,
 }
 
 /// Node layout + supply of a built LP network.
@@ -140,6 +209,109 @@ struct BuiltLp {
     total_supply: i64,
     source: usize,
     sink: usize,
+}
+
+/// Build the same pruned transportation network as [`LpSolver::build`],
+/// but on the unit-SSP [`MinCostFlow`] solver — the small-instance side
+/// of the [`SSP_CROSSOVER_JOBS`] dispatch. Same node layout, same
+/// per-job horizon pruning, so the two paths solve the identical LP.
+fn build_ssp_network(
+    trace: &Trace,
+    m: usize,
+    k: u32,
+    weighted: bool,
+    horizon: u64,
+) -> (MinCostFlow, BuiltLp) {
+    let n = trace.len();
+    let slots = horizon as usize;
+    let source = 0usize;
+    let job0 = 1usize;
+    let slot0 = job0 + n;
+    let sink = slot0 + slots;
+    let mut g = MinCostFlow::new(sink + 1);
+    let total_work: i64 = trace.jobs().iter().map(|j| j.size.round() as i64).sum();
+    let mut total_supply: i64 = 0;
+    for (ji, j) in trace.jobs().iter().enumerate() {
+        let p = j.size.round() as i64;
+        let r = j.arrival.round() as u64;
+        total_supply += p;
+        g.add_edge(source, job0 + ji, p, 0.0);
+        let pk = ipow(j.size, k);
+        let w = if weighted { j.weight } else { 1.0 };
+        let h_j = job_horizon(horizon, r, p, total_work - p, m);
+        for t in r..h_j {
+            let age = (t - r) as f64;
+            let cost = w * (ipow(age, k) + pk) / j.size;
+            g.add_edge(job0 + ji, slot0 + t as usize, 1, cost);
+        }
+    }
+    for t in 0..slots {
+        g.add_edge(slot0 + t, sink, m as i64, 0.0);
+    }
+    (
+        g,
+        BuiltLp {
+            total_supply,
+            source,
+            sink,
+        },
+    )
+}
+
+/// A dual warm-start handle at the LP layer: the arena's node potentials
+/// from a finished solve, stored *by role* (source, per-job, per-slot,
+/// sink) rather than by raw node index, so they can be remapped onto a
+/// neighbouring instance whose network has a different shape — another
+/// machine count (different tight horizon), a perturbed trace (different
+/// job count), or a refined aggregation grid.
+///
+/// Soundness never depends on the mapping being good: the remapped
+/// vector goes through [`McmfGraph::solve_warm_budgeted`]'s price
+/// fix-up + O(E) dual-feasibility revalidation, and a rejected handle
+/// just falls back to the cold start. A sloppy mapping costs phases,
+/// not correctness.
+#[derive(Debug, Clone, Default)]
+pub struct LpWarmStart {
+    source_pot: f64,
+    sink_pot: f64,
+    job_pot: Vec<f64>,
+    slot_pot: Vec<f64>,
+}
+
+impl LpWarmStart {
+    /// Extract role-mapped potentials from a solved arena with the
+    /// standard layout (`source, jobs[n], slots[h], sink`).
+    fn from_arena(graph: &McmfGraph, n: usize, horizon: u64) -> Self {
+        let pot = graph.potentials();
+        let slots = horizon as usize;
+        debug_assert_eq!(pot.len(), 2 + n + slots);
+        LpWarmStart {
+            source_pot: pot[0],
+            sink_pot: pot[1 + n + slots],
+            job_pot: pot[1..1 + n].to_vec(),
+            slot_pot: pot[1 + n..1 + n + slots].to_vec(),
+        }
+    }
+
+    /// Remap onto a target layout with `n` jobs and `horizon` slots.
+    /// Extra jobs inherit the source potential (feasible for their only
+    /// incoming arc), extra slots the last known slot potential falling
+    /// back to the sink potential (feasible for their outgoing arc); the
+    /// solver's repair sweep and validation scan do the rest.
+    fn remap(&self, n: usize, horizon: u64) -> WarmStart {
+        let slots = horizon as usize;
+        let mut pot = Vec::with_capacity(2 + n + slots);
+        pot.push(self.source_pot);
+        for ji in 0..n {
+            pot.push(self.job_pot.get(ji).copied().unwrap_or(self.source_pot));
+        }
+        let slot_fill = self.slot_pot.last().copied().unwrap_or(self.sink_pot);
+        for t in 0..slots {
+            pot.push(self.slot_pot.get(t).copied().unwrap_or(slot_fill));
+        }
+        pot.push(self.sink_pot);
+        WarmStart::from_potentials(pot)
+    }
 }
 
 impl LpSolver {
@@ -231,6 +403,27 @@ impl LpSolver {
             }
             None => tight,
         };
+        if trace.len() <= SSP_CROSSOVER_JOBS {
+            let (mut g, b) = {
+                let mut s = tf_obs::span!("lb", "build");
+                let built = build_ssp_network(trace, m, k, weighted, horizon);
+                s.arg("jobs", trace.len() as f64);
+                s.arg("horizon", horizon as f64);
+                built
+            };
+            let r = {
+                let _s = tf_obs::span!("lb", "solve");
+                g.solve(b.source, b.sink, b.total_supply)
+            };
+            self.last_ssp = Some(g);
+            debug_assert_eq!(r.flow, b.total_supply, "horizon too small for feasibility");
+            return LpSolution {
+                objective: r.cost,
+                horizon,
+                routed: r.flow,
+            };
+        }
+        self.last_ssp = None;
         let b = {
             let mut s = tf_obs::span!("lb", "build");
             let b = self.build(trace, m, k, weighted, horizon, false);
@@ -280,6 +473,27 @@ impl LpSolver {
             return None; // don't even pay for the build
         }
         let horizon = tight_horizon(trace, m);
+        if trace.len() <= SSP_CROSSOVER_JOBS {
+            let (mut g, b) = {
+                let mut s = tf_obs::span!("lb", "build");
+                let built = build_ssp_network(trace, m, k, weighted, horizon);
+                s.arg("jobs", trace.len() as f64);
+                s.arg("horizon", horizon as f64);
+                built
+            };
+            let r = {
+                let _s = tf_obs::span!("lb", "solve");
+                g.solve_budgeted(b.source, b.sink, b.total_supply, budget)?
+            };
+            self.last_ssp = Some(g);
+            debug_assert_eq!(r.flow, b.total_supply, "horizon too small for feasibility");
+            return Some(LpSolution {
+                objective: r.cost,
+                horizon,
+                routed: r.flow,
+            });
+        }
+        self.last_ssp = None;
         let b = {
             let mut s = tf_obs::span!("lb", "build");
             let b = self.build(trace, m, k, weighted, horizon, false);
@@ -314,18 +528,390 @@ impl LpSolver {
         if !trace.is_empty() {
             let _cert_span = tf_obs::span!("lb", "certify");
             let tol = 1e-9 * (1.0 + s.objective.abs());
-            assert!(
-                self.graph.verify_optimal(tol),
-                "optimized LP solve left a negative residual cycle"
-            );
+            // Audit whichever network the crossover dispatch solved.
+            let ok = match &self.last_ssp {
+                Some(g) => g.verify_optimal(tol),
+                None => self.graph.verify_optimal(tol),
+            };
+            assert!(ok, "optimized LP solve left a negative residual cycle");
         }
         s
     }
 
-    /// Work counters of the most recent solve on this arena (see
-    /// [`McmfStats`]). Zeroed stats before the first solve.
+    /// Work counters of the most recent solve (see [`McmfStats`]) —
+    /// from whichever solver the size crossover dispatched to, so the
+    /// `mcmf.*` observability namespace never goes dark on small
+    /// instances. Zeroed stats before the first solve.
     pub fn last_stats(&self) -> McmfStats {
-        self.graph.stats()
+        match &self.last_ssp {
+            Some(g) => g.stats(),
+            None => self.graph.stats(),
+        }
+    }
+
+    /// As [`LpSolver::value_budgeted`], seeded with a dual warm start
+    /// from a neighbouring solve. Always takes the arena path (warm
+    /// starts only pay off above the [`SSP_CROSSOVER_JOBS`] boundary and
+    /// the unit-SSP solver keeps no reusable duals). Returns the
+    /// solution, a handle for the *next* neighbour, and whether the warm
+    /// start was accepted; `None` iff the budget tripped.
+    ///
+    /// The warm and cold optima are the same number: acceptance requires
+    /// the remapped potentials to pass the solver's dual-feasibility
+    /// revalidation, which is exactly the invariant a cold start begins
+    /// from (see `docs/SOLVER.md`).
+    pub fn value_warm_budgeted(
+        &mut self,
+        trace: &Trace,
+        m: usize,
+        k: u32,
+        weighted: bool,
+        budget: &crate::budget::SolveBudget,
+        warm: Option<&LpWarmStart>,
+    ) -> Option<(LpSolution, LpWarmStart, bool)> {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(
+            trace.is_integral(1e-9),
+            "LP relaxation needs integral traces"
+        );
+        assert!(m >= 1);
+        if trace.is_empty() {
+            return Some((
+                LpSolution {
+                    objective: 0.0,
+                    horizon: 0,
+                    routed: 0,
+                },
+                LpWarmStart::default(),
+                false,
+            ));
+        }
+        if budget.exhausted() {
+            return None; // don't even pay for the build
+        }
+        let horizon = tight_horizon(trace, m);
+        self.last_ssp = None;
+        let b = {
+            let mut s = tf_obs::span!("lb", "build");
+            let b = self.build(trace, m, k, weighted, horizon, false);
+            s.arg("jobs", trace.len() as f64);
+            s.arg("horizon", horizon as f64);
+            b
+        };
+        let mapped = warm.map(|w| w.remap(trace.len(), horizon));
+        let (r, accepted) = {
+            let _s = tf_obs::span!("lb", "solve");
+            self.graph.solve_warm_budgeted(
+                b.source,
+                b.sink,
+                b.total_supply,
+                mapped.as_ref(),
+                budget,
+            )?
+        };
+        debug_assert_eq!(r.flow, b.total_supply, "horizon too small for feasibility");
+        let handle = LpWarmStart::from_arena(&self.graph, trace.len(), horizon);
+        Some((
+            LpSolution {
+                objective: r.cost,
+                horizon,
+                routed: r.flow,
+            },
+            handle,
+            accepted,
+        ))
+    }
+
+    /// Exact LP value by **delayed column generation**: build only a
+    /// small *active* slot window per job, solve the restricted
+    /// transportation problem, then price every omitted `(job, slot)`
+    /// column against the restricted optimum's duals — an arithmetic-only
+    /// scan, no graph build — and re-solve (warm-started) with the
+    /// violated columns added, until no column prices negative.
+    ///
+    /// ## Why the result is the exact LP optimum
+    ///
+    /// The restricted problem only *removes* columns, so its optimum is
+    /// `≥` the full pruned LP's. On termination the final potentials
+    /// satisfy `c_j(t) + π(job_j) − π(slot_t) ≥ −tol` for **every**
+    /// column of the full pruned network — the added ones via the
+    /// solver's own optimality invariant, the omitted ones via the
+    /// pricing scan that just returned clean. Dual feasibility over the
+    /// full column set plus complementary slackness on the flow (omitted
+    /// columns carry none) is exactly the optimality certificate of the
+    /// full LP, so the restricted value *is* the full value (up to the
+    /// scan tolerance). Certification never rests on the window guesses:
+    /// a bad initial window costs pricing rounds, not correctness.
+    ///
+    /// The per-job windows are seeded from the FCFS witness schedule
+    /// behind [`fcfs_horizon`] (so the first restricted network provably
+    /// carries the full supply), floored at `p_j + COLGEN_INIT_PAD`
+    /// slots. Should a restricted round still come back infeasible
+    /// (defensive — e.g. a window clamped by [`job_horizon`]), the
+    /// unsaturated jobs' windows are doubled and the round retried; after
+    /// [`COLGEN_MAX_ROUNDS`] the solver falls back to the full arena
+    /// build, which is always correct.
+    ///
+    /// Returns the solution, a dual warm-start handle for the next
+    /// neighbouring instance, and whether `warm` was accepted on the
+    /// first round; `None` iff `budget` tripped. Small instances
+    /// (≤ [`SSP_CROSSOVER_JOBS`]) dispatch to [`LpSolver::value_budgeted`]
+    /// with an empty handle — the restricted machinery cannot beat the
+    /// unit-SSP solver there.
+    pub fn value_colgen_budgeted(
+        &mut self,
+        trace: &Trace,
+        m: usize,
+        k: u32,
+        weighted: bool,
+        budget: &crate::budget::SolveBudget,
+        warm: Option<&LpWarmStart>,
+    ) -> Option<(LpSolution, LpWarmStart, bool)> {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(
+            trace.is_integral(1e-9),
+            "LP relaxation needs integral traces"
+        );
+        assert!(m >= 1);
+        if trace.is_empty() {
+            return Some((
+                LpSolution {
+                    objective: 0.0,
+                    horizon: 0,
+                    routed: 0,
+                },
+                LpWarmStart::default(),
+                false,
+            ));
+        }
+        if budget.exhausted() {
+            return None; // don't even pay for the build
+        }
+        if trace.len() <= SSP_CROSSOVER_JOBS {
+            let sol = self.value_budgeted(trace, m, k, weighted, budget)?;
+            return Some((sol, LpWarmStart::default(), false));
+        }
+
+        let mut obs_span = tf_obs::span!("lb", "lp_colgen");
+        obs_span.arg("n", trace.len() as f64);
+        obs_span.arg("m", m as f64);
+
+        let (horizon, fcfs_ends) = fcfs_horizon(trace, m);
+        let n = trace.len();
+        let slots = horizon as usize;
+        let source = 0usize;
+        let job0 = 1usize;
+        let slot0 = job0 + n;
+        let sink = slot0 + slots;
+        let total_work: i64 = trace.jobs().iter().map(|j| j.size.round() as i64).sum();
+
+        struct ColJob {
+            r: u64,
+            p: i64,
+            size: f64,
+            pk: f64,
+            w: f64,
+            h: u64,
+        }
+        let jobs: Vec<ColJob> = trace
+            .jobs()
+            .iter()
+            .map(|j| {
+                let p = j.size.round() as i64;
+                let r = j.arrival.round() as u64;
+                ColJob {
+                    r,
+                    p,
+                    size: j.size,
+                    pk: ipow(j.size, k),
+                    w: if weighted { j.weight } else { 1.0 },
+                    h: job_horizon(horizon, r, p, total_work - p, m),
+                }
+            })
+            .collect();
+        let total_supply: i64 = jobs.iter().map(|j| j.p).sum();
+        let col_cost = |j: &ColJob, t: u64| -> f64 {
+            let age = (t - j.r) as f64;
+            j.w * (ipow(age, k) + j.pk) / j.size
+        };
+
+        // Sorted active slot lists per job, seeded with the FCFS witness
+        // windows (see `fcfs_horizon`): the witness schedule fits inside
+        // them, so round one is feasible and the widening branch below is
+        // pure defense. The `COLGEN_INIT_PAD` floor keeps tiny windows
+        // from triggering pricing rounds on near-idle jobs.
+        let mut active: Vec<Vec<u64>> = jobs
+            .iter()
+            .enumerate()
+            .map(|(ji, j)| {
+                let end = fcfs_ends[ji]
+                    .max(j.r + j.p as u64 + COLGEN_INIT_PAD)
+                    .min(j.h);
+                (j.r..end).collect()
+            })
+            .collect();
+        let mut src_ids: Vec<usize> = Vec::with_capacity(n);
+        let mut pending: Vec<u64> = Vec::new();
+        let mut warm_pot: Option<WarmStart> = warm.map(|w| w.remap(n, horizon));
+        let mut accepted_first = false;
+        let mut rounds = 0u32;
+        loop {
+            rounds += 1;
+            if rounds > COLGEN_MAX_ROUNDS {
+                // Defensive fallback: the full build is always correct.
+                tf_obs::instant!("lb", "colgen_fallback");
+                let sol = self.value_budgeted(trace, m, k, weighted, budget)?;
+                let handle = LpWarmStart::from_arena(&self.graph, n, horizon);
+                return Some((sol, handle, accepted_first));
+            }
+            let mut total_cols = 0u64;
+            {
+                let mut s = tf_obs::span!("lb", "build");
+                self.graph.reset(sink + 1);
+                src_ids.clear();
+                for (ji, j) in jobs.iter().enumerate() {
+                    src_ids.push(self.graph.add_edge(source, job0 + ji, j.p, 0.0));
+                    for &t in &active[ji] {
+                        self.graph
+                            .add_edge(job0 + ji, slot0 + t as usize, 1, col_cost(j, t));
+                    }
+                    total_cols += active[ji].len() as u64;
+                }
+                for t in 0..slots {
+                    self.graph.add_edge(slot0 + t, sink, m as i64, 0.0);
+                }
+                s.arg("jobs", n as f64);
+                s.arg("columns", total_cols as f64);
+            }
+            let (res, acc) = {
+                let _s = tf_obs::span!("lb", "solve");
+                self.graph.solve_warm_budgeted(
+                    source,
+                    sink,
+                    total_supply,
+                    warm_pot.as_ref(),
+                    budget,
+                )?
+            };
+            if rounds == 1 {
+                accepted_first = acc;
+            }
+
+            if res.flow < total_supply {
+                // The restricted network cannot carry some job's supply:
+                // widen every unsaturated job's window and retry. Windows
+                // only grow, and the full windows are feasible (the FCFS
+                // witness behind `tight_horizon` plus the exchange
+                // argument behind `job_horizon`), so this terminates.
+                let mut grew = false;
+                for (ji, j) in jobs.iter().enumerate() {
+                    if self.graph.flow_on(src_ids[ji]) < j.p {
+                        let end = active[ji].last().copied().unwrap_or(j.r);
+                        let grow = (active[ji].len() as u64).max(COLGEN_INIT_PAD);
+                        let before = active[ji].len();
+                        active[ji].extend(end + 1..j.h.min(end + 1 + grow));
+                        grew |= active[ji].len() > before;
+                    }
+                }
+                if !grew {
+                    // The deficient jobs are already at full width (their
+                    // deficiency hides behind a saturated neighbour) —
+                    // stop guessing and solve the full network.
+                    tf_obs::instant!("lb", "colgen_fallback");
+                    let sol = self.value_budgeted(trace, m, k, weighted, budget)?;
+                    let handle = LpWarmStart::from_arena(&self.graph, n, horizon);
+                    return Some((sol, handle, accepted_first));
+                }
+                warm_pot = Some(WarmStart::from_potentials(self.graph.potentials().to_vec()));
+                tf_obs::instant!("lb", "colgen_widen");
+                continue;
+            }
+
+            // Pricing: scan every omitted column of the full pruned
+            // network against the restricted optimum's duals.
+            let violated = {
+                let mut s = tf_obs::span!("lb", "colgen_price");
+                let pot = self.graph.potentials();
+                // Slots with no incoming active column are unreachable in
+                // the solver's Dijkstra passes, so their raw potentials
+                // accumulate arbitrary (large) values — pricing against
+                // them reports spurious violations. The tightest *valid*
+                // dual for such a slot is `π(sink)`: its slot→sink arc has
+                // full residual capacity, forcing `π(slot) ≥ π(sink)`, and
+                // clamping down to `π(sink)` keeps that arc tight-feasible
+                // while only *raising* the reduced cost of arcs into the
+                // slot. Pricing therefore uses `min(π(slot), π(sink))` —
+                // still a dual-feasible certificate, but one that only
+                // flags genuinely improving columns.
+                let pi_sink = pot[sink];
+                let poll_budget = !budget.is_unlimited();
+                let mut scanned = 0u64;
+                let mut violated = 0u64;
+                pending.clear();
+                for (ji, j) in jobs.iter().enumerate() {
+                    let pi_j = pot[job0 + ji];
+                    let mut act = active[ji].iter().copied().peekable();
+                    let start_len = pending.len();
+                    for t in j.r..j.h {
+                        if act.peek() == Some(&t) {
+                            act.next();
+                            continue;
+                        }
+                        scanned += 1;
+                        if poll_budget
+                            && scanned.is_multiple_of(BUDGET_POLL_COLS)
+                            && budget.exhausted()
+                        {
+                            return None;
+                        }
+                        let c = col_cost(j, t);
+                        let beta = pot[slot0 + t as usize].min(pi_sink);
+                        let rc = c + pi_j - beta;
+                        if rc < -1e-9 * (1.0 + c.abs() + pi_j.abs() + beta.abs()) {
+                            pending.push(t);
+                            violated += 1;
+                        }
+                    }
+                    if pending.len() > start_len {
+                        let mut merged =
+                            Vec::with_capacity(active[ji].len() + pending.len() - start_len);
+                        let mut a = active[ji].iter().copied().peekable();
+                        let mut b = pending[start_len..].iter().copied().peekable();
+                        while let (Some(&x), Some(&y)) = (a.peek(), b.peek()) {
+                            if x < y {
+                                merged.push(x);
+                                a.next();
+                            } else {
+                                merged.push(y);
+                                b.next();
+                            }
+                        }
+                        merged.extend(a);
+                        merged.extend(b);
+                        active[ji] = merged;
+                        pending.truncate(start_len);
+                    }
+                }
+                s.arg("violated", violated as f64);
+                violated
+            };
+            if violated == 0 {
+                obs_span.arg("rounds", f64::from(rounds));
+                obs_span.arg("columns", total_cols as f64);
+                self.last_ssp = None;
+                let handle = LpWarmStart::from_arena(&self.graph, n, horizon);
+                return Some((
+                    LpSolution {
+                        objective: res.cost,
+                        horizon,
+                        routed: res.flow,
+                    },
+                    handle,
+                    accepted_first,
+                ));
+            }
+            warm_pot = Some(WarmStart::from_potentials(self.graph.potentials().to_vec()));
+        }
     }
 
     /// As [`lp_relaxation_solution`], on this arena.
@@ -345,6 +931,7 @@ impl LpSolver {
             };
         }
         let horizon = tight_horizon(trace, m);
+        self.last_ssp = None;
         let b = self.build(trace, m, k, false, horizon, true);
         let res = self.graph.solve(b.source, b.sink, b.total_supply);
         debug_assert_eq!(res.flow, b.total_supply);
@@ -411,6 +998,47 @@ pub fn lp_relaxation_value_budgeted(
     budget: &crate::budget::SolveBudget,
 ) -> Option<LpSolution> {
     SHARED_SOLVER.with(|s| s.borrow_mut().value_budgeted(trace, m, k, false, budget))
+}
+
+/// As [`lp_relaxation_value_budgeted`], seeded with a dual warm start
+/// from a neighbouring solve (see [`LpSolver::value_warm_budgeted`]).
+/// Returns the solution, the handle for the next neighbour, and whether
+/// the warm start was accepted. Routes through the per-thread arena.
+///
+/// # Panics
+/// As [`lp_relaxation_value`].
+pub fn lp_relaxation_value_warm_budgeted(
+    trace: &Trace,
+    m: usize,
+    k: u32,
+    budget: &crate::budget::SolveBudget,
+    warm: Option<&LpWarmStart>,
+) -> Option<(LpSolution, LpWarmStart, bool)> {
+    SHARED_SOLVER.with(|s| {
+        s.borrow_mut()
+            .value_warm_budgeted(trace, m, k, false, budget, warm)
+    })
+}
+
+/// As [`LpSolver::value_colgen_budgeted`] (exact LP value by delayed
+/// column generation, warm-startable), routed through the per-thread
+/// arena. Returns the solution, the dual handle for the next
+/// neighbouring instance, and whether `warm` was accepted; `None` iff
+/// `budget` tripped.
+///
+/// # Panics
+/// As [`lp_relaxation_value`].
+pub fn lp_relaxation_value_colgen_budgeted(
+    trace: &Trace,
+    m: usize,
+    k: u32,
+    budget: &crate::budget::SolveBudget,
+    warm: Option<&LpWarmStart>,
+) -> Option<(LpSolution, LpWarmStart, bool)> {
+    SHARED_SOLVER.with(|s| {
+        s.borrow_mut()
+            .value_colgen_budgeted(trace, m, k, false, budget, warm)
+    })
 }
 
 /// The weighted variant: minimizes a relaxation of `Σ_j w_j F_j^k` (the
@@ -783,6 +1411,160 @@ mod tests {
         }
         let sched = solver.schedule(&b, 1, 1);
         assert!((sched.objective - lp_relaxation_solution(&b, 1, 1).objective).abs() < 1e-9);
+    }
+
+    /// A deterministic integral trace big enough to cross the
+    /// [`SSP_CROSSOVER_JOBS`] boundary.
+    fn biggish_trace(n: usize) -> Trace {
+        let pairs: Vec<(f64, f64)> = (0..n)
+            .map(|i| ((i / 2) as f64, (1 + (i * 7 + 3) % 4) as f64))
+            .collect();
+        Trace::from_pairs(pairs).unwrap()
+    }
+
+    #[test]
+    fn crossover_dispatch_agrees_across_the_boundary() {
+        // One instance just below the crossover (unit-SSP path) and one
+        // just above (arena path); both must match the unpruned
+        // reference oracle.
+        for n in [SSP_CROSSOVER_JOBS - 1, SSP_CROSSOVER_JOBS + 5] {
+            let t = biggish_trace(n);
+            for (m, k) in [(1usize, 1u32), (2, 2)] {
+                let fast = lp_relaxation_value(&t, m, k);
+                let slow = lp_relaxation_value_reference(&t, m, k, false);
+                assert_eq!(fast.routed, slow.routed, "n={n} m={m} k={k}");
+                assert!(
+                    (fast.objective - slow.objective).abs() <= 1e-6 * (1.0 + slow.objective.abs()),
+                    "n={n} m={m} k={k}: {} vs {}",
+                    fast.objective,
+                    slow.objective
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn certified_value_audits_the_ssp_graph_on_small_instances() {
+        // Small instance → SSP dispatch; certification must audit that
+        // graph (a stale arena would happily pass with zero flow).
+        let t = Trace::from_pairs([(0.0, 2.0), (1.0, 1.0), (1.0, 3.0)]).unwrap();
+        let mut solver = LpSolver::new();
+        let plain = solver.value_at_horizon(&t, 2, 2, false, None);
+        assert!(solver.last_ssp.is_some(), "small instance should use SSP");
+        let certified = solver.certified_value(&t, 2, 2, false);
+        assert_eq!(plain, certified);
+        // SSP solves surface their own counters — never a stale arena's.
+        let st = solver.last_stats();
+        assert!(st.heap_pops > 0 && st.phases > 0, "{st:?}");
+        assert_eq!(st.units_routed, 6, "3 jobs × 2 slots each");
+        assert_eq!(st.blocking_pushes, 0, "unit SSP has no blocking flow");
+    }
+
+    #[test]
+    fn warm_budgeted_matches_cold_across_machine_sweep() {
+        use crate::budget::SolveBudget;
+        let t = biggish_trace(SSP_CROSSOVER_JOBS + 10);
+        let mut solver = LpSolver::new();
+        let mut warm: Option<LpWarmStart> = None;
+        let mut accepted_any = false;
+        for m in [1usize, 2, 3, 4] {
+            let cold = lp_relaxation_value(&t, m, 2);
+            let (w, next, accepted) = solver
+                .value_warm_budgeted(&t, m, 2, false, &SolveBudget::unlimited(), warm.as_ref())
+                .unwrap();
+            assert_eq!(w.routed, cold.routed, "m={m}");
+            assert_eq!(w.horizon, cold.horizon, "m={m}");
+            assert!(
+                (w.objective - cold.objective).abs() <= 1e-9 * (1.0 + cold.objective.abs()),
+                "m={m}: warm {} vs cold {}",
+                w.objective,
+                cold.objective
+            );
+            accepted_any |= accepted;
+            warm = Some(next);
+        }
+        assert!(
+            accepted_any,
+            "machine-sweep neighbours should accept at least one warm start"
+        );
+    }
+
+    #[test]
+    fn colgen_matches_the_full_arena_solve() {
+        use crate::budget::SolveBudget;
+        let mut solver = LpSolver::new();
+        for n in [SSP_CROSSOVER_JOBS - 5, SSP_CROSSOVER_JOBS + 40, 200] {
+            let t = biggish_trace(n);
+            for (m, k) in [(1usize, 1u32), (2, 2), (3, 3)] {
+                let full = lp_relaxation_value(&t, m, k);
+                let (cg, _, _) = solver
+                    .value_colgen_budgeted(&t, m, k, false, &SolveBudget::unlimited(), None)
+                    .unwrap();
+                assert_eq!(cg.routed, full.routed, "n={n} m={m} k={k}");
+                assert_eq!(cg.horizon, full.horizon, "n={n} m={m} k={k}");
+                assert!(
+                    (cg.objective - full.objective).abs() <= 1e-7 * (1.0 + full.objective.abs()),
+                    "n={n} m={m} k={k}: colgen {} vs full {}",
+                    cg.objective,
+                    full.objective
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn colgen_warm_chain_matches_cold_across_machine_sweep() {
+        use crate::budget::SolveBudget;
+        let t = biggish_trace(SSP_CROSSOVER_JOBS + 30);
+        let mut solver = LpSolver::new();
+        let mut warm: Option<LpWarmStart> = None;
+        for m in [1usize, 2, 3] {
+            let cold = lp_relaxation_value(&t, m, 2);
+            let (cg, next, _) = solver
+                .value_colgen_budgeted(&t, m, 2, false, &SolveBudget::unlimited(), warm.as_ref())
+                .unwrap();
+            assert!(
+                (cg.objective - cold.objective).abs() <= 1e-7 * (1.0 + cold.objective.abs()),
+                "m={m}: colgen {} vs cold {}",
+                cg.objective,
+                cold.objective
+            );
+            warm = Some(next);
+        }
+    }
+
+    #[test]
+    fn colgen_honours_the_budget_and_empty_traces() {
+        use crate::budget::SolveBudget;
+        let mut solver = LpSolver::new();
+        let spent = SolveBudget::with_timeout(std::time::Duration::ZERO);
+        let t = biggish_trace(SSP_CROSSOVER_JOBS + 30);
+        assert!(solver
+            .value_colgen_budgeted(&t, 2, 2, false, &spent, None)
+            .is_none());
+        let empty = Trace::from_pairs(std::iter::empty()).unwrap();
+        let (sol, _, accepted) = solver
+            .value_colgen_budgeted(&empty, 2, 2, false, &SolveBudget::unlimited(), None)
+            .unwrap();
+        assert_eq!(sol.objective, 0.0);
+        assert!(!accepted);
+    }
+
+    #[test]
+    fn warm_budgeted_honours_the_budget_and_empty_traces() {
+        use crate::budget::SolveBudget;
+        let t = biggish_trace(SSP_CROSSOVER_JOBS + 10);
+        let mut solver = LpSolver::new();
+        let spent = SolveBudget::with_timeout(std::time::Duration::ZERO);
+        assert!(solver
+            .value_warm_budgeted(&t, 2, 2, false, &spent, None)
+            .is_none());
+        let empty = Trace::from_pairs(std::iter::empty()).unwrap();
+        let (s, _, accepted) = solver
+            .value_warm_budgeted(&empty, 1, 2, false, &SolveBudget::unlimited(), None)
+            .unwrap();
+        assert_eq!(s.routed, 0);
+        assert!(!accepted);
     }
 
     #[test]

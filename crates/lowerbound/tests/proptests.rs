@@ -97,3 +97,68 @@ proptest! {
         prop_assert!(b4 <= b2 + 1e-9);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(30))]
+
+    /// Warm-start equivalence (audit check X4): chaining dual handles
+    /// across a machine-count sweep reproduces every cold exact bound.
+    /// The warm path re-validates the remapped potentials before trusting
+    /// them, so a stale or corrupt handle can slow a solve down but never
+    /// change its value.
+    #[test]
+    fn warm_chained_colgen_matches_cold(t in arb_integral_trace(), k in 1u32..4) {
+        use tf_lowerbound::{lk_lower_bound_colgen_budgeted, LpWarmStart, SolveBudget};
+        let unlimited = SolveBudget::unlimited();
+        let mut warm: Option<LpWarmStart> = None;
+        for m in [1usize, 2, 3] {
+            let cold = lk_lower_bound(&t, m, k);
+            let (w, next, _) =
+                lk_lower_bound_colgen_budgeted(&t, m, k, &unlimited, warm.as_ref())
+                    .expect("unlimited budget never trips");
+            prop_assert!((w.value - cold.value).abs() <= 1e-6 * (1.0 + cold.value.abs()),
+                "m={m} k={k}: warm {} vs cold {}", w.value, cold.value);
+            warm = Some(next);
+        }
+    }
+
+    /// Column generation is exact, not approximate: clean pricing implies
+    /// full-LP dual feasibility, so the restricted optimum IS the LP
+    /// optimum — on every random trace, from a cold start.
+    #[test]
+    fn colgen_equals_the_full_lp(t in arb_integral_trace(), m in 1usize..4, k in 1u32..4) {
+        use tf_lowerbound::{lk_lower_bound_colgen_budgeted, SolveBudget};
+        let exact = lk_lower_bound(&t, m, k);
+        let (cg, _, _) =
+            lk_lower_bound_colgen_budgeted(&t, m, k, &SolveBudget::unlimited(), None)
+                .expect("unlimited budget never trips");
+        prop_assert!((cg.value - exact.value).abs() <= 1e-6 * (1.0 + exact.value.abs()),
+            "m={m} k={k}: colgen {} vs exact {}", cg.value, exact.value);
+        prop_assert!((cg.lp_raw - exact.lp_raw).abs() <= 1e-6 * (1.0 + exact.lp_raw.abs()),
+            "m={m} k={k}: colgen LP {} vs exact LP {}", cg.lp_raw, exact.lp_raw);
+    }
+
+    /// Aggregation soundness (audit check X5): the interval-aggregated
+    /// solve certifies a sandwich `lp_lo ≤ LP ≤ lp_hi` around the exact
+    /// LP value, its reported gap is honest, and the combined bound it
+    /// derives never beats the exact combined bound.
+    #[test]
+    fn aggregated_bound_sandwiches_the_exact_lp(t in arb_integral_trace(), m in 1usize..3, k in 1u32..3) {
+        use tf_lowerbound::{lk_lower_bound_aggregated, AggConfig, SolveBudget};
+        let exact = lk_lower_bound(&t, m, k);
+        let agg = lk_lower_bound_aggregated(&t, m, k, &AggConfig::default(), &SolveBudget::unlimited())
+            .expect("unlimited budget never trips");
+        let tol = 1e-6 * (1.0 + exact.lp_raw.abs());
+        prop_assert!(agg.lp_lo <= exact.lp_raw + tol,
+            "m={m} k={k}: agg lo {} above exact LP {}", agg.lp_lo, exact.lp_raw);
+        prop_assert!(exact.lp_raw <= agg.lp_hi + tol,
+            "m={m} k={k}: exact LP {} above agg hi {}", exact.lp_raw, agg.lp_hi);
+        prop_assert!(agg.lp_lo <= agg.lp_hi + tol);
+        if agg.lp_lo > 0.0 {
+            let gap = (agg.lp_hi - agg.lp_lo) / agg.lp_lo;
+            prop_assert!((gap - agg.rel_gap).abs() <= 1e-9 * (1.0 + gap), "reported gap is stale");
+        }
+        prop_assert!(agg.value <= exact.value * (1.0 + 1e-6) + 1e-9,
+            "m={m} k={k}: agg bound {} beats exact {}", agg.value, exact.value);
+    }
+}
